@@ -1,0 +1,57 @@
+//! Fig. 17: end-to-end ingestion latency — the wall time from an update
+//! entering the queue to its pre-sampled consequence being visible in a
+//! serving cache. Measured by the enqueue stamps carried through the
+//! pipeline. Also reports the paper's read-after-write miss percentage:
+//! how many updates a worst-case immediate read would miss.
+
+use helios_core::{HeliosConfig, HeliosDeployment};
+use helios_datagen::Preset;
+use helios_metrics::Snapshot;
+use helios_query::SamplingStrategy;
+use helios_types::GraphUpdate;
+use std::time::Duration;
+
+const SCALE: f64 = 0.02;
+
+fn main() {
+    let mut t = helios_metrics::Table::new(
+        format!("Fig. 17: ingestion latency under streaming load (scale {SCALE})"),
+        &["Dataset", "events", "avg (ms)", "P99 (ms)", "max (ms)"],
+    );
+    for preset in Preset::ALL {
+        let dataset = preset.dataset(SCALE);
+        let query = dataset.table2_query(SamplingStrategy::Random, false);
+        let deployment =
+            HeliosDeployment::start(HeliosConfig::with_workers(2, 2), query).expect("start");
+        let events: Vec<GraphUpdate> = dataset.events().collect();
+        // Stream in bursts (like production Kafka consumption) rather than
+        // one giant batch, so stamps reflect steady-state behaviour.
+        for chunk in events.chunks(5_000) {
+            deployment.ingest_batch(chunk).unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(deployment.quiesce(Duration::from_secs(600)));
+        let mut merged: Option<Snapshot> = None;
+        for w in deployment.serving_workers() {
+            let s = w.ingestion_latency().snapshot();
+            match &mut merged {
+                None => merged = Some(s),
+                Some(m) => m.merge(&s),
+            }
+        }
+        let s = merged.expect("at least one worker");
+        t.row(&[
+            preset.name().to_string(),
+            events.len().to_string(),
+            format!("{:.1}", s.mean_ms()),
+            format!("{:.1}", s.percentile_ms(99.0)),
+            format!("{:.1}", s.max as f64 / 1e6),
+        ]);
+        deployment.shutdown();
+    }
+    t.print();
+    println!(
+        "paper: P99 ingestion latency as low as 1.2s under millions of updates/s; \
+         worst-case read-after-write misses 0.01%-1.9% of subgraph updates"
+    );
+}

@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks of the primitives on Helios's hot paths:
+//! reservoir offers (per strategy), query-aware cache assembly, kvstore
+//! point ops, mq produce/consume, query decomposition.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use helios_kvstore::{KvConfig, KvStore};
+use helios_mq::{Broker, TopicConfig};
+use helios_query::{KHopQuery, SamplingStrategy as QS};
+use helios_sampling::{Reservoir, SamplingStrategy};
+use helios_types::{EdgeType, Timestamp, VertexId, VertexType};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_reservoir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reservoir_offer");
+    for strategy in [
+        SamplingStrategy::Random,
+        SamplingStrategy::TopK,
+        SamplingStrategy::EdgeWeight,
+    ] {
+        g.bench_function(strategy.name(), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut r = Reservoir::new(strategy, 25);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                r.offer(VertexId(i), Timestamp(i), 1.0 + (i % 7) as f32, &mut rng)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_kvstore(c: &mut Criterion) {
+    let kv = KvStore::open(KvConfig::in_memory(4)).unwrap();
+    for i in 0..100_000u64 {
+        kv.put(&i.to_be_bytes(), Bytes::from(vec![0u8; 64]), Timestamp(i))
+            .unwrap();
+    }
+    let mut g = c.benchmark_group("kvstore");
+    g.bench_function("get_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 9973) % 100_000;
+            kv.get(&i.to_be_bytes()).unwrap()
+        });
+    });
+    g.bench_function("get_miss", |b| {
+        let mut i = 1_000_000u64;
+        b.iter(|| {
+            i += 1;
+            kv.get(&i.to_be_bytes()).unwrap()
+        });
+    });
+    g.bench_function("put", |b| {
+        let mut i = 200_000u64;
+        b.iter(|| {
+            i += 1;
+            kv.put(&i.to_be_bytes(), Bytes::from_static(&[0u8; 64]), Timestamp(i))
+        });
+    });
+    g.finish();
+}
+
+fn bench_mq(c: &mut Criterion) {
+    let broker = Broker::new();
+    broker
+        .create_topic("bench", TopicConfig::in_memory(4))
+        .unwrap();
+    let topic = broker.topic("bench").unwrap();
+    let mut g = c.benchmark_group("mq");
+    g.bench_function("produce", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            topic.produce(i, Bytes::from_static(&[7u8; 64])).unwrap()
+        });
+    });
+    g.bench_function("produce_consume_batch100", |b| {
+        b.iter_batched(
+            || broker.consumer_all("g", "bench").unwrap(),
+            |mut consumer| {
+                consumer.seek_to_end();
+                for i in 0..100u64 {
+                    topic.produce(i, Bytes::from_static(&[1u8; 64])).unwrap();
+                }
+                let mut got = 0;
+                while got < 100 {
+                    got += consumer.poll_now(100).len();
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let q = KHopQuery::builder(VertexType(0))
+        .hop(EdgeType(0), VertexType(1), 25, QS::Random)
+        .hop(EdgeType(1), VertexType(1), 10, QS::TopK)
+        .hop(EdgeType(1), VertexType(1), 5, QS::TopK)
+        .build()
+        .unwrap();
+    c.bench_function("query_decompose_3hop", |b| b.iter(|| q.decompose()));
+
+    let mut schema = helios_query::Schema::new();
+    c.bench_function("query_parse", |b| {
+        b.iter(|| {
+            helios_query::parse_query(
+                "g.V('User').outV('Click','Item').sample(25).by('Random')\
+                 .outV('CoPurchase','Item').sample(10).by('TopK')",
+                &mut schema,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20);
+    targets = bench_reservoir, bench_kvstore, bench_mq, bench_query
+);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Shared experiment machinery: deployment setup, concurrent load
+//! driving, latency/throughput collection.
+
+use helios_core::{HeliosConfig, HeliosDeployment};
+use helios_datagen::{Dataset, Preset};
+use helios_metrics::Histogram;
+use helios_query::{KHopQuery, SamplingStrategy};
+use helios_types::{GraphUpdate, VertexId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Result of a timed concurrent run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOutcome {
+    /// Completed operations.
+    pub count: u64,
+    /// Operations per second over the measurement window.
+    pub qps: f64,
+    /// Mean per-operation latency, milliseconds.
+    pub avg_ms: f64,
+    /// P99 per-operation latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Drive `op` from `concurrency` client threads for `window`, measuring
+/// each call. `op(client, seq)` performs one request.
+pub fn drive<F>(concurrency: usize, window: Duration, op: F) -> BenchOutcome
+where
+    F: Fn(usize, u64) + Send + Sync,
+{
+    let op = &op;
+    let hist = Histogram::new();
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let total: u64 = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..concurrency {
+            let hist = &hist;
+            let stop = &stop;
+            handles.push(scope.spawn(move || {
+                let mut seq = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    op(c, seq);
+                    hist.record_duration(t0.elapsed());
+                    seq += 1;
+                }
+                seq
+            }));
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let snap = hist.snapshot();
+    BenchOutcome {
+        count: total,
+        qps: total as f64 / elapsed,
+        avg_ms: snap.mean_ms(),
+        p99_ms: snap.percentile_ms(99.0),
+    }
+}
+
+/// A deployed Helios instance pre-loaded with a dataset.
+pub struct HeliosBench {
+    /// The running deployment.
+    pub deployment: Arc<HeliosDeployment>,
+    /// The dataset it was loaded with.
+    pub dataset: Dataset,
+    /// The replayed events (for paired baselines / further streaming).
+    pub events: Vec<GraphUpdate>,
+    /// Seed vertices of the query's seed population.
+    pub seeds: Vec<VertexId>,
+    /// Seconds spent replaying + settling (ingest wall time).
+    pub ingest_secs: f64,
+    /// The registered query.
+    pub query: KHopQuery,
+}
+
+/// Generate the dataset, start Helios, replay the full stream and wait
+/// for the pipeline to settle.
+pub fn setup_helios(
+    preset: Preset,
+    scale: f64,
+    strategy: SamplingStrategy,
+    three_hop: bool,
+    config: HeliosConfig,
+) -> HeliosBench {
+    let dataset = preset.dataset(scale);
+    let query = dataset.table2_query(strategy, three_hop);
+    let deployment =
+        Arc::new(HeliosDeployment::start(config, query.clone()).expect("start helios"));
+    let events: Vec<GraphUpdate> = dataset.events().collect();
+    let t0 = Instant::now();
+    deployment.ingest_batch(&events).expect("ingest");
+    assert!(
+        deployment.quiesce(Duration::from_secs(600)),
+        "helios did not settle"
+    );
+    let ingest_secs = t0.elapsed().as_secs_f64();
+    let seeds = percent_seeds(&dataset, 1.0);
+    HeliosBench {
+        deployment,
+        dataset,
+        events,
+        seeds,
+        ingest_secs,
+        query,
+    }
+}
+
+/// All (or a fraction of) seed-population vertex ids, in a shuffled but
+/// deterministic order.
+pub fn percent_seeds(dataset: &Dataset, fraction: f64) -> Vec<VertexId> {
+    let (lo, hi) = dataset.id_range(dataset.seed_population());
+    let mut seeds: Vec<VertexId> = (lo..hi).map(VertexId).collect();
+    // Deterministic shuffle (splitmix-style walk).
+    let n = seeds.len();
+    let mut j = 0usize;
+    for i in 0..n {
+        j = (j
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407))
+            % n.max(1);
+        seeds.swap(i, j);
+    }
+    let keep = ((n as f64) * fraction).ceil() as usize;
+    seeds.truncate(keep.max(1).min(n));
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drive_counts_and_measures() {
+        let out = drive(2, Duration::from_millis(100), |_c, _s| {
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        assert!(out.count > 10);
+        assert!(out.qps > 10.0);
+        assert!(out.avg_ms >= 1.0);
+        assert!(out.p99_ms >= out.avg_ms * 0.5);
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_bounded() {
+        let d = Preset::Inter.dataset(0.01);
+        let a = percent_seeds(&d, 0.5);
+        let b = percent_seeds(&d, 0.5);
+        assert_eq!(a, b);
+        let (lo, hi) = d.id_range(d.seed_population());
+        assert!(a.iter().all(|v| (lo..hi).contains(&v.raw())));
+        assert!(a.len() <= (hi - lo) as usize);
+    }
+}

@@ -1,0 +1,25 @@
+//! # helios-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper's evaluation (§7). Each `benches/*.rs` target is a harness-less
+//! bench binary that runs a laptop-scaled version of one experiment and
+//! prints the same rows/series the paper reports; `benches/micro.rs`
+//! holds Criterion micro-benchmarks of the hot primitives.
+//!
+//! Methodology notes (see also `EXPERIMENTS.md`):
+//!
+//! * datasets are the Table 1 presets from `helios-datagen`, scaled down
+//!   but shape-preserving;
+//! * the graph-database baseline is `helios-graphdb` with two
+//!   configurations standing in for TigerGraph and NebulaGraph;
+//! * both systems replay *identical* event streams;
+//! * this reproduction runs threads-as-machines; on hosts with fewer
+//!   cores than workers, the scalability experiments additionally report
+//!   **simulated-parallel** throughput: records ÷ (critical-path busy
+//!   time), i.e. the wall time a truly parallel deployment would need.
+
+pub mod baseline;
+pub mod harness;
+
+pub use baseline::{nebulagraph_like, setup_baseline, tigergraph_like, BaselineBench};
+pub use harness::{drive, percent_seeds, setup_helios, BenchOutcome, HeliosBench};

@@ -1,0 +1,141 @@
+//! Deployment configuration.
+
+use helios_graphstore::PartitionPolicy;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Configuration for a [`crate::HeliosDeployment`].
+#[derive(Debug, Clone)]
+pub struct HeliosConfig {
+    /// Number of sampling workers (M).
+    pub sampling_workers: usize,
+    /// Number of serving workers (N).
+    pub serving_workers: usize,
+    /// Sampling threads (reservoir-table shards) per sampling worker.
+    pub sampling_threads: usize,
+    /// Cache-updating threads per serving worker.
+    pub updater_threads: usize,
+    /// Serving threads per serving worker (execute queued sampling
+    /// queries; the paper's "serving threads", §4.3). Direct `serve`
+    /// calls bypass the queue; `serve_queued` uses it.
+    pub serving_threads: usize,
+    /// Replicas per serving worker (§4.1: "replicating the highly loaded
+    /// serving workers based on the ad-hoc skewness"). Each replica
+    /// consumes the same sample queue under its own consumer group and
+    /// holds a full copy of the slice's cache; the front-end spreads
+    /// requests across replicas round-robin.
+    pub serving_replicas: usize,
+    /// Partitions per serving worker's sample queue.
+    pub sample_queue_partitions: u32,
+    /// Edge partition policy for the update stream.
+    pub policy: PartitionPolicy,
+    /// Poll batch size for worker consumers.
+    pub poll_batch: usize,
+    /// Poll timeout for worker consumers (idle wake-up period).
+    pub poll_timeout: Duration,
+    /// Time-to-live for graph data; `None` disables expiry ("we set a TTL
+    /// threshold ... to ensure no graph data are expired", §7.1).
+    pub ttl: Option<Duration>,
+    /// Directory for the serving workers' hybrid sample caches; `None`
+    /// keeps caches purely in memory.
+    pub cache_dir: Option<PathBuf>,
+    /// KV shards per serving worker cache.
+    pub cache_shards: usize,
+    /// Memtable budget per cache shard before spilling to disk.
+    pub cache_memtable_budget: usize,
+}
+
+impl Default for HeliosConfig {
+    fn default() -> Self {
+        HeliosConfig {
+            sampling_workers: 2,
+            serving_workers: 2,
+            sampling_threads: 2,
+            updater_threads: 2,
+            serving_threads: 4,
+            serving_replicas: 1,
+            sample_queue_partitions: 2,
+            policy: PartitionPolicy::BySrc,
+            poll_batch: 1024,
+            poll_timeout: Duration::from_millis(20),
+            ttl: None,
+            cache_dir: None,
+            cache_shards: 4,
+            cache_memtable_budget: 16 << 20,
+        }
+    }
+}
+
+impl HeliosConfig {
+    /// A deployment sized `(M sampling, N serving)` with sensible defaults
+    /// elsewhere.
+    pub fn with_workers(sampling: usize, serving: usize) -> Self {
+        HeliosConfig {
+            sampling_workers: sampling,
+            serving_workers: serving,
+            ..Default::default()
+        }
+    }
+
+    /// Validate invariants; called by the deployment at start.
+    pub fn validate(&self) -> helios_types::Result<()> {
+        use helios_types::HeliosError::InvalidConfig;
+        if self.sampling_workers == 0 {
+            return Err(InvalidConfig("need at least one sampling worker".into()));
+        }
+        if self.serving_workers == 0 {
+            return Err(InvalidConfig("need at least one serving worker".into()));
+        }
+        if self.sampling_threads == 0 || self.updater_threads == 0 || self.serving_threads == 0 {
+            return Err(InvalidConfig("thread counts must be positive".into()));
+        }
+        if self.serving_replicas == 0 {
+            return Err(InvalidConfig(
+                "each serving worker needs at least one replica".into(),
+            ));
+        }
+        if self.sample_queue_partitions == 0 {
+            return Err(InvalidConfig("sample queues need partitions".into()));
+        }
+        if self.poll_batch == 0 {
+            return Err(InvalidConfig("poll batch must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(HeliosConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn with_workers_sets_counts() {
+        let c = HeliosConfig::with_workers(4, 6);
+        assert_eq!(c.sampling_workers, 4);
+        assert_eq!(c.serving_workers, 6);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        for f in [
+            |c: &mut HeliosConfig| c.sampling_workers = 0,
+            |c: &mut HeliosConfig| c.serving_workers = 0,
+            |c: &mut HeliosConfig| c.sampling_threads = 0,
+            |c: &mut HeliosConfig| c.updater_threads = 0,
+            |c: &mut HeliosConfig| c.serving_threads = 0,
+            |c: &mut HeliosConfig| c.serving_replicas = 0,
+            |c: &mut HeliosConfig| c.sample_queue_partitions = 0,
+            |c: &mut HeliosConfig| c.poll_batch = 0,
+        ] {
+            let mut c = HeliosConfig::default();
+            f(&mut c);
+            assert!(c.validate().is_err());
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Wiring a full Helios deployment (Fig. 5) in one process, with threads
+//! standing in for machines.
+
+use crate::config::HeliosConfig;
+use crate::coordinator::Coordinator;
+use crate::messages::UpdateEnvelope;
+use crate::sampler::{topics, SamplerMetrics, SamplingWorker};
+use crate::serving::ServingWorker;
+use helios_graphstore::PartitionPolicy;
+use helios_mq::{Broker, TopicConfig};
+use helios_query::{KHopQuery, SampledSubgraph};
+use helios_types::{
+    hash::route, Encode, GraphUpdate, HeliosError, PartitionId, Result, SamplingWorkerId,
+    ServingWorkerId, Timestamp, VertexId,
+};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Stops the periodic checkpoint trigger on drop.
+pub struct CheckpointGuard {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for CheckpointGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A running Helios deployment: coordinator + M sampling workers + N
+/// serving workers over an in-process broker.
+pub struct HeliosDeployment {
+    config: HeliosConfig,
+    broker: Arc<Broker>,
+    coordinator: Coordinator,
+    sampling: Vec<SamplingWorker>,
+    /// Flat `[sew0-r0, sew0-r1, …, sew1-r0, …]`: index = sew * replicas + r.
+    serving: Vec<Arc<ServingWorker>>,
+    updates_topic: Arc<helios_mq::Topic>,
+    /// Round-robin cursor for spreading requests over replicas.
+    replica_rr: std::sync::atomic::AtomicU64,
+}
+
+impl HeliosDeployment {
+    /// Start a deployment for one registered sampling query.
+    pub fn start(config: HeliosConfig, query: KHopQuery) -> Result<HeliosDeployment> {
+        Self::start_inner(config, query, None)
+    }
+
+    /// Start and restore sampling-worker state from a checkpoint
+    /// directory written by [`HeliosDeployment::checkpoint`]. The worker
+    /// counts and query must match the checkpointing deployment.
+    pub fn start_from_checkpoint(
+        config: HeliosConfig,
+        query: KHopQuery,
+        dir: &Path,
+    ) -> Result<HeliosDeployment> {
+        Self::start_inner(config, query, Some(dir))
+    }
+
+    fn start_inner(
+        config: HeliosConfig,
+        query: KHopQuery,
+        restore_dir: Option<&Path>,
+    ) -> Result<HeliosDeployment> {
+        config.validate()?;
+        let coordinator = Coordinator::new(query.clone());
+        let broker = Broker::new();
+        let m = config.sampling_workers as u32;
+        let n = config.serving_workers as u32;
+
+        let updates_topic =
+            broker.create_topic(topics::UPDATES, TopicConfig::in_memory(m))?;
+        broker.create_topic(topics::CONTROL, TopicConfig::in_memory(m))?;
+        for s in 0..n {
+            broker.create_topic(
+                &topics::samples(s),
+                TopicConfig::in_memory(config.sample_queue_partitions),
+            )?;
+        }
+
+        // Serving workers first so sample topics have consumers early.
+        let replicas = config.serving_replicas as u32;
+        let mut serving = Vec::with_capacity((n * replicas) as usize);
+        for s in 0..n {
+            for r in 0..replicas {
+                let beacon = coordinator.register_worker(&format!("sew{s}-r{r}"));
+                serving.push(ServingWorker::start(
+                    ServingWorkerId(s),
+                    r,
+                    &config,
+                    &query,
+                    &broker,
+                    beacon,
+                )?);
+            }
+        }
+
+        let mut sampling = Vec::with_capacity(m as usize);
+        for w in 0..m {
+            let beacon = coordinator.register_worker(&format!("saw{w}"));
+            let worker =
+                SamplingWorker::start(SamplingWorkerId(w), &config, &query, &broker, beacon)?;
+            if let Some(dir) = restore_dir {
+                worker.restore(dir)?;
+            }
+            sampling.push(worker);
+        }
+
+        Ok(HeliosDeployment {
+            config,
+            broker,
+            coordinator,
+            sampling,
+            serving,
+            updates_topic,
+            replica_rr: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Deployment configuration.
+    pub fn config(&self) -> &HeliosConfig {
+        &self.config
+    }
+
+    /// The coordinator.
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coordinator
+    }
+
+    /// The broker (tests/benches may attach extra consumers).
+    pub fn broker(&self) -> &Arc<Broker> {
+        &self.broker
+    }
+
+    /// Serving worker handles.
+    pub fn serving_workers(&self) -> &[Arc<ServingWorker>] {
+        &self.serving
+    }
+
+    /// Metrics of each sampling worker.
+    pub fn sampler_metrics(&self) -> Vec<&Arc<SamplerMetrics>> {
+        self.sampling.iter().map(SamplingWorker::metrics).collect()
+    }
+
+    /// Total updates processed across sampling workers.
+    pub fn updates_processed(&self) -> u64 {
+        self.sampling.iter().map(|w| w.metrics().processed()).sum()
+    }
+
+    /// Ingest one graph update: expand per the edge partition policy and
+    /// enqueue to the partitioned update stream (front-end of Fig. 5).
+    pub fn ingest(&self, update: &GraphUpdate) -> Result<()> {
+        let m = self.config.sampling_workers;
+        match update {
+            GraphUpdate::Vertex(_) => {
+                self.produce_update(update.clone(), update.routing_vertex(), m)?;
+            }
+            GraphUpdate::Edge(e) => {
+                for (rv, copy) in self.config.policy.copies(e) {
+                    self.produce_update(GraphUpdate::Edge(copy), rv, m)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Ingest a batch.
+    pub fn ingest_batch(&self, updates: &[GraphUpdate]) -> Result<()> {
+        for u in updates {
+            self.ingest(u)?;
+        }
+        Ok(())
+    }
+
+    fn produce_update(&self, update: GraphUpdate, rv: VertexId, m: usize) -> Result<()> {
+        let env = UpdateEnvelope::stamp(update);
+        let partition = PartitionId(route(rv.raw(), m) as u32);
+        self.updates_topic
+            .produce_to(partition, rv.raw(), env.encode_to_bytes())?;
+        Ok(())
+    }
+
+    /// A serving worker responsible for `seed`: the owning logical worker
+    /// is fixed by the routing hash; among its replicas, requests are
+    /// spread round-robin.
+    pub fn serving_worker_for(&self, seed: VertexId) -> &Arc<ServingWorker> {
+        let replicas = self.config.serving_replicas;
+        let n = self.serving.len() / replicas;
+        let sew = route(seed.raw(), n);
+        let r = if replicas == 1 {
+            0
+        } else {
+            (self
+                .replica_rr
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                % replicas as u64) as usize
+        };
+        &self.serving[sew * replicas + r]
+    }
+
+    /// All replicas of logical serving worker `sew`.
+    pub fn serving_replicas_of(&self, sew: u32) -> &[Arc<ServingWorker>] {
+        let replicas = self.config.serving_replicas;
+        let base = sew as usize * replicas;
+        &self.serving[base..base + replicas]
+    }
+
+    /// Serve a sampling query: route to the owning serving worker and
+    /// assemble the K-hop result from its local cache (executed on the
+    /// caller's thread).
+    pub fn serve(&self, seed: VertexId) -> Result<SampledSubgraph> {
+        self.serving_worker_for(seed).serve(seed)
+    }
+
+    /// Serve through the owning worker's bounded serving-thread pool
+    /// (§4.3): queueing delay becomes visible under load, which is what
+    /// the scalability experiments measure.
+    pub fn serve_queued(&self, seed: VertexId) -> Result<SampledSubgraph> {
+        self.serving_worker_for(seed).serve_queued(seed)
+    }
+
+    /// Trigger TTL expiry everywhere (paper: periodic stale-data removal).
+    pub fn expire_before(&self, horizon: Timestamp) -> Result<()> {
+        for w in &self.sampling {
+            w.expire_before(horizon);
+        }
+        for s in &self.serving {
+            s.expire_before(horizon)?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint sampling-worker state into `dir` (coordinator-triggered
+    /// fault tolerance, §4.1). Quiesce first for a clean snapshot.
+    pub fn checkpoint(&self, dir: &Path) -> Result<()> {
+        for w in &self.sampling {
+            w.checkpoint(dir)?;
+        }
+        Ok(())
+    }
+
+    /// Spawn the coordinator's periodic checkpoint trigger (§4.1): every
+    /// `interval`, sampling-worker state is snapshotted into `dir`. The
+    /// returned guard stops the trigger when dropped.
+    pub fn start_periodic_checkpoints(
+        self: &Arc<Self>,
+        dir: &Path,
+        interval: Duration,
+    ) -> CheckpointGuard {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let weak = Arc::downgrade(self);
+        let dir = dir.to_path_buf();
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("coordinator-checkpoint".into())
+            .spawn(move || {
+                'outer: while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                    // Sleep in small steps so dropping the guard is prompt.
+                    let wake = Instant::now() + interval;
+                    while Instant::now() < wake {
+                        if stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                            break 'outer;
+                        }
+                        std::thread::sleep(Duration::from_millis(20).min(interval));
+                    }
+                    let Some(deployment) = weak.upgrade() else {
+                        break;
+                    };
+                    let _ = deployment.checkpoint(&dir);
+                }
+            })
+            .expect("spawn checkpoint trigger");
+        CheckpointGuard {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Block until the pipeline drains: all produced updates dispatched
+    /// and processed, control traffic settled, and serving caches caught
+    /// up with their sample queues. Returns `false` on timeout.
+    ///
+    /// Only meaningful while no new updates are being ingested (tests and
+    /// paired experiment phases); live deployments never quiesce — they
+    /// are eventually consistent (§6).
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut stable_rounds = 0;
+        let mut last_fingerprint = (0u64, 0u64, 0u64, 0u64);
+        while Instant::now() < deadline {
+            let updates_end = self.updates_topic.total_end_offset();
+            let control_end = self
+                .broker
+                .topic(topics::CONTROL)
+                .map(|t| t.total_end_offset())
+                .unwrap_or(0);
+            let n_logical = (self.serving.len() / self.config.serving_replicas) as u32;
+            let samples_end: u64 = (0..n_logical)
+                .map(|s| {
+                    self.broker
+                        .topic(&topics::samples(s))
+                        .map(|t| t.total_end_offset())
+                        .unwrap_or(0)
+                })
+                .sum();
+
+            let mut updates_done = 0u64;
+            let mut control_done = 0u64;
+            let mut backlog = 0usize;
+            for w in &self.sampling {
+                let m = w.metrics();
+                updates_done += m
+                    .updates_processed
+                    .load(std::sync::atomic::Ordering::Relaxed);
+                control_done += m
+                    .control_processed
+                    .load(std::sync::atomic::Ordering::Relaxed);
+                backlog += w.backlog();
+            }
+            let applied: u64 = self.serving.iter().map(|s| s.applied()).sum();
+            // Every replica consumes the full queue of its logical worker.
+            let samples_expected = samples_end * self.config.serving_replicas as u64;
+
+            let drained = updates_done == updates_end
+                && control_done == control_end
+                && applied == samples_expected
+                && backlog == 0;
+            let fingerprint = (updates_end, control_end, samples_expected, applied);
+            if drained && fingerprint == last_fingerprint {
+                stable_rounds += 1;
+                // Two consecutive stable observations: no in-flight message
+                // can still generate work.
+                if stable_rounds >= 2 {
+                    return true;
+                }
+            } else {
+                stable_rounds = 0;
+            }
+            last_fingerprint = fingerprint;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
+    /// Total bytes held by all serving caches (Fig. 16 numerator).
+    pub fn total_cache_bytes(&self) -> u64 {
+        self.serving.iter().map(|s| s.cache_bytes()).sum()
+    }
+
+    /// Stop all workers. Serving caches stay readable until drop.
+    pub fn shutdown(mut self) {
+        for w in self.sampling.drain(..) {
+            w.shutdown();
+        }
+        for s in &self.serving {
+            s.shutdown();
+        }
+    }
+
+    /// The edge partition policy in effect.
+    pub fn policy(&self) -> PartitionPolicy {
+        self.config.policy
+    }
+
+    /// Convenience for tests: ingest, then quiesce.
+    pub fn ingest_and_settle(&self, updates: &[GraphUpdate], timeout: Duration) -> Result<()> {
+        self.ingest_batch(updates)?;
+        if !self.quiesce(timeout) {
+            return Err(HeliosError::Timeout("pipeline did not quiesce".into()));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,455 @@
+//! Wire messages between Helios workers.
+//!
+//! Three message families, one per topic family:
+//!
+//! * [`UpdateEnvelope`] — a graph update stamped with its enqueue time, on
+//!   the `updates` topic (the stamp is how ingestion latency, Fig. 17, is
+//!   measured end-to-end);
+//! * [`ControlMsg`] — subscription management between sampling workers on
+//!   the `control` topic (§5.3, Fig. 7);
+//! * [`SampleMsg`] — pre-sampled results and feature updates pushed to a
+//!   serving worker's `samples-<sew>` topic.
+
+use bytes::{Buf, BytesMut};
+use helios_types::{
+    Decode, Encode, GraphUpdate, HeliosError, QueryHopId, Result, ServingWorkerId, Timestamp,
+    VertexId,
+};
+
+/// Wall-clock nanoseconds since the UNIX epoch; used only for measuring
+/// real elapsed ingestion latency, never for ordering decisions.
+pub fn now_nanos() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0)
+}
+
+/// A graph update plus the wall-clock time it entered the queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateEnvelope {
+    /// Enqueue time from [`now_nanos`].
+    pub enqueued_at: u64,
+    /// The update itself.
+    pub update: GraphUpdate,
+}
+
+impl UpdateEnvelope {
+    /// Wrap an update, stamping it now.
+    pub fn stamp(update: GraphUpdate) -> Self {
+        UpdateEnvelope {
+            enqueued_at: now_nanos(),
+            update,
+        }
+    }
+}
+
+impl Encode for UpdateEnvelope {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.enqueued_at.encode(buf);
+        self.update.encode(buf);
+    }
+}
+
+impl Decode for UpdateEnvelope {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        Ok(UpdateEnvelope {
+            enqueued_at: u64::decode(buf)?,
+            update: GraphUpdate::decode(buf)?,
+        })
+    }
+}
+
+/// One sampled neighbor as shipped to serving workers (the reservoir's
+/// A-Res key is internal and not shipped).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleEntryLite {
+    /// Sampled neighbor.
+    pub neighbor: VertexId,
+    /// Edge timestamp that produced the sample.
+    pub ts: Timestamp,
+    /// Edge weight.
+    pub weight: f32,
+}
+
+impl Encode for SampleEntryLite {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.neighbor.encode(buf);
+        self.ts.encode(buf);
+        self.weight.encode(buf);
+    }
+}
+
+impl Decode for SampleEntryLite {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        Ok(SampleEntryLite {
+            neighbor: VertexId::decode(buf)?,
+            ts: Timestamp::decode(buf)?,
+            weight: f32::decode(buf)?,
+        })
+    }
+}
+
+/// Subscription-management messages between sampling workers (§5.3).
+///
+/// Routed on the `control` topic by the *target* vertex, so the vertex's
+/// owner processes them in order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlMsg {
+    /// `sew` now needs the one-hop samples of `vertex` under `hop`
+    /// (refcounted). The owner responds by pushing a snapshot and all
+    /// future changes, and transitively subscribes downstream hops.
+    SubscribeSamples {
+        /// One-hop query.
+        hop: QueryHopId,
+        /// Key vertex.
+        vertex: VertexId,
+        /// Subscribing serving worker.
+        sew: ServingWorkerId,
+    },
+    /// Refcounted inverse of `SubscribeSamples`; at zero the owner tells
+    /// `sew` to evict and transitively unsubscribes downstream.
+    UnsubscribeSamples {
+        /// One-hop query.
+        hop: QueryHopId,
+        /// Key vertex.
+        vertex: VertexId,
+        /// Unsubscribing serving worker.
+        sew: ServingWorkerId,
+    },
+    /// `sew` needs the latest feature of `vertex` (refcounted).
+    SubscribeFeature {
+        /// Vertex whose feature is needed.
+        vertex: VertexId,
+        /// Subscribing serving worker.
+        sew: ServingWorkerId,
+    },
+    /// Refcounted inverse of `SubscribeFeature`.
+    UnsubscribeFeature {
+        /// Vertex whose feature is no longer needed.
+        vertex: VertexId,
+        /// Unsubscribing serving worker.
+        sew: ServingWorkerId,
+    },
+}
+
+impl ControlMsg {
+    /// The vertex whose owner must process this message (routing key).
+    pub fn target_vertex(&self) -> VertexId {
+        match self {
+            ControlMsg::SubscribeSamples { vertex, .. }
+            | ControlMsg::UnsubscribeSamples { vertex, .. }
+            | ControlMsg::SubscribeFeature { vertex, .. }
+            | ControlMsg::UnsubscribeFeature { vertex, .. } => *vertex,
+        }
+    }
+}
+
+const CTL_SUB_S: u8 = 0;
+const CTL_UNSUB_S: u8 = 1;
+const CTL_SUB_F: u8 = 2;
+const CTL_UNSUB_F: u8 = 3;
+
+impl Encode for ControlMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ControlMsg::SubscribeSamples { hop, vertex, sew } => {
+                buf.put_u8(CTL_SUB_S);
+                hop.encode(buf);
+                vertex.encode(buf);
+                sew.encode(buf);
+            }
+            ControlMsg::UnsubscribeSamples { hop, vertex, sew } => {
+                buf.put_u8(CTL_UNSUB_S);
+                hop.encode(buf);
+                vertex.encode(buf);
+                sew.encode(buf);
+            }
+            ControlMsg::SubscribeFeature { vertex, sew } => {
+                buf.put_u8(CTL_SUB_F);
+                vertex.encode(buf);
+                sew.encode(buf);
+            }
+            ControlMsg::UnsubscribeFeature { vertex, sew } => {
+                buf.put_u8(CTL_UNSUB_F);
+                vertex.encode(buf);
+                sew.encode(buf);
+            }
+        }
+    }
+}
+
+use bytes::BufMut;
+
+impl Decode for ControlMsg {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        match u8::decode(buf)? {
+            CTL_SUB_S => Ok(ControlMsg::SubscribeSamples {
+                hop: QueryHopId::decode(buf)?,
+                vertex: VertexId::decode(buf)?,
+                sew: ServingWorkerId::decode(buf)?,
+            }),
+            CTL_UNSUB_S => Ok(ControlMsg::UnsubscribeSamples {
+                hop: QueryHopId::decode(buf)?,
+                vertex: VertexId::decode(buf)?,
+                sew: ServingWorkerId::decode(buf)?,
+            }),
+            CTL_SUB_F => Ok(ControlMsg::SubscribeFeature {
+                vertex: VertexId::decode(buf)?,
+                sew: ServingWorkerId::decode(buf)?,
+            }),
+            CTL_UNSUB_F => Ok(ControlMsg::UnsubscribeFeature {
+                vertex: VertexId::decode(buf)?,
+                sew: ServingWorkerId::decode(buf)?,
+            }),
+            t => Err(HeliosError::Codec(format!("bad ControlMsg tag {t}"))),
+        }
+    }
+}
+
+/// Messages on a serving worker's sample queue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleMsg {
+    /// The current reservoir contents for `(hop, key)` — a full snapshot,
+    /// which makes application idempotent and ordering-tolerant.
+    SampleUpdate {
+        /// One-hop query.
+        hop: QueryHopId,
+        /// Key vertex.
+        key: VertexId,
+        /// Current samples.
+        entries: Vec<SampleEntryLite>,
+        /// Enqueue stamp of the update that caused this push (for
+        /// ingestion-latency measurement); 0 for snapshot pushes.
+        caused_at: u64,
+    },
+    /// `(hop, key)` is no longer subscribed: remove it from the cache.
+    Evict {
+        /// One-hop query.
+        hop: QueryHopId,
+        /// Key vertex.
+        key: VertexId,
+    },
+    /// Latest feature of `vertex`.
+    FeatureUpdate {
+        /// Vertex.
+        vertex: VertexId,
+        /// Feature vector.
+        feature: Vec<f32>,
+        /// Feature timestamp.
+        ts: Timestamp,
+        /// Enqueue stamp of the causing update; 0 for snapshot pushes.
+        caused_at: u64,
+    },
+    /// `vertex`'s feature is no longer subscribed: drop it.
+    EvictFeature {
+        /// Vertex.
+        vertex: VertexId,
+    },
+}
+
+impl SampleMsg {
+    /// Routing key: all messages about the same cache key travel on the
+    /// same partition, preserving per-key order.
+    pub fn routing_key(&self) -> u64 {
+        match self {
+            SampleMsg::SampleUpdate { key, .. } | SampleMsg::Evict { key, .. } => key.raw(),
+            SampleMsg::FeatureUpdate { vertex, .. } | SampleMsg::EvictFeature { vertex } => {
+                vertex.raw()
+            }
+        }
+    }
+}
+
+const SMP_UPDATE: u8 = 0;
+const SMP_EVICT: u8 = 1;
+const SMP_FEAT: u8 = 2;
+const SMP_EVICT_F: u8 = 3;
+
+impl Encode for SampleMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            SampleMsg::SampleUpdate {
+                hop,
+                key,
+                entries,
+                caused_at,
+            } => {
+                buf.put_u8(SMP_UPDATE);
+                hop.encode(buf);
+                key.encode(buf);
+                entries.encode(buf);
+                caused_at.encode(buf);
+            }
+            SampleMsg::Evict { hop, key } => {
+                buf.put_u8(SMP_EVICT);
+                hop.encode(buf);
+                key.encode(buf);
+            }
+            SampleMsg::FeatureUpdate {
+                vertex,
+                feature,
+                ts,
+                caused_at,
+            } => {
+                buf.put_u8(SMP_FEAT);
+                vertex.encode(buf);
+                feature.encode(buf);
+                ts.encode(buf);
+                caused_at.encode(buf);
+            }
+            SampleMsg::EvictFeature { vertex } => {
+                buf.put_u8(SMP_EVICT_F);
+                vertex.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for SampleMsg {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        match u8::decode(buf)? {
+            SMP_UPDATE => Ok(SampleMsg::SampleUpdate {
+                hop: QueryHopId::decode(buf)?,
+                key: VertexId::decode(buf)?,
+                entries: Vec::<SampleEntryLite>::decode(buf)?,
+                caused_at: u64::decode(buf)?,
+            }),
+            SMP_EVICT => Ok(SampleMsg::Evict {
+                hop: QueryHopId::decode(buf)?,
+                key: VertexId::decode(buf)?,
+            }),
+            SMP_FEAT => Ok(SampleMsg::FeatureUpdate {
+                vertex: VertexId::decode(buf)?,
+                feature: Vec::<f32>::decode(buf)?,
+                ts: Timestamp::decode(buf)?,
+                caused_at: u64::decode(buf)?,
+            }),
+            SMP_EVICT_F => Ok(SampleMsg::EvictFeature {
+                vertex: VertexId::decode(buf)?,
+            }),
+            t => Err(HeliosError::Codec(format!("bad SampleMsg tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_types::{EdgeType, EdgeUpdate, VertexType};
+
+    #[test]
+    fn envelope_roundtrip_and_stamp() {
+        let e = UpdateEnvelope::stamp(GraphUpdate::Edge(EdgeUpdate {
+            etype: EdgeType(1),
+            src_type: VertexType(0),
+            src: VertexId(1),
+            dst_type: VertexType(1),
+            dst: VertexId(2),
+            ts: Timestamp(3),
+            weight: 1.0,
+        }));
+        assert!(e.enqueued_at > 0);
+        let back = UpdateEnvelope::decode_from_slice(&e.encode_to_bytes()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn control_msgs_roundtrip() {
+        let msgs = [
+            ControlMsg::SubscribeSamples {
+                hop: QueryHopId(1),
+                vertex: VertexId(5),
+                sew: ServingWorkerId(2),
+            },
+            ControlMsg::UnsubscribeSamples {
+                hop: QueryHopId(0),
+                vertex: VertexId(6),
+                sew: ServingWorkerId(0),
+            },
+            ControlMsg::SubscribeFeature {
+                vertex: VertexId(7),
+                sew: ServingWorkerId(1),
+            },
+            ControlMsg::UnsubscribeFeature {
+                vertex: VertexId(8),
+                sew: ServingWorkerId(3),
+            },
+        ];
+        for m in &msgs {
+            let back = ControlMsg::decode_from_slice(&m.encode_to_bytes()).unwrap();
+            assert_eq!(&back, m);
+            assert_eq!(back.target_vertex(), m.target_vertex());
+        }
+    }
+
+    #[test]
+    fn sample_msgs_roundtrip() {
+        let msgs = [
+            SampleMsg::SampleUpdate {
+                hop: QueryHopId(0),
+                key: VertexId(1),
+                entries: vec![
+                    SampleEntryLite {
+                        neighbor: VertexId(2),
+                        ts: Timestamp(3),
+                        weight: 0.5,
+                    },
+                    SampleEntryLite {
+                        neighbor: VertexId(4),
+                        ts: Timestamp(5),
+                        weight: 1.5,
+                    },
+                ],
+                caused_at: 42,
+            },
+            SampleMsg::Evict {
+                hop: QueryHopId(1),
+                key: VertexId(9),
+            },
+            SampleMsg::FeatureUpdate {
+                vertex: VertexId(3),
+                feature: vec![1.0, -1.0],
+                ts: Timestamp(7),
+                caused_at: 0,
+            },
+            SampleMsg::EvictFeature { vertex: VertexId(4) },
+        ];
+        for m in &msgs {
+            let back = SampleMsg::decode_from_slice(&m.encode_to_bytes()).unwrap();
+            assert_eq!(&back, m);
+        }
+    }
+
+    #[test]
+    fn routing_key_groups_by_cache_key() {
+        let a = SampleMsg::SampleUpdate {
+            hop: QueryHopId(0),
+            key: VertexId(10),
+            entries: vec![],
+            caused_at: 0,
+        };
+        let b = SampleMsg::Evict {
+            hop: QueryHopId(1),
+            key: VertexId(10),
+        };
+        assert_eq!(a.routing_key(), b.routing_key());
+        let f = SampleMsg::EvictFeature { vertex: VertexId(11) };
+        assert_eq!(f.routing_key(), 11);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(ControlMsg::decode_from_slice(&[99, 0, 0]).is_err());
+        assert!(SampleMsg::decode_from_slice(&[99]).is_err());
+        assert!(UpdateEnvelope::decode_from_slice(&[]).is_err());
+    }
+
+    #[test]
+    fn now_nanos_monotone_enough() {
+        let a = now_nanos();
+        let b = now_nanos();
+        assert!(b >= a);
+        assert!(a > 1_600_000_000u64 * 1_000_000_000, "clock sanity");
+    }
+}

@@ -1,0 +1,165 @@
+//! Aggregated deployment status — what an operator's dashboard would show
+//! (and what the example binaries print).
+
+use crate::deployment::HeliosDeployment;
+use std::fmt;
+
+/// Snapshot of one serving worker's counters.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Logical serving worker id.
+    pub sew: u32,
+    /// Replica index.
+    pub replica: u32,
+    /// Requests served.
+    pub served: u64,
+    /// Sample-queue records applied to the cache.
+    pub applied: u64,
+    /// Serving latency, milliseconds.
+    pub serve_avg_ms: f64,
+    /// Serving P99 latency, milliseconds.
+    pub serve_p99_ms: f64,
+    /// Ingestion latency P99, milliseconds (0 when nothing recorded).
+    pub ingestion_p99_ms: f64,
+    /// Cache footprint in bytes (memory + disk).
+    pub cache_bytes: u64,
+}
+
+/// Snapshot of one sampling worker's counters.
+#[derive(Debug, Clone)]
+pub struct SamplingReport {
+    /// Sampling worker id.
+    pub saw: u32,
+    /// Updates processed.
+    pub updates_processed: u64,
+    /// Control messages processed.
+    pub control_processed: u64,
+    /// Sample/feature messages published.
+    pub published: u64,
+    /// Critical-path busy seconds (busiest sampling thread).
+    pub max_shard_busy_secs: f64,
+}
+
+/// A whole-deployment snapshot.
+#[derive(Debug, Clone)]
+pub struct DeploymentReport {
+    /// Per-sampling-worker counters.
+    pub sampling: Vec<SamplingReport>,
+    /// Per-serving-worker (replica) counters.
+    pub serving: Vec<ServingReport>,
+    /// Workers that missed their heartbeat window.
+    pub dead_workers: Vec<String>,
+}
+
+impl DeploymentReport {
+    /// Build a snapshot of `deployment`.
+    pub fn capture(deployment: &HeliosDeployment) -> DeploymentReport {
+        let sampling = deployment
+            .sampler_metrics()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| SamplingReport {
+                saw: i as u32,
+                updates_processed: m
+                    .updates_processed
+                    .load(std::sync::atomic::Ordering::Relaxed),
+                control_processed: m
+                    .control_processed
+                    .load(std::sync::atomic::Ordering::Relaxed),
+                published: m.published.load(std::sync::atomic::Ordering::Relaxed),
+                max_shard_busy_secs: m.max_shard_busy_nanos() as f64 / 1e9,
+            })
+            .collect();
+        let serving = deployment
+            .serving_workers()
+            .iter()
+            .map(|w| ServingReport {
+                sew: w.id().0,
+                replica: w.replica(),
+                served: w.served(),
+                applied: w.applied(),
+                serve_avg_ms: w.serve_latency().mean_ms(),
+                serve_p99_ms: w.serve_latency().percentile_ms(99.0),
+                ingestion_p99_ms: w.ingestion_latency().percentile_ms(99.0),
+                cache_bytes: w.cache_bytes(),
+            })
+            .collect();
+        DeploymentReport {
+            sampling,
+            serving,
+            dead_workers: deployment
+                .coordinator()
+                .dead_workers(std::time::Duration::from_secs(5)),
+        }
+    }
+
+    /// Total updates processed across sampling workers.
+    pub fn total_updates(&self) -> u64 {
+        self.sampling.iter().map(|s| s.updates_processed).sum()
+    }
+
+    /// Total requests served across serving workers.
+    pub fn total_served(&self) -> u64 {
+        self.serving.iter().map(|s| s.served).sum()
+    }
+}
+
+impl fmt::Display for DeploymentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "helios deployment report")?;
+        for s in &self.sampling {
+            writeln!(
+                f,
+                "  SAW{}: {} updates, {} control, {} published, busy {:.2}s",
+                s.saw, s.updates_processed, s.control_processed, s.published, s.max_shard_busy_secs
+            )?;
+        }
+        for s in &self.serving {
+            writeln!(
+                f,
+                "  SEW{}r{}: {} served (avg {:.3} ms / p99 {:.3} ms), {} applied, cache {} KB",
+                s.sew,
+                s.replica,
+                s.served,
+                s.serve_avg_ms,
+                s.serve_p99_ms,
+                s.applied,
+                s.cache_bytes / 1024
+            )?;
+        }
+        if !self.dead_workers.is_empty() {
+            writeln!(f, "  DEAD: {:?}", self.dead_workers)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HeliosConfig, HeliosDeployment};
+    use helios_query::{KHopQuery, SamplingStrategy};
+    use helios_types::{EdgeType, VertexType};
+
+    #[test]
+    fn report_captures_and_renders() {
+        let q = KHopQuery::builder(VertexType(0))
+            .hop(EdgeType(0), VertexType(1), 2, SamplingStrategy::Random)
+            .build()
+            .unwrap();
+        let helios = HeliosDeployment::start(HeliosConfig::with_workers(2, 2), q).unwrap();
+        let report = DeploymentReport::capture(&helios);
+        assert_eq!(report.sampling.len(), 2);
+        assert_eq!(report.serving.len(), 2);
+        assert_eq!(report.total_updates(), 0);
+        assert_eq!(report.total_served(), 0);
+        let text = report.to_string();
+        assert!(text.contains("SAW0"));
+        assert!(text.contains("SEW1r0"));
+        assert!(
+            report.dead_workers.is_empty(),
+            "freshly started workers are alive"
+        );
+        helios.shutdown();
+    }
+}

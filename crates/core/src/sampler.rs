@@ -1,0 +1,860 @@
+//! The sampling worker (§4.2, §5).
+//!
+//! Each sampling worker owns one partition of the graph-update stream.
+//! Internally it follows the paper's thread structure:
+//!
+//! * **polling threads** (two: updates + control) continuously fetch from
+//!   the worker's input queues and dispatch to sampling threads by vertex
+//!   hash;
+//! * **sampling threads** — a [`ShardedPool`], each shard exclusively
+//!   owning a slice of the key space with its per-hop reservoir tables,
+//!   feature table and subscription tables (no locks on the hot path);
+//!   publishing to the output queues happens inline (the `helios-mq`
+//!   produce path is a short critical section, so a separate publisher
+//!   stage would only add a hop).
+//!
+//! Subscription propagation implements §5.3 / Fig. 7 with refcounts: a
+//! serving worker's subscription to `(hop k, vertex)` exists as long as at
+//! least one upstream reservoir it subscribes to contains that vertex.
+
+use crate::config::HeliosConfig;
+use crate::messages::{now_nanos, ControlMsg, SampleEntryLite, SampleMsg, UpdateEnvelope};
+use crate::to_reservoir_strategy;
+use helios_actor::{Beacon, ShardedPool};
+use helios_mq::Broker;
+use helios_query::{KHopQuery, QueryDag};
+use helios_sampling::{ReservoirOutcome, ReservoirTable, SampleEntry};
+use helios_types::{
+    hash::route, Decode, EdgeUpdate, Encode, FxHashMap, GraphUpdate, PartitionId, QueryHopId,
+    Result, SamplingWorkerId, ServingWorkerId, Timestamp, VertexId, VertexType, VertexUpdate,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Topic names shared between the deployment and the workers.
+pub mod topics {
+    /// Graph-update stream (M partitions, one per sampling worker).
+    pub const UPDATES: &str = "updates";
+    /// Inter-sampling-worker subscription control (M partitions).
+    pub const CONTROL: &str = "control";
+    /// Sample queue of one serving worker.
+    pub fn samples(sew: u32) -> String {
+        format!("samples-{sew}")
+    }
+}
+
+/// Shared throughput/progress counters of one sampling worker.
+#[derive(Debug, Default)]
+pub struct SamplerMetrics {
+    /// Update records dispatched by the polling thread.
+    pub updates_dispatched: AtomicU64,
+    /// Update records fully processed by sampling threads.
+    pub updates_processed: AtomicU64,
+    /// Control records dispatched by the control polling thread.
+    pub control_dispatched: AtomicU64,
+    /// Control records fully processed.
+    pub control_processed: AtomicU64,
+    /// Sample/feature messages published to serving workers.
+    pub published: AtomicU64,
+    /// Per-sampling-thread busy nanoseconds. On a machine with fewer
+    /// cores than threads, `max` over these is the critical-path compute
+    /// time a truly parallel deployment would take — the scalability
+    /// experiments report throughput against it ("simulated-parallel").
+    pub shard_busy_nanos: Vec<AtomicU64>,
+}
+
+impl SamplerMetrics {
+    /// Metrics for a worker with `threads` sampling threads.
+    pub fn new(threads: usize) -> Self {
+        SamplerMetrics {
+            shard_busy_nanos: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Updates processed so far (the paper's pre-sampling records/s
+    /// numerator).
+    pub fn processed(&self) -> u64 {
+        self.updates_processed.load(Ordering::Relaxed)
+    }
+
+    /// The busiest sampling thread's accumulated compute time, in
+    /// nanoseconds: the parallel critical path.
+    pub fn max_shard_busy_nanos(&self) -> u64 {
+        self.shard_busy_nanos
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total compute nanoseconds across sampling threads.
+    pub fn total_busy_nanos(&self) -> u64 {
+        self.shard_busy_nanos
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Context shared by all shards of one sampling worker.
+struct Ctx {
+    worker: SamplingWorkerId,
+    m: usize,
+    n: usize,
+    dag: QueryDag,
+    seed_type: VertexType,
+    sample_topics: Vec<Arc<helios_mq::Topic>>,
+    control_topic: Arc<helios_mq::Topic>,
+    metrics: Arc<SamplerMetrics>,
+}
+
+impl Ctx {
+    #[inline]
+    fn sew_of(&self, v: VertexId) -> ServingWorkerId {
+        ServingWorkerId(route(v.raw(), self.n) as u32)
+    }
+
+    fn publish_sample(&self, sew: ServingWorkerId, msg: &SampleMsg) {
+        self.publish_sample_raw(sew, msg.routing_key(), msg.encode_to_bytes());
+    }
+
+    /// Publish an already-encoded message (lets multi-subscriber fan-out
+    /// encode once and clone the frozen buffer).
+    fn publish_sample_raw(&self, sew: ServingWorkerId, key: u64, payload: bytes::Bytes) {
+        let topic = &self.sample_topics[sew.0 as usize];
+        let _ = topic.produce(key, payload);
+        self.metrics.published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn send_control(&self, msg: &ControlMsg) {
+        let v = msg.target_vertex();
+        let partition = PartitionId(route(v.raw(), self.m) as u32);
+        let _ = self
+            .control_topic
+            .produce_to(partition, v.raw(), msg.encode_to_bytes());
+    }
+}
+
+/// Messages handled by a sampling shard.
+enum ShardMsg {
+    Update(UpdateEnvelope),
+    Control(ControlMsg),
+    /// TTL expiry up to the horizon.
+    Expire(Timestamp),
+    /// Write shard state to `dir` and ack.
+    Checkpoint(PathBuf, crossbeam::channel::Sender<Result<()>>),
+    /// Load shard state from `dir` (if a file exists) and ack.
+    Restore(PathBuf, crossbeam::channel::Sender<Result<()>>),
+}
+
+type SubTable = FxHashMap<VertexId, FxHashMap<u32, u32>>;
+
+/// One sampling thread's exclusive state.
+struct SamplerShard {
+    ctx: Arc<Ctx>,
+    shard_idx: usize,
+    /// Reservoir table per one-hop query (indexed by hop).
+    reservoirs: Vec<ReservoirTable>,
+    /// Latest features of locally-owned vertices.
+    features: FxHashMap<VertexId, (Vec<f32>, Timestamp)>,
+    /// Per-hop sample subscription refcounts.
+    sample_subs: Vec<SubTable>,
+    /// Feature subscription refcounts.
+    feat_subs: SubTable,
+    rng: StdRng,
+}
+
+impl SamplerShard {
+    fn new(ctx: Arc<Ctx>, shard_idx: usize) -> Self {
+        let reservoirs = ctx
+            .dag
+            .nodes()
+            .iter()
+            .map(|q| ReservoirTable::new(to_reservoir_strategy(q.strategy), q.fanout))
+            .collect();
+        let sample_subs = vec![SubTable::default(); ctx.dag.len()];
+        let seed = (ctx.worker.0 as u64) << 32 | shard_idx as u64;
+        SamplerShard {
+            ctx,
+            shard_idx,
+            reservoirs,
+            features: FxHashMap::default(),
+            sample_subs,
+            feat_subs: SubTable::default(),
+            rng: StdRng::seed_from_u64(seed ^ 0x4845_4C49_4F53_u64),
+        }
+    }
+
+    fn lite_entries(entries: &[SampleEntry]) -> Vec<SampleEntryLite> {
+        entries
+            .iter()
+            .map(|e| SampleEntryLite {
+                neighbor: e.neighbor,
+                ts: e.ts,
+                weight: e.weight,
+            })
+            .collect()
+    }
+
+    // ---- update handling (§5.2) ----
+
+    fn handle_vertex(&mut self, v: &VertexUpdate, caused_at: u64) {
+        self.features
+            .insert(v.id, (v.feature.clone(), v.ts));
+        if v.vtype == self.ctx.seed_type {
+            // Seed vertices are implicitly feature-subscribed by their
+            // serving worker (it will need the seed feature to answer
+            // requests on v).
+            let sew = self.ctx.sew_of(v.id);
+            self.ensure_feat_sub(v.id, sew, false);
+        }
+        if let Some(subs) = self.feat_subs.get(&v.id) {
+            let msg = SampleMsg::FeatureUpdate {
+                vertex: v.id,
+                feature: v.feature.clone(),
+                ts: v.ts,
+                caused_at,
+            };
+            for &sew in subs.keys() {
+                self.ctx.publish_sample(ServingWorkerId(sew), &msg);
+            }
+        }
+    }
+
+    fn handle_edge(&mut self, e: &EdgeUpdate, caused_at: u64) {
+        // An edge can match several one-hop queries (e.g. FIN's two
+        // TransferTo hops); each maintains its own reservoir.
+        for hop_idx in 0..self.ctx.dag.len() {
+            let node = self.ctx.dag.nodes()[hop_idx];
+            if !node.matches_edge(e.src_type, e.etype, e.dst_type) {
+                continue;
+            }
+            let hop = QueryHopId(hop_idx as u16);
+            if hop_idx == 0 {
+                // Implicit seed subscription (Q₁ keys are seeds; their
+                // serving worker is determined by routing).
+                let sew = self.ctx.sew_of(e.src);
+                self.ensure_seed_sub(e.src, sew);
+            }
+            let outcome =
+                self.reservoirs[hop_idx].offer(e.src, e.dst, e.ts, e.weight, &mut self.rng);
+            let (added, evicted) = match outcome {
+                ReservoirOutcome::Ignored => (None, None),
+                ReservoirOutcome::Added => (Some(e.dst), None),
+                ReservoirOutcome::Replaced { evicted } => (Some(e.dst), Some(evicted.neighbor)),
+            };
+            if outcome.changed() {
+                self.on_reservoir_change(hop, e.src, added, evicted, caused_at);
+            }
+        }
+    }
+
+    /// Publish the new reservoir contents to every subscriber and ripple
+    /// subscribe/unsubscribe messages for the entering/evicted samples.
+    fn on_reservoir_change(
+        &mut self,
+        hop: QueryHopId,
+        key: VertexId,
+        added: Option<VertexId>,
+        evicted: Option<VertexId>,
+        caused_at: u64,
+    ) {
+        let entries = Self::lite_entries(self.reservoirs[hop.index()].samples(key));
+        let subs: Vec<u32> = self.sample_subs[hop.index()]
+            .get(&key)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default();
+        if subs.is_empty() {
+            return;
+        }
+        let downstream: Vec<QueryHopId> = self
+            .ctx
+            .dag
+            .downstream(hop)
+            .map(|d| d.hop)
+            .collect();
+        let msg = SampleMsg::SampleUpdate {
+            hop,
+            key,
+            entries,
+            caused_at,
+        };
+        let payload = msg.encode_to_bytes();
+        let routing_key = msg.routing_key();
+        for &sew_raw in &subs {
+            let sew = ServingWorkerId(sew_raw);
+            self.ctx.publish_sample_raw(sew, routing_key, payload.clone());
+            if let Some(new_neighbor) = added {
+                self.ctx.send_control(&ControlMsg::SubscribeFeature {
+                    vertex: new_neighbor,
+                    sew,
+                });
+                for &d in &downstream {
+                    self.ctx.send_control(&ControlMsg::SubscribeSamples {
+                        hop: d,
+                        vertex: new_neighbor,
+                        sew,
+                    });
+                }
+            }
+            if let Some(old_neighbor) = evicted {
+                self.ctx.send_control(&ControlMsg::UnsubscribeFeature {
+                    vertex: old_neighbor,
+                    sew,
+                });
+                for &d in &downstream {
+                    self.ctx.send_control(&ControlMsg::UnsubscribeSamples {
+                        hop: d,
+                        vertex: old_neighbor,
+                        sew,
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- subscription handling (§5.3) ----
+
+    fn ensure_seed_sub(&mut self, seed: VertexId, sew: ServingWorkerId) {
+        self.sample_subs[0]
+            .entry(seed)
+            .or_default()
+            .entry(sew.0)
+            .or_insert(1);
+        self.ensure_feat_sub(seed, sew, true);
+    }
+
+    fn ensure_feat_sub(&mut self, v: VertexId, sew: ServingWorkerId, push_snapshot: bool) {
+        let entry = self.feat_subs.entry(v).or_default();
+        if let std::collections::hash_map::Entry::Vacant(slot) = entry.entry(sew.0) {
+            slot.insert(1);
+            if push_snapshot {
+                if let Some((f, ts)) = self.features.get(&v) {
+                    self.ctx.publish_sample(
+                        sew,
+                        &SampleMsg::FeatureUpdate {
+                            vertex: v,
+                            feature: f.clone(),
+                            ts: *ts,
+                            caused_at: 0,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_control(&mut self, msg: ControlMsg) {
+        match msg {
+            ControlMsg::SubscribeSamples { hop, vertex, sew } => {
+                let rc = self.sample_subs[hop.index()]
+                    .entry(vertex)
+                    .or_default()
+                    .entry(sew.0)
+                    .or_insert(0);
+                *rc += 1;
+                let first = *rc == 1;
+                // Snapshot push (idempotent) so the subscriber converges
+                // even if it subscribed mid-stream.
+                let entries = Self::lite_entries(self.reservoirs[hop.index()].samples(vertex));
+                let neighbors: Vec<VertexId> = entries.iter().map(|e| e.neighbor).collect();
+                self.ctx.publish_sample(
+                    sew,
+                    &SampleMsg::SampleUpdate {
+                        hop,
+                        key: vertex,
+                        entries,
+                        caused_at: 0,
+                    },
+                );
+                if first {
+                    let downstream: Vec<QueryHopId> =
+                        self.ctx.dag.downstream(hop).map(|d| d.hop).collect();
+                    for w in neighbors {
+                        self.ctx
+                            .send_control(&ControlMsg::SubscribeFeature { vertex: w, sew });
+                        for &d in &downstream {
+                            self.ctx.send_control(&ControlMsg::SubscribeSamples {
+                                hop: d,
+                                vertex: w,
+                                sew,
+                            });
+                        }
+                    }
+                }
+            }
+            ControlMsg::UnsubscribeSamples { hop, vertex, sew } => {
+                let mut drop_all = false;
+                if let Some(m) = self.sample_subs[hop.index()].get_mut(&vertex) {
+                    if let Some(rc) = m.get_mut(&sew.0) {
+                        *rc = rc.saturating_sub(1);
+                        if *rc == 0 {
+                            m.remove(&sew.0);
+                            drop_all = true;
+                        }
+                    }
+                    if m.is_empty() {
+                        self.sample_subs[hop.index()].remove(&vertex);
+                    }
+                }
+                if drop_all {
+                    self.ctx
+                        .publish_sample(sew, &SampleMsg::Evict { hop, key: vertex });
+                    let neighbors: Vec<VertexId> = self.reservoirs[hop.index()]
+                        .samples(vertex)
+                        .iter()
+                        .map(|e| e.neighbor)
+                        .collect();
+                    let downstream: Vec<QueryHopId> =
+                        self.ctx.dag.downstream(hop).map(|d| d.hop).collect();
+                    for w in neighbors {
+                        self.ctx
+                            .send_control(&ControlMsg::UnsubscribeFeature { vertex: w, sew });
+                        for &d in &downstream {
+                            self.ctx.send_control(&ControlMsg::UnsubscribeSamples {
+                                hop: d,
+                                vertex: w,
+                                sew,
+                            });
+                        }
+                    }
+                }
+            }
+            ControlMsg::SubscribeFeature { vertex, sew } => {
+                let rc = self
+                    .feat_subs
+                    .entry(vertex)
+                    .or_default()
+                    .entry(sew.0)
+                    .or_insert(0);
+                *rc += 1;
+                if *rc == 1 {
+                    if let Some((f, ts)) = self.features.get(&vertex) {
+                        self.ctx.publish_sample(
+                            sew,
+                            &SampleMsg::FeatureUpdate {
+                                vertex,
+                                feature: f.clone(),
+                                ts: *ts,
+                                caused_at: 0,
+                            },
+                        );
+                    }
+                }
+            }
+            ControlMsg::UnsubscribeFeature { vertex, sew } => {
+                let mut evict = false;
+                if let Some(m) = self.feat_subs.get_mut(&vertex) {
+                    if let Some(rc) = m.get_mut(&sew.0) {
+                        *rc = rc.saturating_sub(1);
+                        if *rc == 0 {
+                            m.remove(&sew.0);
+                            evict = true;
+                        }
+                    }
+                    if m.is_empty() {
+                        self.feat_subs.remove(&vertex);
+                    }
+                }
+                if evict {
+                    self.ctx
+                        .publish_sample(sew, &SampleMsg::EvictFeature { vertex });
+                }
+            }
+        }
+    }
+
+    // ---- TTL (§4.2) ----
+
+    fn handle_expire(&mut self, horizon: Timestamp) {
+        for hop_idx in 0..self.reservoirs.len() {
+            let hop = QueryHopId(hop_idx as u16);
+            let evicted = self.reservoirs[hop_idx].expire_before(horizon);
+            let downstream: Vec<QueryHopId> =
+                self.ctx.dag.downstream(hop).map(|d| d.hop).collect();
+            let mut touched: FxHashMap<VertexId, Vec<VertexId>> = FxHashMap::default();
+            for (key, entry) in evicted {
+                touched.entry(key).or_default().push(entry.neighbor);
+            }
+            for (key, lost) in touched {
+                let subs: Vec<u32> = self.sample_subs[hop_idx]
+                    .get(&key)
+                    .map(|m| m.keys().copied().collect())
+                    .unwrap_or_default();
+                if subs.is_empty() {
+                    continue;
+                }
+                let entries = Self::lite_entries(self.reservoirs[hop_idx].samples(key));
+                let msg = SampleMsg::SampleUpdate {
+                    hop,
+                    key,
+                    entries,
+                    caused_at: 0,
+                };
+                for &sew_raw in &subs {
+                    let sew = ServingWorkerId(sew_raw);
+                    self.ctx.publish_sample(sew, &msg);
+                    for &w in &lost {
+                        self.ctx
+                            .send_control(&ControlMsg::UnsubscribeFeature { vertex: w, sew });
+                        for &d in &downstream {
+                            self.ctx.send_control(&ControlMsg::UnsubscribeSamples {
+                                hop: d,
+                                vertex: w,
+                                sew,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.features.retain(|_, (_, ts)| *ts >= horizon);
+    }
+
+    // ---- checkpointing (§4.1 fault tolerance) ----
+
+    fn checkpoint_path(&self, dir: &std::path::Path) -> PathBuf {
+        dir.join(format!(
+            "saw{}-shard{}.ckpt",
+            self.ctx.worker.0, self.shard_idx
+        ))
+    }
+
+    fn handle_checkpoint(&mut self, dir: &std::path::Path) -> Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut buf = bytes::BytesMut::new();
+        (self.reservoirs.len() as u32).encode(&mut buf);
+        for (hop_idx, table) in self.reservoirs.iter().enumerate() {
+            let cells: Vec<(VertexId, helios_sampling::Reservoir)> = table
+                .iter()
+                .map(|(k, r)| (k, r.clone()))
+                .collect();
+            (cells.len() as u32).encode(&mut buf);
+            for (k, r) in cells {
+                k.encode(&mut buf);
+                r.encode(&mut buf);
+            }
+            // Subscriptions for this hop.
+            let subs = &self.sample_subs[hop_idx];
+            (subs.len() as u32).encode(&mut buf);
+            for (v, m) in subs {
+                v.encode(&mut buf);
+                let pairs: Vec<(u32, u32)> = m.iter().map(|(a, b)| (*a, *b)).collect();
+                pairs.encode(&mut buf);
+            }
+        }
+        // Features + feature subs.
+        (self.features.len() as u32).encode(&mut buf);
+        for (v, (f, ts)) in &self.features {
+            v.encode(&mut buf);
+            f.encode(&mut buf);
+            ts.encode(&mut buf);
+        }
+        (self.feat_subs.len() as u32).encode(&mut buf);
+        for (v, m) in &self.feat_subs {
+            v.encode(&mut buf);
+            let pairs: Vec<(u32, u32)> = m.iter().map(|(a, b)| (*a, *b)).collect();
+            pairs.encode(&mut buf);
+        }
+        std::fs::write(self.checkpoint_path(dir), &buf)?;
+        Ok(())
+    }
+
+    fn handle_restore(&mut self, dir: &std::path::Path) -> Result<()> {
+        let path = self.checkpoint_path(dir);
+        let raw = match std::fs::read(&path) {
+            Ok(r) => r,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut buf = raw.as_slice();
+        let hops = u32::decode(&mut buf)? as usize;
+        for hop_idx in 0..hops.min(self.reservoirs.len()) {
+            let cells = u32::decode(&mut buf)?;
+            for _ in 0..cells {
+                let k = VertexId::decode(&mut buf)?;
+                let r = helios_sampling::Reservoir::decode(&mut buf)?;
+                self.reservoirs[hop_idx].restore(k, r);
+            }
+            let subs = u32::decode(&mut buf)?;
+            for _ in 0..subs {
+                let v = VertexId::decode(&mut buf)?;
+                let pairs = Vec::<(u32, u32)>::decode(&mut buf)?;
+                self.sample_subs[hop_idx].insert(v, pairs.into_iter().collect());
+            }
+        }
+        let feats = u32::decode(&mut buf)?;
+        for _ in 0..feats {
+            let v = VertexId::decode(&mut buf)?;
+            let f = Vec::<f32>::decode(&mut buf)?;
+            let ts = Timestamp::decode(&mut buf)?;
+            self.features.insert(v, (f, ts));
+        }
+        let fsubs = u32::decode(&mut buf)?;
+        for _ in 0..fsubs {
+            let v = VertexId::decode(&mut buf)?;
+            let pairs = Vec::<(u32, u32)>::decode(&mut buf)?;
+            self.feat_subs.insert(v, pairs.into_iter().collect());
+        }
+        Ok(())
+    }
+}
+
+impl helios_actor::Actor for SamplerShard {
+    type Msg = ShardMsg;
+
+    fn handle(&mut self, msg: ShardMsg) {
+        let busy_start = std::time::Instant::now();
+        match msg {
+            ShardMsg::Update(env) => {
+                match &env.update {
+                    GraphUpdate::Vertex(v) => self.handle_vertex(v, env.enqueued_at),
+                    GraphUpdate::Edge(e) => self.handle_edge(e, env.enqueued_at),
+                }
+                self.ctx
+                    .metrics
+                    .updates_processed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            ShardMsg::Control(c) => {
+                self.handle_control(c);
+                self.ctx
+                    .metrics
+                    .control_processed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            ShardMsg::Expire(h) => self.handle_expire(h),
+            ShardMsg::Checkpoint(dir, ack) => {
+                let _ = ack.send(self.handle_checkpoint(&dir));
+            }
+            ShardMsg::Restore(dir, ack) => {
+                let _ = ack.send(self.handle_restore(&dir));
+            }
+        }
+        if let Some(cell) = self.ctx.metrics.shard_busy_nanos.get(self.shard_idx) {
+            cell.fetch_add(
+                busy_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                Ordering::Relaxed,
+            );
+        }
+    }
+}
+
+/// A running sampling worker: polling threads + sampling shard pool.
+pub struct SamplingWorker {
+    id: SamplingWorkerId,
+    shards: Arc<ShardedPool<ShardMsg>>,
+    metrics: Arc<SamplerMetrics>,
+    stop: Arc<AtomicBool>,
+    pollers: Vec<JoinHandle<()>>,
+}
+
+impl SamplingWorker {
+    /// Start sampling worker `id` of `m`, serving `n` serving workers.
+    pub fn start(
+        id: SamplingWorkerId,
+        config: &HeliosConfig,
+        query: &KHopQuery,
+        broker: &Arc<Broker>,
+        beacon: Beacon,
+    ) -> Result<SamplingWorker> {
+        let m = config.sampling_workers;
+        let n = config.serving_workers;
+        let metrics = Arc::new(SamplerMetrics::new(config.sampling_threads));
+        let sample_topics = (0..n as u32)
+            .map(|s| broker.topic(&topics::samples(s)))
+            .collect::<Result<Vec<_>>>()?;
+        let ctx = Arc::new(Ctx {
+            worker: id,
+            m,
+            n,
+            dag: query.dag(),
+            seed_type: query.seed_type(),
+            sample_topics,
+            control_topic: broker.topic(topics::CONTROL)?,
+            metrics: Arc::clone(&metrics),
+        });
+        let pool_ctx = Arc::clone(&ctx);
+        let shards = Arc::new(ShardedPool::new(
+            &format!("saw{}-sampler", id.0),
+            config.sampling_threads,
+            move |i| SamplerShard::new(Arc::clone(&pool_ctx), i),
+        ));
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut pollers = Vec::new();
+
+        // Updates polling thread.
+        {
+            let mut consumer = broker.consumer(
+                &format!("saw-{}", id.0),
+                topics::UPDATES,
+                &[PartitionId(id.0)],
+            )?;
+            let shards = Arc::clone(&shards);
+            let stop = Arc::clone(&stop);
+            let metrics = Arc::clone(&metrics);
+            let poll_batch = config.poll_batch;
+            let poll_timeout = config.poll_timeout;
+            let beacon2 = beacon.clone();
+            pollers.push(
+                std::thread::Builder::new()
+                    .name(format!("saw{}-poll-updates", id.0))
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            beacon2.beat();
+                            let recs = consumer.poll(poll_batch, poll_timeout);
+                            for rec in recs {
+                                match UpdateEnvelope::decode_from_slice(&rec.payload) {
+                                    Ok(env) => {
+                                        let key = env.update.routing_vertex().raw();
+                                        metrics
+                                            .updates_dispatched
+                                            .fetch_add(1, Ordering::Relaxed);
+                                        shards.send(key, ShardMsg::Update(env));
+                                    }
+                                    Err(_) => {
+                                        // Corrupt record: count it processed so
+                                        // drain accounting stays consistent.
+                                        metrics
+                                            .updates_dispatched
+                                            .fetch_add(1, Ordering::Relaxed);
+                                        metrics
+                                            .updates_processed
+                                            .fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            // Soft backpressure: let sampling threads drain.
+                            while shards.backlog() > 100_000 && !stop.load(Ordering::Relaxed) {
+                                std::thread::sleep(std::time::Duration::from_millis(1));
+                            }
+                        }
+                    })
+                    .expect("spawn updates poller"),
+            );
+        }
+
+        // Control polling thread.
+        {
+            let mut consumer = broker.consumer(
+                &format!("saw-ctl-{}", id.0),
+                topics::CONTROL,
+                &[PartitionId(id.0)],
+            )?;
+            let shards = Arc::clone(&shards);
+            let stop = Arc::clone(&stop);
+            let metrics = Arc::clone(&metrics);
+            let poll_batch = config.poll_batch;
+            let poll_timeout = config.poll_timeout;
+            pollers.push(
+                std::thread::Builder::new()
+                    .name(format!("saw{}-poll-control", id.0))
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            beacon.beat();
+                            let recs = consumer.poll(poll_batch, poll_timeout);
+                            for rec in recs {
+                                match ControlMsg::decode_from_slice(&rec.payload) {
+                                    Ok(msg) => {
+                                        let key = msg.target_vertex().raw();
+                                        metrics
+                                            .control_dispatched
+                                            .fetch_add(1, Ordering::Relaxed);
+                                        shards.send(key, ShardMsg::Control(msg));
+                                    }
+                                    Err(_) => {
+                                        metrics
+                                            .control_dispatched
+                                            .fetch_add(1, Ordering::Relaxed);
+                                        metrics
+                                            .control_processed
+                                            .fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn control poller"),
+            );
+        }
+
+        Ok(SamplingWorker {
+            id,
+            shards,
+            metrics,
+            stop,
+            pollers,
+        })
+    }
+
+    /// Worker id.
+    pub fn id(&self) -> SamplingWorkerId {
+        self.id
+    }
+
+    /// Shared counters.
+    pub fn metrics(&self) -> &Arc<SamplerMetrics> {
+        &self.metrics
+    }
+
+    /// Pending messages in the sampling shards' mailboxes.
+    pub fn backlog(&self) -> usize {
+        self.shards.backlog()
+    }
+
+    /// Trigger TTL expiry on every shard.
+    pub fn expire_before(&self, horizon: Timestamp) {
+        for i in 0..self.shards.shards() {
+            self.shards.send_to(i, ShardMsg::Expire(horizon));
+        }
+    }
+
+    /// Checkpoint all shard state into `dir`; blocks until done.
+    pub fn checkpoint(&self, dir: &std::path::Path) -> Result<()> {
+        let (tx, rx) = crossbeam::channel::bounded(self.shards.shards());
+        for i in 0..self.shards.shards() {
+            self.shards
+                .send_to(i, ShardMsg::Checkpoint(dir.to_path_buf(), tx.clone()));
+        }
+        for _ in 0..self.shards.shards() {
+            rx.recv()
+                .map_err(|_| helios_types::HeliosError::Disconnected("checkpoint ack".into()))??;
+        }
+        Ok(())
+    }
+
+    /// Restore shard state from `dir`; blocks until done. Call before any
+    /// updates are ingested.
+    pub fn restore(&self, dir: &std::path::Path) -> Result<()> {
+        let (tx, rx) = crossbeam::channel::bounded(self.shards.shards());
+        for i in 0..self.shards.shards() {
+            self.shards
+                .send_to(i, ShardMsg::Restore(dir.to_path_buf(), tx.clone()));
+        }
+        for _ in 0..self.shards.shards() {
+            rx.recv()
+                .map_err(|_| helios_types::HeliosError::Disconnected("restore ack".into()))??;
+        }
+        Ok(())
+    }
+
+    /// Stop polling and sampling threads (drains shard mailboxes first).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for p in self.pollers.drain(..) {
+            let _ = p.join();
+        }
+        self.shards.stop();
+    }
+}
+
+/// Timestamp helper re-exported for deployment-level ingestion stamping.
+pub fn stamp_now() -> u64 {
+    now_nanos()
+}

@@ -1,0 +1,370 @@
+//! The serving worker and its query-aware sample cache (§4.3, §6).
+//!
+//! Each serving worker owns the inference traffic of one slice of the
+//! seed-vertex space. Its cache has two parts, both over `helios-kvstore`
+//! (the paper uses RocksDB's hybrid memory-disk mode):
+//!
+//! * a **sample table** per one-hop query: `(hop, vertex) → sampled
+//!   neighbors`;
+//! * a **feature table**: `vertex → latest feature`.
+//!
+//! **Data-updating threads** drain the worker's sample queue and apply
+//! [`SampleMsg`]s; **serving threads** are the caller's threads — `serve`
+//! is `&self` and lock-free above the kvstore shards, so any number of
+//! front-end threads can call it concurrently (§4.3's serving threads).
+//!
+//! Serving a K-hop query costs exactly `1 + Σ ∏ Cᵢ` sample-table lookups
+//! and at most `1 + Σ ∏ Cᵢ` feature lookups — independent of vertex
+//! degree, which is the whole point (§6).
+
+use crate::config::HeliosConfig;
+use crate::messages::{now_nanos, SampleEntryLite, SampleMsg};
+use crate::sampler::topics;
+use bytes::BytesMut;
+use helios_kvstore::{KvConfig, KvStats, KvStore};
+use helios_metrics::Histogram;
+use helios_mq::Broker;
+use helios_query::{HopSamples, KHopQuery, SampledSubgraph};
+use helios_types::{
+    Decode, Encode, PartitionId, QueryHopId, Result, ServingWorkerId, Timestamp, VertexId,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+fn sample_key(hop: QueryHopId, v: VertexId) -> [u8; 10] {
+    let mut k = [0u8; 10];
+    k[..2].copy_from_slice(&hop.0.to_be_bytes());
+    k[2..].copy_from_slice(&v.raw().to_be_bytes());
+    k
+}
+
+fn feature_key(v: VertexId) -> [u8; 8] {
+    v.raw().to_be_bytes()
+}
+
+/// A running serving worker.
+pub struct ServingWorker {
+    id: ServingWorkerId,
+    replica: u32,
+    query: KHopQuery,
+    samples: KvStore,
+    features: KvStore,
+    serve_latency: Histogram,
+    ingestion_latency: Histogram,
+    served: AtomicU64,
+    applied: AtomicU64,
+    stop: Arc<AtomicBool>,
+    updaters: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+    /// Dropped (set to `None`) at shutdown so serving threads exit their
+    /// recv loops and the `Arc` cycle through them is broken.
+    serve_tx: parking_lot::RwLock<Option<crossbeam::channel::Sender<ServeRequest>>>,
+    serve_threads: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+}
+
+type ServeRequest = (
+    VertexId,
+    crossbeam::channel::Sender<Result<SampledSubgraph>>,
+);
+
+impl ServingWorker {
+    /// Start replica `replica` of serving worker `id`: opens its cache
+    /// stores and spawns data-updating threads over the partitions of
+    /// `samples-<id>`. Each replica consumes the full sample queue under
+    /// its own consumer group, so replicas converge to identical caches
+    /// (§4.1's replication of highly loaded serving workers).
+    pub fn start(
+        id: ServingWorkerId,
+        replica: u32,
+        config: &HeliosConfig,
+        query: &KHopQuery,
+        broker: &Arc<Broker>,
+        beacon: helios_actor::Beacon,
+    ) -> Result<Arc<ServingWorker>> {
+        let kv_config = |suffix: &str| match &config.cache_dir {
+            Some(dir) => KvConfig::hybrid(
+                config.cache_shards,
+                config.cache_memtable_budget,
+                dir.join(format!("sew{}-r{replica}-{suffix}", id.0)),
+            ),
+            None => KvConfig::in_memory(config.cache_shards),
+        };
+        let (serve_tx, serve_rx) = crossbeam::channel::unbounded::<ServeRequest>();
+        let worker = Arc::new(ServingWorker {
+            id,
+            replica,
+            query: query.clone(),
+            samples: KvStore::open(kv_config("samples"))?,
+            features: KvStore::open(kv_config("features"))?,
+            serve_latency: Histogram::new(),
+            ingestion_latency: Histogram::new(),
+            served: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            stop: Arc::new(AtomicBool::new(false)),
+            updaters: parking_lot::Mutex::new(Vec::new()),
+            serve_tx: parking_lot::RwLock::new(Some(serve_tx)),
+            serve_threads: parking_lot::Mutex::new(Vec::new()),
+        });
+
+        // Serving threads (§4.3): execute queued sampling queries. The
+        // pool size bounds per-worker serving parallelism, which is the
+        // knob the Fig. 14 scale-up experiment turns.
+        let mut serve_handles = Vec::new();
+        for t in 0..config.serving_threads {
+            let w = Arc::clone(&worker);
+            let rx = serve_rx.clone();
+            serve_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sew{}r{replica}-serve-{t}", id.0))
+                    .spawn(move || {
+                        while let Ok((seed, reply)) = rx.recv() {
+                            let _ = reply.send(w.serve(seed));
+                        }
+                    })
+                    .expect("spawn serving thread"),
+            );
+        }
+        drop(serve_rx);
+        *worker.serve_threads.lock() = serve_handles;
+        let mut handles = Vec::new();
+
+        // Data-updating threads: split the topic's partitions across them.
+        let topic_name = topics::samples(id.0);
+        let partitions: Vec<PartitionId> =
+            (0..config.sample_queue_partitions).map(PartitionId).collect();
+        let chunks: Vec<Vec<PartitionId>> = split_round_robin(&partitions, config.updater_threads);
+        for (t, parts) in chunks.into_iter().enumerate() {
+            if parts.is_empty() {
+                continue;
+            }
+            let mut consumer = broker.consumer(&format!("sew-{}-r{replica}", id.0), &topic_name, &parts)?;
+            let w = Arc::clone(&worker);
+            let stop = Arc::clone(&worker.stop);
+            let poll_batch = config.poll_batch;
+            let poll_timeout = config.poll_timeout;
+            let beacon = beacon.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sew{}r{replica}-updater-{t}", id.0))
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            beacon.beat();
+                            let recs = consumer.poll(poll_batch, poll_timeout);
+                            for rec in recs {
+                                if let Ok(msg) = SampleMsg::decode_from_slice(&rec.payload) {
+                                    w.apply(&msg);
+                                }
+                                w.applied.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    })
+                    .expect("spawn updater thread"),
+            );
+        }
+        *worker.updaters.lock() = handles;
+        Ok(worker)
+    }
+
+    /// Worker id.
+    pub fn id(&self) -> ServingWorkerId {
+        self.id
+    }
+
+    /// Replica index within the logical serving worker.
+    pub fn replica(&self) -> u32 {
+        self.replica
+    }
+
+    /// Apply one cache update (normally called by updater threads; public
+    /// for tests and custom pipelines).
+    pub fn apply(&self, msg: &SampleMsg) {
+        match msg {
+            SampleMsg::SampleUpdate {
+                hop,
+                key,
+                entries,
+                caused_at,
+            } => {
+                let mut buf = BytesMut::with_capacity(8 + entries.len() * 20);
+                entries.encode(&mut buf);
+                let ts = entries.iter().map(|e| e.ts).max().unwrap_or(Timestamp::ZERO);
+                let _ = self
+                    .samples
+                    .put(&sample_key(*hop, *key), buf.freeze(), ts);
+                self.record_ingestion(*caused_at);
+            }
+            SampleMsg::Evict { hop, key } => {
+                let _ = self.samples.delete(&sample_key(*hop, *key), Timestamp::MAX);
+            }
+            SampleMsg::FeatureUpdate {
+                vertex,
+                feature,
+                ts,
+                caused_at,
+            } => {
+                let mut buf = BytesMut::with_capacity(feature.len() * 4 + 8);
+                feature.encode(&mut buf);
+                let _ = self.features.put(&feature_key(*vertex), buf.freeze(), *ts);
+                self.record_ingestion(*caused_at);
+            }
+            SampleMsg::EvictFeature { vertex } => {
+                let _ = self.features.delete(&feature_key(*vertex), Timestamp::MAX);
+            }
+        }
+    }
+
+    fn record_ingestion(&self, caused_at: u64) {
+        if caused_at > 0 {
+            let now = now_nanos();
+            if now > caused_at {
+                self.ingestion_latency.record(now - caused_at);
+            }
+        }
+    }
+
+    /// Answer a K-hop sampling query for `seed` from the local cache: a
+    /// fixed number of lookups, no traversal, no network (§6's "Serving
+    /// Sampling Queries", Fig. 8).
+    pub fn serve(&self, seed: VertexId) -> Result<SampledSubgraph> {
+        let start = std::time::Instant::now();
+        let mut result = SampledSubgraph::new(seed);
+        let mut frontier = vec![seed];
+        for hop_idx in 0..self.query.hops() {
+            let hop = QueryHopId(hop_idx as u16);
+            let mut hs = HopSamples::default();
+            let mut next = Vec::new();
+            for &v in &frontier {
+                let children: Vec<VertexId> = match self.samples.get(&sample_key(hop, v))? {
+                    Some(raw) => Vec::<SampleEntryLite>::decode_from_slice(&raw)
+                        .map(|es| es.into_iter().map(|e| e.neighbor).collect())
+                        .unwrap_or_default(),
+                    None => Vec::new(),
+                };
+                next.extend(children.iter().copied());
+                hs.groups.push((v, children));
+            }
+            result.hops.push(hs);
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        for v in result.all_vertices() {
+            if let Some(raw) = self.features.get(&feature_key(v))? {
+                if let Ok(f) = Vec::<f32>::decode_from_slice(&raw) {
+                    result.features.insert(v, f);
+                }
+            }
+        }
+        self.serve_latency.record_duration(start.elapsed());
+        self.served.fetch_add(1, Ordering::Relaxed);
+        Ok(result)
+    }
+
+    /// Serve through the worker's bounded serving-thread pool: the request
+    /// queues until one of the `serving_threads` picks it up. Latency
+    /// measured by the caller then includes queueing delay, which is what
+    /// a front-end observes under load.
+    pub fn serve_queued(&self, seed: VertexId) -> Result<SampledSubgraph> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        {
+            let guard = self.serve_tx.read();
+            let sender = guard
+                .as_ref()
+                .ok_or(helios_types::HeliosError::ShuttingDown)?;
+            sender
+                .send((seed, tx))
+                .map_err(|_| helios_types::HeliosError::ShuttingDown)?;
+        }
+        rx.recv()
+            .map_err(|_| helios_types::HeliosError::Disconnected("serving thread".into()))?
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Number of sample-queue records applied.
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::Relaxed)
+    }
+
+    /// Serving latency histogram.
+    pub fn serve_latency(&self) -> &Histogram {
+        &self.serve_latency
+    }
+
+    /// End-to-end ingestion latency histogram (update enqueue → cache
+    /// visible), Fig. 17.
+    pub fn ingestion_latency(&self) -> &Histogram {
+        &self.ingestion_latency
+    }
+
+    /// Cache size statistics: (sample table, feature table) — Fig. 16.
+    pub fn cache_stats(&self) -> (KvStats, KvStats) {
+        (self.samples.stats(), self.features.stats())
+    }
+
+    /// Total cache bytes (memory + disk).
+    pub fn cache_bytes(&self) -> u64 {
+        let (s, f) = self.cache_stats();
+        s.total_bytes() + f.total_bytes()
+    }
+
+    /// TTL expiry of cached samples/features older than `horizon`.
+    pub fn expire_before(&self, horizon: Timestamp) -> Result<()> {
+        self.samples.compact(Some(horizon))?;
+        self.features.compact(Some(horizon))?;
+        Ok(())
+    }
+
+    /// Stop updater threads (call once; serve remains usable on the
+    /// remaining cache contents).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.updaters.lock().drain(..) {
+            let _ = h.join();
+        }
+        // Close the serve queue so serving threads exit and release their
+        // `Arc<ServingWorker>` handles.
+        self.serve_tx.write().take();
+        for h in self.serve_threads.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn split_round_robin(parts: &[PartitionId], n: usize) -> Vec<Vec<PartitionId>> {
+    let mut out = vec![Vec::new(); n.max(1)];
+    for (i, &p) in parts.iter().enumerate() {
+        out[i % n.max(1)].push(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_encodings_are_disjoint_and_ordered() {
+        let a = sample_key(QueryHopId(0), VertexId(1));
+        let b = sample_key(QueryHopId(0), VertexId(2));
+        let c = sample_key(QueryHopId(1), VertexId(1));
+        assert!(a < b);
+        assert!(b < c, "hop is the major key");
+        assert_ne!(feature_key(VertexId(1)), feature_key(VertexId(2)));
+    }
+
+    #[test]
+    fn round_robin_split_covers_all() {
+        let parts: Vec<PartitionId> = (0..5).map(PartitionId).collect();
+        let chunks = split_round_robin(&parts, 2);
+        assert_eq!(chunks.len(), 2);
+        let total: usize = chunks.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+        let chunks1 = split_round_robin(&parts, 8);
+        assert_eq!(chunks1.iter().filter(|c| !c.is_empty()).count(), 5);
+    }
+}

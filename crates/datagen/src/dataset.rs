@@ -1,0 +1,374 @@
+//! Dataset presets and configuration.
+
+use crate::stream::EventStream;
+use helios_query::{KHopQuery, SamplingStrategy, Schema};
+use helios_types::{EdgeType, VertexType};
+
+/// A vertex population: `count` vertices of one label, ids assigned from a
+/// dense range.
+#[derive(Debug, Clone)]
+pub struct VertexSpec {
+    /// Label name.
+    pub name: &'static str,
+    /// Population size (after scaling).
+    pub count: u64,
+}
+
+/// An edge population: `count` edges of one label between two vertex
+/// populations, with Zipf-skewed endpoint selection.
+#[derive(Debug, Clone)]
+pub struct EdgeSpec {
+    /// Label name.
+    pub name: &'static str,
+    /// Source vertex label.
+    pub src: &'static str,
+    /// Destination vertex label.
+    pub dst: &'static str,
+    /// Number of edge events (after scaling, including replays).
+    pub count: u64,
+    /// Zipf exponent for source selection (higher = more skew = bigger
+    /// supernodes).
+    pub src_skew: f64,
+    /// Zipf exponent for destination selection.
+    pub dst_skew: f64,
+}
+
+/// Full dataset configuration.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Dataset name (Table 1 row).
+    pub name: &'static str,
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+    /// Vertex populations.
+    pub vertices: Vec<VertexSpec>,
+    /// Edge populations.
+    pub edges: Vec<EdgeSpec>,
+    /// Fraction of the edge stream that is interleaved vertex *feature
+    /// refreshes* (the paper's "feature update of a previously observed
+    /// vertex").
+    pub feature_update_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The four dataset presets of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// LDBC BI shape: vertex-heavy, sparse.
+    Bi,
+    /// LDBC Interactive shape: dense, heavily skewed.
+    Inter,
+    /// LDBC FinBench shape: tiny vertex set, replayed edges.
+    Fin,
+    /// Taobao shape: 128-dim features.
+    Taobao,
+}
+
+impl Preset {
+    /// All presets in Table 1 order.
+    pub const ALL: [Preset; 4] = [Preset::Bi, Preset::Inter, Preset::Fin, Preset::Taobao];
+
+    /// Preset name as printed in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Bi => "BI",
+            Preset::Inter => "INTER",
+            Preset::Fin => "FIN",
+            Preset::Taobao => "Taobao",
+        }
+    }
+
+    /// Build the configuration at `scale` (1.0 ≈ a few hundred thousand
+    /// events — large enough for skew effects, small enough for CI).
+    pub fn config(self, scale: f64) -> DatasetConfig {
+        assert!(scale > 0.0, "scale must be positive");
+        let s = |base: u64| ((base as f64 * scale) as u64).max(4);
+        match self {
+            // 1.9B vertices / 2.4B edges → vertex-heavy, avg degree 1.26.
+            Preset::Bi => DatasetConfig {
+                name: "BI",
+                feature_dim: 10,
+                vertices: vec![
+                    VertexSpec { name: "Person", count: s(60_000) },
+                    VertexSpec { name: "Comment", count: s(130_000) },
+                ],
+                edges: vec![
+                    EdgeSpec {
+                        name: "Knows",
+                        src: "Person",
+                        dst: "Person",
+                        count: s(120_000),
+                        src_skew: 1.1,
+                        dst_skew: 1.05,
+                    },
+                    EdgeSpec {
+                        name: "Likes",
+                        src: "Person",
+                        dst: "Comment",
+                        count: s(120_000),
+                        src_skew: 1.1,
+                        dst_skew: 1.2,
+                    },
+                ],
+                feature_update_ratio: 0.05,
+                seed: 0xB1,
+            },
+            // 40M vertices / 3.8B edges → avg degree ≈95, strong skew.
+            Preset::Inter => DatasetConfig {
+                name: "INTER",
+                feature_dim: 10,
+                vertices: vec![
+                    VertexSpec { name: "Forum", count: s(2_000) },
+                    VertexSpec { name: "Person", count: s(8_000) },
+                ],
+                edges: vec![
+                    EdgeSpec {
+                        name: "Has",
+                        src: "Forum",
+                        dst: "Person",
+                        count: s(300_000),
+                        src_skew: 1.2,
+                        dst_skew: 1.05,
+                    },
+                    EdgeSpec {
+                        name: "Knows",
+                        src: "Person",
+                        dst: "Person",
+                        count: s(650_000),
+                        src_skew: 1.25,
+                        dst_skew: 1.1,
+                    },
+                ],
+                feature_update_ratio: 0.05,
+                seed: 0x1A7E,
+            },
+            // 2M vertices / 2.2B edges (200× replay) → extreme supernodes.
+            Preset::Fin => DatasetConfig {
+                name: "FIN",
+                feature_dim: 10,
+                vertices: vec![VertexSpec { name: "Account", count: s(2_000) }],
+                edges: vec![EdgeSpec {
+                    name: "TransferTo",
+                    src: "Account",
+                    dst: "Account",
+                    count: s(1_000_000),
+                    src_skew: 1.3,
+                    dst_skew: 1.3,
+                }],
+                feature_update_ratio: 0.02,
+                seed: 0xF1,
+            },
+            // 1.8M vertices / 8.6M edges, 128-dim features.
+            Preset::Taobao => DatasetConfig {
+                name: "Taobao",
+                feature_dim: 128,
+                vertices: vec![
+                    VertexSpec { name: "User", count: s(12_000) },
+                    VertexSpec { name: "Item", count: s(6_000) },
+                ],
+                edges: vec![
+                    EdgeSpec {
+                        name: "Click",
+                        src: "User",
+                        dst: "Item",
+                        count: s(60_000),
+                        src_skew: 1.05,
+                        dst_skew: 1.3,
+                    },
+                    EdgeSpec {
+                        name: "CoPurchase",
+                        src: "Item",
+                        dst: "Item",
+                        count: s(26_000),
+                        src_skew: 1.2,
+                        dst_skew: 1.2,
+                    },
+                ],
+                feature_update_ratio: 0.10,
+                seed: 0x7A0,
+            },
+        }
+    }
+
+    /// Build the dataset (config + schema + Table 2 query) at `scale`.
+    pub fn dataset(self, scale: f64) -> Dataset {
+        Dataset::new(self.config(scale), self)
+    }
+}
+
+/// A ready-to-replay dataset: config, interned schema, and the Table 2
+/// two-hop query ([25, 10] fan-outs).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    config: DatasetConfig,
+    preset: Preset,
+    schema: Schema,
+}
+
+impl Dataset {
+    /// Build from a configuration.
+    pub fn new(config: DatasetConfig, preset: Preset) -> Self {
+        let mut schema = Schema::new();
+        for v in &config.vertices {
+            schema.vertex_type(v.name);
+        }
+        for e in &config.edges {
+            schema.edge_type(e.name);
+        }
+        Dataset {
+            config,
+            preset,
+            schema,
+        }
+    }
+
+    /// The dataset configuration.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// The preset this dataset was built from.
+    pub fn preset(&self) -> Preset {
+        self.preset
+    }
+
+    /// The interned schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Vertex type id of a label (panics on unknown label — presets are
+    /// closed).
+    pub fn vt(&self, name: &str) -> VertexType {
+        self.schema.find_vertex_type(name).expect("preset label")
+    }
+
+    /// Edge type id of a label.
+    pub fn et(&self, name: &str) -> EdgeType {
+        self.schema.find_edge_type(name).expect("preset label")
+    }
+
+    /// Total vertices across populations.
+    pub fn total_vertices(&self) -> u64 {
+        self.config.vertices.iter().map(|v| v.count).sum()
+    }
+
+    /// Total edge events.
+    pub fn total_edges(&self) -> u64 {
+        self.config.edges.iter().map(|e| e.count).sum()
+    }
+
+    /// Id range `[lo, hi)` of a vertex population (dense global id space
+    /// in declaration order).
+    pub fn id_range(&self, name: &str) -> (u64, u64) {
+        let mut lo = 0u64;
+        for v in &self.config.vertices {
+            if v.name == name {
+                return (lo, lo + v.count);
+            }
+            lo += v.count;
+        }
+        panic!("unknown vertex population '{name}'");
+    }
+
+    /// The Table 2 sampling query for this dataset, with the paper's
+    /// fan-outs `[25, 10]` (or `[25, 10, 5]` for the 3-hop variant), using
+    /// the given strategy for every hop.
+    pub fn table2_query(&self, strategy: SamplingStrategy, three_hop: bool) -> KHopQuery {
+        let q = match self.preset {
+            // Person-Knows-Person-Likes-Comment
+            Preset::Bi => KHopQuery::builder(self.vt("Person"))
+                .hop(self.et("Knows"), self.vt("Person"), 25, strategy)
+                .hop(self.et("Likes"), self.vt("Comment"), 10, strategy),
+            // Forum-Has-Person-Knows-Person[-Knows-Person]
+            Preset::Inter => {
+                let b = KHopQuery::builder(self.vt("Forum"))
+                    .hop(self.et("Has"), self.vt("Person"), 25, strategy)
+                    .hop(self.et("Knows"), self.vt("Person"), 10, strategy);
+                if three_hop {
+                    b.hop(self.et("Knows"), self.vt("Person"), 5, strategy)
+                } else {
+                    b
+                }
+            }
+            // Account-TransferTo-Account-TransferTo-Account
+            Preset::Fin => KHopQuery::builder(self.vt("Account"))
+                .hop(self.et("TransferTo"), self.vt("Account"), 25, strategy)
+                .hop(self.et("TransferTo"), self.vt("Account"), 10, strategy),
+            // User-Click-Item-CoPurchase-Item
+            Preset::Taobao => KHopQuery::builder(self.vt("User"))
+                .hop(self.et("Click"), self.vt("Item"), 25, strategy)
+                .hop(self.et("CoPurchase"), self.vt("Item"), 10, strategy),
+        };
+        q.build().expect("preset queries are valid")
+    }
+
+    /// Seed-vertex population name for the Table 2 query.
+    pub fn seed_population(&self) -> &'static str {
+        match self.preset {
+            Preset::Bi => "Person",
+            Preset::Inter => "Forum",
+            Preset::Fin => "Account",
+            Preset::Taobao => "User",
+        }
+    }
+
+    /// Stream of graph-update events for replay.
+    pub fn events(&self) -> EventStream {
+        EventStream::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build_and_scale() {
+        for p in Preset::ALL {
+            let d = p.dataset(0.01);
+            assert!(d.total_vertices() > 0);
+            assert!(d.total_edges() > 0);
+            let big = p.dataset(0.1);
+            assert!(big.total_edges() > d.total_edges());
+            assert_eq!(d.config().name, p.name());
+        }
+    }
+
+    #[test]
+    fn id_ranges_are_dense_and_disjoint() {
+        let d = Preset::Taobao.dataset(0.01);
+        let (ulo, uhi) = d.id_range("User");
+        let (ilo, ihi) = d.id_range("Item");
+        assert_eq!(ulo, 0);
+        assert_eq!(uhi, ilo);
+        assert_eq!(ihi, d.total_vertices());
+    }
+
+    #[test]
+    fn table2_queries_match_paper() {
+        for p in Preset::ALL {
+            let d = p.dataset(0.01);
+            let q = d.table2_query(SamplingStrategy::TopK, false);
+            assert_eq!(q.fanouts(), vec![25, 10], "{}", p.name());
+            assert_eq!(q.seed_type(), d.vt(d.seed_population()));
+        }
+        let d = Preset::Inter.dataset(0.01);
+        let q3 = d.table2_query(SamplingStrategy::Random, true);
+        assert_eq!(q3.fanouts(), vec![25, 10, 5]);
+    }
+
+    #[test]
+    fn feature_dims_match_table1() {
+        assert_eq!(Preset::Taobao.dataset(0.01).config().feature_dim, 128);
+        assert_eq!(Preset::Bi.dataset(0.01).config().feature_dim, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown vertex population")]
+    fn unknown_population_panics() {
+        let d = Preset::Bi.dataset(0.01);
+        let _ = d.id_range("Item");
+    }
+}

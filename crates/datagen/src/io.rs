@@ -1,0 +1,172 @@
+//! Event-stream files: persist a generated update stream and replay it
+//! later, so paired experiments (or other tools) can share the exact same
+//! history without regenerating it.
+//!
+//! Format: `HEVT1` magic, then length-prefixed encoded [`GraphUpdate`]
+//! frames (`[len: u32 LE][payload]`). Streaming read: frames decode one
+//! at a time, so billion-event files never need to fit in memory.
+
+use bytes::BytesMut;
+use helios_types::{Decode, Encode, GraphUpdate, HeliosError, Result};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 5] = b"HEVT1";
+
+/// Write `events` to `path`; returns the number of events written.
+pub fn write_events(
+    path: &Path,
+    events: impl Iterator<Item = GraphUpdate>,
+) -> Result<u64> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    let mut count = 0u64;
+    let mut buf = BytesMut::with_capacity(256);
+    for ev in events {
+        buf.clear();
+        ev.encode(&mut buf);
+        w.write_all(&(buf.len() as u32).to_le_bytes())?;
+        w.write_all(&buf)?;
+        count += 1;
+    }
+    w.flush()?;
+    Ok(count)
+}
+
+/// Streaming reader over an event file.
+pub struct EventFileReader {
+    input: BufReader<File>,
+    frame: Vec<u8>,
+    finished: bool,
+}
+
+impl EventFileReader {
+    /// Open an event file, validating the magic header.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut input = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 5];
+        input.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(HeliosError::Codec(format!(
+                "{} is not an event file",
+                path.display()
+            )));
+        }
+        Ok(EventFileReader {
+            input,
+            frame: Vec::new(),
+            finished: false,
+        })
+    }
+
+    fn next_frame(&mut self) -> Result<Option<GraphUpdate>> {
+        let mut len4 = [0u8; 4];
+        match self.input.read_exact(&mut len4) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len4) as usize;
+        self.frame.resize(len, 0);
+        self.input.read_exact(&mut self.frame)?;
+        Ok(Some(GraphUpdate::decode_from_slice(&self.frame)?))
+    }
+}
+
+impl Iterator for EventFileReader {
+    type Item = Result<GraphUpdate>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        match self.next_frame() {
+            Ok(Some(ev)) => Some(Ok(ev)),
+            Ok(None) => {
+                self.finished = true;
+                None
+            }
+            Err(e) => {
+                self.finished = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Read a whole event file into memory (convenience for tests/benches).
+pub fn read_events(path: &Path) -> Result<Vec<GraphUpdate>> {
+    EventFileReader::open(path)?.collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Preset;
+    use std::path::PathBuf;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("helios-evt-{}-{name}.evt", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_generated_stream() {
+        let d = Preset::Taobao.dataset(0.005);
+        let path = tmpfile("rt");
+        let expected: Vec<GraphUpdate> = d.events().collect();
+        let n = write_events(&path, d.events()).unwrap();
+        assert_eq!(n as usize, expected.len());
+        let back = read_events(&path).unwrap();
+        assert_eq!(back, expected);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streaming_read_does_not_materialize() {
+        let d = Preset::Bi.dataset(0.002);
+        let path = tmpfile("stream");
+        write_events(&path, d.events()).unwrap();
+        let mut reader = EventFileReader::open(&path).unwrap();
+        let first = reader.next().unwrap().unwrap();
+        assert!(first.is_vertex());
+        // Consuming the rest lazily still works.
+        let rest = reader.count();
+        assert_eq!(rest as u64 + 1, d.events().count() as u64);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let path = tmpfile("bad");
+        std::fs::write(&path, b"NOTEVENTS").unwrap();
+        assert!(EventFileReader::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_frame_surfaces_error() {
+        let d = Preset::Taobao.dataset(0.005);
+        let path = tmpfile("trunc");
+        write_events(&path, d.events().take(10)).unwrap();
+        // Chop the file mid-frame.
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 3]).unwrap();
+        let results: Vec<_> = EventFileReader::open(&path).unwrap().collect();
+        assert!(results.len() <= 10);
+        assert!(results.last().unwrap().is_err(), "torn frame must error");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_stream_roundtrip() {
+        let path = tmpfile("empty");
+        let n = write_events(&path, std::iter::empty()).unwrap();
+        assert_eq!(n, 0);
+        assert!(read_events(&path).unwrap().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

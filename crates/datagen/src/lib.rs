@@ -1,0 +1,29 @@
+//! # helios-datagen
+//!
+//! Seeded synthetic dynamic-graph datasets replicating the *shapes* of the
+//! paper's four datasets (Table 1) at laptop scale:
+//!
+//! | preset  | paper source          | shape preserved                          |
+//! |---------|-----------------------|------------------------------------------|
+//! | `BI`    | LDBC social (BI)      | more vertices than edges, avg degree ≈1.3 |
+//! | `INTER` | LDBC Interactive      | dense: avg degree ≈95, heavy skew         |
+//! | `FIN`   | LDBC FinBench ×200    | tiny vertex set, huge replayed edge count |
+//! | `TAOBAO`| Taobao user behaviour | 128-dim features, moderate degree         |
+//!
+//! Each preset fixes a schema, a Table 2 sampling query, a power-law
+//! out-degree distribution and an update stream: vertex updates (insert +
+//! periodic feature refreshes) interleaved with timestamped, append-only
+//! edge insertions. Everything is deterministic given a seed, so paired
+//! experiments (Helios vs baseline) replay identical histories.
+
+pub mod dataset;
+pub mod io;
+pub mod stats;
+pub mod stream;
+pub mod zipf;
+
+pub use dataset::{Dataset, DatasetConfig, EdgeSpec, Preset, VertexSpec};
+pub use io::{read_events, write_events, EventFileReader};
+pub use stats::{compute_stats, DatasetStats};
+pub use stream::EventStream;
+pub use zipf::ZipfSampler;

@@ -1,0 +1,266 @@
+//! Streaming, seeded event generation: replay a dataset as an append-only
+//! sequence of [`GraphUpdate`]s with strictly increasing timestamps.
+
+use crate::dataset::Dataset;
+use crate::zipf::ZipfSampler;
+use helios_types::{EdgeUpdate, GraphUpdate, Timestamp, VertexId, VertexUpdate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Iterator over a dataset's update events.
+///
+/// Phase 1 emits one vertex update per vertex (insertion with an initial
+/// feature). Phase 2 emits the edge stream: for each edge population in
+/// round-robin proportion, source and destination are drawn from Zipf
+/// samplers over their populations; a configurable fraction of events are
+/// vertex feature refreshes instead of edges. Timestamps tick by 1 ms per
+/// event.
+pub struct EventStream {
+    dataset: Dataset,
+    rng: StdRng,
+    ts: u64,
+    // Phase 1 cursor.
+    vertex_cursor: u64,
+    // Phase 2 state: remaining count + samplers per edge population.
+    edge_state: Vec<EdgePop>,
+    edges_remaining: u64,
+    total_edge_budget: u64,
+}
+
+struct EdgePop {
+    etype: helios_types::EdgeType,
+    src_type: helios_types::VertexType,
+    dst_type: helios_types::VertexType,
+    src_base: u64,
+    dst_base: u64,
+    src_zipf: ZipfSampler,
+    dst_zipf: ZipfSampler,
+    remaining: u64,
+}
+
+impl EventStream {
+    /// New stream for a dataset (deterministic given the dataset's seed).
+    pub fn new(dataset: Dataset) -> Self {
+        let cfg = dataset.config().clone();
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let mut edge_state = Vec::new();
+        let mut total = 0u64;
+        for e in &cfg.edges {
+            let (src_lo, src_hi) = dataset.id_range(e.src);
+            let (dst_lo, dst_hi) = dataset.id_range(e.dst);
+            edge_state.push(EdgePop {
+                etype: dataset.et(e.name),
+                src_type: dataset.vt(e.src),
+                dst_type: dataset.vt(e.dst),
+                src_base: src_lo,
+                dst_base: dst_lo,
+                src_zipf: ZipfSampler::new(src_hi - src_lo, e.src_skew),
+                dst_zipf: ZipfSampler::new(dst_hi - dst_lo, e.dst_skew),
+                remaining: e.count,
+            });
+            total += e.count;
+        }
+        EventStream {
+            dataset,
+            rng,
+            ts: 0,
+            vertex_cursor: 0,
+            edge_state,
+            edges_remaining: total,
+            total_edge_budget: total,
+        }
+    }
+
+    /// Total number of events this stream will yield.
+    pub fn total_events(&self) -> u64 {
+        let cfg = self.dataset.config();
+        let feature_updates =
+            (self.total_edge_budget as f64 * cfg.feature_update_ratio) as u64;
+        self.dataset.total_vertices() + self.total_edge_budget + feature_updates
+    }
+
+    fn feature(&mut self, dim: usize) -> Vec<f32> {
+        (0..dim).map(|_| self.rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    fn vertex_type_of(&self, id: u64) -> helios_types::VertexType {
+        let mut lo = 0u64;
+        for v in &self.dataset.config().vertices {
+            if id < lo + v.count {
+                return self.dataset.vt(v.name);
+            }
+            lo += v.count;
+        }
+        unreachable!("id {id} outside all populations");
+    }
+
+    fn next_vertex_insert(&mut self) -> GraphUpdate {
+        let id = self.vertex_cursor;
+        self.vertex_cursor += 1;
+        self.ts += 1;
+        let dim = self.dataset.config().feature_dim;
+        GraphUpdate::Vertex(VertexUpdate {
+            vtype: self.vertex_type_of(id),
+            id: VertexId(id),
+            feature: self.feature(dim),
+            ts: Timestamp(self.ts),
+        })
+    }
+
+    fn next_edge_or_refresh(&mut self) -> GraphUpdate {
+        self.ts += 1;
+        let cfg_ratio = self.dataset.config().feature_update_ratio;
+        if self.rng.gen::<f64>() < cfg_ratio {
+            // Feature refresh of a random existing vertex.
+            let id = self.rng.gen_range(0..self.dataset.total_vertices());
+            let dim = self.dataset.config().feature_dim;
+            return GraphUpdate::Vertex(VertexUpdate {
+                vtype: self.vertex_type_of(id),
+                id: VertexId(id),
+                feature: self.feature(dim),
+                ts: Timestamp(self.ts),
+            });
+        }
+        // Pick an edge population proportionally to remaining budget.
+        let pick = self.rng.gen_range(0..self.edges_remaining);
+        let mut acc = 0u64;
+        let mut idx = 0;
+        for (i, p) in self.edge_state.iter().enumerate() {
+            acc += p.remaining;
+            if pick < acc {
+                idx = i;
+                break;
+            }
+        }
+        let ts = Timestamp(self.ts);
+        let weight = self.rng.gen_range(0.1f32..10.0);
+        let pop = &mut self.edge_state[idx];
+        pop.remaining -= 1;
+        self.edges_remaining -= 1;
+        let src = VertexId(pop.src_base + pop.src_zipf.sample(&mut self.rng) - 1);
+        let dst = VertexId(pop.dst_base + pop.dst_zipf.sample(&mut self.rng) - 1);
+        GraphUpdate::Edge(EdgeUpdate {
+            etype: pop.etype,
+            src_type: pop.src_type,
+            src,
+            dst_type: pop.dst_type,
+            dst,
+            ts,
+            weight,
+        })
+    }
+}
+
+impl Iterator for EventStream {
+    type Item = GraphUpdate;
+
+    fn next(&mut self) -> Option<GraphUpdate> {
+        if self.vertex_cursor < self.dataset.total_vertices() {
+            return Some(self.next_vertex_insert());
+        }
+        // Feature refreshes are drawn probabilistically alongside edges, so
+        // the stream ends when the edge budget is exhausted.
+        if self.edges_remaining > 0 {
+            return Some(self.next_edge_or_refresh());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Preset;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let d = Preset::Taobao.dataset(0.01);
+        let a: Vec<GraphUpdate> = d.events().take(500).collect();
+        let b: Vec<GraphUpdate> = d.events().take(500).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        let d = Preset::Bi.dataset(0.005);
+        let mut last = 0u64;
+        for ev in d.events().take(2000) {
+            let ts = ev.ts().millis();
+            assert!(ts > last, "ts {ts} after {last}");
+            last = ts;
+        }
+    }
+
+    #[test]
+    fn vertices_come_first_then_edges() {
+        let d = Preset::Taobao.dataset(0.005);
+        let nv = d.total_vertices();
+        let events: Vec<GraphUpdate> = d.events().collect();
+        for (i, ev) in events.iter().enumerate() {
+            if (i as u64) < nv {
+                assert!(ev.is_vertex());
+            }
+        }
+        let edges = events.iter().filter(|e| e.is_edge()).count() as u64;
+        assert_eq!(edges, d.total_edges());
+    }
+
+    #[test]
+    fn edge_endpoints_respect_population_ranges() {
+        let d = Preset::Taobao.dataset(0.01);
+        let (ulo, uhi) = d.id_range("User");
+        let (ilo, ihi) = d.id_range("Item");
+        let click = d.et("Click");
+        let cop = d.et("CoPurchase");
+        for ev in d.events() {
+            if let GraphUpdate::Edge(e) = ev {
+                if e.etype == click {
+                    assert!((ulo..uhi).contains(&e.src.raw()));
+                    assert!((ilo..ihi).contains(&e.dst.raw()));
+                } else if e.etype == cop {
+                    assert!((ilo..ihi).contains(&e.src.raw()));
+                    assert!((ilo..ihi).contains(&e.dst.raw()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feature_refreshes_present() {
+        let d = Preset::Taobao.dataset(0.02); // 10% refresh ratio
+        let nv = d.total_vertices();
+        let refreshes = d
+            .events()
+            .skip(nv as usize)
+            .filter(|e| e.is_vertex())
+            .count();
+        assert!(refreshes > 0, "expected interleaved feature refreshes");
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        use std::collections::HashMap;
+        let d = Preset::Inter.dataset(0.02);
+        let mut deg: HashMap<u64, u64> = HashMap::new();
+        for ev in d.events() {
+            if let GraphUpdate::Edge(e) = ev {
+                *deg.entry(e.src.raw()).or_default() += 1;
+            }
+        }
+        let max = *deg.values().max().unwrap();
+        let avg = deg.values().sum::<u64>() as f64 / deg.len() as f64;
+        assert!(
+            (max as f64) > avg * 20.0,
+            "supernodes expected: max {max}, avg {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn total_events_estimate_close() {
+        let d = Preset::Bi.dataset(0.005);
+        let est = d.events().total_events();
+        let actual = d.events().count() as u64;
+        let diff = (est as f64 - actual as f64).abs() / actual as f64;
+        assert!(diff < 0.05, "estimate {est} vs actual {actual}");
+    }
+}

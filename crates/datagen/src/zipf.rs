@@ -1,0 +1,169 @@
+//! Zipf-distributed sampling over `1..=n` by rejection inversion
+//! (W. Hörmann & G. Derflinger, "Rejection-inversion to generate variates
+//! from monotone discrete distributions"), the same method used by
+//! `rand_distr::Zipf`. Implemented in-repo because `rand_distr` is outside
+//! the sanctioned dependency set.
+
+use rand::Rng;
+
+/// Samples ranks from a Zipf distribution with exponent `s > 0` over
+/// `{1, …, n}`: P(k) ∝ 1/k^s. Rank 1 is the hottest vertex (the
+/// "supernode" of §3.1).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    n: u64,
+    s: f64,
+    // Precomputed constants of the rejection-inversion scheme.
+    h_x1: f64,
+    h_half: f64,
+    hxm: f64,
+}
+
+impl ZipfSampler {
+    /// New sampler over `1..=n` with exponent `s`. Panics on `n == 0` or a
+    /// non-positive/non-finite exponent.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
+        let mut z = ZipfSampler {
+            n,
+            s,
+            h_x1: 0.0,
+            h_half: 0.0,
+            hxm: 0.0,
+        };
+        z.h_x1 = z.h(1.5) - 1.0;
+        z.h_half = z.h(0.5);
+        z.hxm = z.h(n as f64 + 0.5);
+        z
+    }
+
+    /// Support size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// H(x) = ∫ x^(-s) dx, with the s = 1 special case.
+    fn h(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-9 {
+            x.ln()
+        } else {
+            x.powf(1.0 - self.s) / (1.0 - self.s)
+        }
+    }
+
+    /// Inverse of `h`.
+    fn h_inv(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-9 {
+            x.exp()
+        } else {
+            (x * (1.0 - self.s)).powf(1.0 / (1.0 - self.s))
+        }
+    }
+
+    /// Draw one rank in `1..=n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        if self.n == 1 {
+            return 1;
+        }
+        loop {
+            let u = self.h_half + rng.gen::<f64>() * (self.hxm - self.h_half);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().max(1.0);
+            let k_u64 = (k as u64).min(self.n);
+            // Accept k with the rejection-inversion criterion.
+            if k - x <= self.h_x1 || u >= self.h(k + 0.5) - (k).powf(-self.s) {
+                return k_u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_support() {
+        let z = ZipfSampler::new(1000, 1.1);
+        let mut g = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut g);
+            assert!((1..=1000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let z = ZipfSampler::new(10_000, 1.2);
+        let mut g = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let mut ones = 0u32;
+        let mut top10 = 0u32;
+        for _ in 0..n {
+            let k = z.sample(&mut g);
+            if k == 1 {
+                ones += 1;
+            }
+            if k <= 10 {
+                top10 += 1;
+            }
+        }
+        let p1 = f64::from(ones) / f64::from(n);
+        let p10 = f64::from(top10) / f64::from(n);
+        assert!(p1 > 0.10, "rank 1 got {p1:.3} of mass");
+        assert!(p10 > 0.4, "top-10 got {p10:.3} of mass");
+    }
+
+    #[test]
+    fn exponent_one_special_case() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut g = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 101];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut g) as usize] += 1;
+        }
+        // P(1)/P(2) should be ≈ 2 for s = 1.
+        let ratio = f64::from(counts[1]) / f64::from(counts[2].max(1));
+        assert!((1.6..2.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn higher_exponent_is_more_skewed() {
+        let mut g = StdRng::seed_from_u64(4);
+        let mass_of_rank1 = |s: f64, g: &mut StdRng| {
+            let z = ZipfSampler::new(1000, s);
+            let mut ones = 0;
+            for _ in 0..20_000 {
+                if z.sample(g) == 1 {
+                    ones += 1;
+                }
+            }
+            ones
+        };
+        let light = mass_of_rank1(0.8, &mut g);
+        let heavy = mass_of_rank1(1.6, &mut g);
+        assert!(heavy > light * 2, "heavy {heavy} vs light {light}");
+    }
+
+    #[test]
+    fn singleton_support() {
+        let z = ZipfSampler::new(1, 1.5);
+        let mut g = StdRng::seed_from_u64(5);
+        assert_eq!(z.sample(&mut g), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty support")]
+    fn zero_support_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn bad_exponent_panics() {
+        let _ = ZipfSampler::new(10, 0.0);
+    }
+}

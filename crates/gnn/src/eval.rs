@@ -1,0 +1,91 @@
+//! Evaluation metrics for link prediction.
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) formulation.
+/// `scores[i]` is the predicted probability; `labels[i]` is 0/1. Returns
+/// 0.5 when one class is absent.
+pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let mut pairs: Vec<(f32, f32)> = scores.iter().copied().zip(labels.iter().copied()).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores must not be NaN"));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    let n = pairs.len();
+    while i < n {
+        // Average ranks over score ties.
+        let mut j = i;
+        while j < n && pairs[j].0 == pairs[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j) as f64 / 2.0; // ranks are 1-based
+        for p in &pairs[i..j] {
+            if p.1 > 0.5 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j;
+    }
+    let pos = labels.iter().filter(|&&l| l > 0.5).count() as f64;
+    let neg = n as f64 - pos;
+    if pos == 0.0 || neg == 0.0 {
+        return 0.5;
+    }
+    (rank_sum_pos - pos * (pos + 1.0) / 2.0) / (pos * neg)
+}
+
+/// Classification accuracy at threshold 0.5.
+pub fn accuracy(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let correct = scores
+        .iter()
+        .zip(labels)
+        .filter(|(s, l)| (**s >= 0.5) == (**l > 0.5))
+        .count();
+    correct as f64 / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-9);
+        assert!((accuracy(&scores, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverted_predictor() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!(auc(&scores, &labels) < 1e-9);
+        assert_eq!(accuracy(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn random_predictor_is_half() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_class_degenerate() {
+        assert_eq!(auc(&[0.3, 0.7], &[1.0, 1.0]), 0.5);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn tie_handling_is_symmetric() {
+        // Positive and negative share a tied score: that pair contributes
+        // exactly half.
+        let scores = [0.5, 0.5, 0.9];
+        let labels = [1.0, 0.0, 1.0];
+        let a = auc(&scores, &labels);
+        assert!((a - 0.75).abs() < 1e-9, "auc {a}");
+    }
+}

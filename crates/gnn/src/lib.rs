@@ -1,0 +1,32 @@
+//! # helios-gnn
+//!
+//! A from-scratch GraphSAGE implementation (§2.1) plus the model-serving
+//! substrate (the paper deploys TensorFlow Serving; §7.5). Used by two
+//! experiments:
+//!
+//! * **Fig. 18** — train a GraphSAGE link-prediction model offline on a
+//!   Taobao-shaped graph, then measure inference accuracy when the
+//!   sampled subgraphs are produced under increasing ingestion latency
+//!   (eventual consistency) versus the all-writes-visible oracle;
+//! * **Fig. 19** — end-to-end online inference: Helios serving workers
+//!   feed sampled subgraphs to model-serving workers.
+//!
+//! The model is a two-layer mean-aggregator GraphSAGE
+//! (`h_v = ReLU(W_self·h_v + W_neigh·mean(h_u) + b)`) with a dot-product
+//! link-prediction head, trained by plain SGD on binary cross-entropy
+//! with uniform negative sampling. Dense math is implemented in-repo
+//! (`tensor`), sized for the small embedding dimensions GNN serving uses.
+
+pub mod eval;
+pub mod model;
+pub mod oracle;
+pub mod server;
+pub mod tensor;
+pub mod trainer;
+
+pub use eval::{accuracy, auc};
+pub use model::SageModel;
+pub use oracle::OracleSampler;
+pub use server::ModelServer;
+pub use tensor::Matrix;
+pub use trainer::{LinkPredictionTrainer, TrainConfig};

@@ -1,0 +1,506 @@
+//! Two-layer mean-aggregator GraphSAGE with manual backprop.
+//!
+//! The forward pass follows Eq. 1 of the paper:
+//!
+//! ```text
+//! a_v    = mean(h_u, u ∈ N(v))                      (AGGREGATE)
+//! h_v'   = ReLU(W_self·h_v + W_neigh·a_v + b)        (UPDATE)
+//! ```
+//!
+//! applied over a 2-hop [`SampledSubgraph`]: layer 1 embeds the seed and
+//! its hop-1 samples from raw features (hop-1 nodes aggregate their hop-2
+//! children), layer 2 embeds the seed from the layer-1 embeddings.
+//! Vertices whose features are missing (eventual-consistency staleness)
+//! contribute zero vectors, exactly like a feature-store miss would in
+//! production.
+
+use crate::tensor::{axpy, mean_vectors, relu, relu_backward, Matrix};
+use bytes::{Buf, BytesMut};
+use helios_query::SampledSubgraph;
+use helios_types::{Decode, Encode, HeliosError, VertexId};
+use rand::Rng;
+
+/// One SAGE layer's parameters.
+#[derive(Debug, Clone)]
+pub struct SageLayer {
+    /// Self weight (out × in).
+    pub w_self: Matrix,
+    /// Neighbor weight (out × in).
+    pub w_neigh: Matrix,
+    /// Bias (out).
+    pub bias: Vec<f32>,
+}
+
+impl SageLayer {
+    fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        SageLayer {
+            w_self: Matrix::xavier(out_dim, in_dim, rng),
+            w_neigh: Matrix::xavier(out_dim, in_dim, rng),
+            bias: vec![0.0; out_dim],
+        }
+    }
+
+    /// Returns (pre-activation, activation).
+    fn forward(&self, h_self: &[f32], h_neigh: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let mut pre = self.w_self.matvec(h_self);
+        let n = self.w_neigh.matvec(h_neigh);
+        for ((p, nv), b) in pre.iter_mut().zip(&n).zip(&self.bias) {
+            *p += nv + b;
+        }
+        let out = relu(&pre);
+        (pre, out)
+    }
+}
+
+/// Gradients matching a [`SageLayer`].
+#[derive(Debug, Clone)]
+pub struct SageLayerGrads {
+    w_self: Matrix,
+    w_neigh: Matrix,
+    bias: Vec<f32>,
+}
+
+impl SageLayerGrads {
+    fn zeros(layer: &SageLayer) -> Self {
+        SageLayerGrads {
+            w_self: Matrix::zeros(layer.w_self.rows(), layer.w_self.cols()),
+            w_neigh: Matrix::zeros(layer.w_neigh.rows(), layer.w_neigh.cols()),
+            bias: vec![0.0; layer.bias.len()],
+        }
+    }
+}
+
+/// Accumulated gradients for the whole model.
+#[derive(Debug, Clone)]
+pub struct SageGrads {
+    layer1: SageLayerGrads,
+    layer2: SageLayerGrads,
+}
+
+/// Intermediate activations of one forward pass, kept for backprop.
+#[derive(Debug, Clone)]
+pub struct SageCache {
+    feat_seed: Vec<f32>,
+    /// Hop-1 nodes in frontier order with their raw features and the mean
+    /// feature of their hop-2 children.
+    hop1: Vec<Hop1Cache>,
+    mean_feat_hop1: Vec<f32>,
+    pre1_seed: Vec<f32>,
+    h1_seed: Vec<f32>,
+    mean_h1: Vec<f32>,
+    pre2: Vec<f32>,
+    /// The final embedding.
+    pub embedding: Vec<f32>,
+}
+
+#[derive(Debug, Clone)]
+struct Hop1Cache {
+    feat: Vec<f32>,
+    mean_child_feat: Vec<f32>,
+    pre1: Vec<f32>,
+    h1: Vec<f32>,
+}
+
+/// The two-layer GraphSAGE model.
+#[derive(Debug, Clone)]
+pub struct SageModel {
+    in_dim: usize,
+    hidden_dim: usize,
+    out_dim: usize,
+    layer1: SageLayer,
+    layer2: SageLayer,
+}
+
+impl SageModel {
+    /// New model with Xavier-initialised weights.
+    pub fn new(in_dim: usize, hidden_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        SageModel {
+            in_dim,
+            hidden_dim,
+            out_dim,
+            layer1: SageLayer::new(in_dim, hidden_dim, rng),
+            layer2: SageLayer::new(hidden_dim, out_dim, rng),
+        }
+    }
+
+    /// Input feature dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output embedding dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    fn feature_of(&self, sg: &SampledSubgraph, v: VertexId) -> Vec<f32> {
+        match sg.feature(v) {
+            Some(f) if f.len() == self.in_dim => f.to_vec(),
+            Some(f) => {
+                // Defensive: pad/truncate mismatched features.
+                let mut out = vec![0.0; self.in_dim];
+                let n = f.len().min(self.in_dim);
+                out[..n].copy_from_slice(&f[..n]);
+                out
+            }
+            None => vec![0.0; self.in_dim],
+        }
+    }
+
+    /// Forward pass with cached intermediates (training).
+    pub fn forward_cached(&self, sg: &SampledSubgraph) -> SageCache {
+        let feat_seed = self.feature_of(sg, sg.seed);
+
+        // Hop-1 nodes in frontier order, with their hop-2 children.
+        let hop1_nodes: Vec<VertexId> = sg
+            .hops
+            .first()
+            .map(|h| h.flat().collect())
+            .unwrap_or_default();
+        // hops[1].groups is aligned with hop1_nodes when present.
+        let empty: &[(VertexId, Vec<VertexId>)] = &[];
+        let hop2_groups: &[(VertexId, Vec<VertexId>)] =
+            sg.hops.get(1).map_or(empty, |h| h.groups.as_slice());
+
+        let mut hop1 = Vec::with_capacity(hop1_nodes.len());
+        for (i, &u) in hop1_nodes.iter().enumerate() {
+            let feat = self.feature_of(sg, u);
+            let child_feats: Vec<Vec<f32>> = hop2_groups
+                .get(i)
+                .map(|(_, children)| {
+                    children.iter().map(|&c| self.feature_of(sg, c)).collect()
+                })
+                .unwrap_or_default();
+            let refs: Vec<&[f32]> = child_feats.iter().map(Vec::as_slice).collect();
+            let mean_child_feat = mean_vectors(&refs, self.in_dim);
+            let (pre1, h1) = self.layer1.forward(&feat, &mean_child_feat);
+            hop1.push(Hop1Cache {
+                feat,
+                mean_child_feat,
+                pre1,
+                h1,
+            });
+        }
+
+        let hop1_feat_refs: Vec<&[f32]> = hop1.iter().map(|c| c.feat.as_slice()).collect();
+        let mean_feat_hop1 = mean_vectors(&hop1_feat_refs, self.in_dim);
+        let (pre1_seed, h1_seed) = self.layer1.forward(&feat_seed, &mean_feat_hop1);
+
+        let h1_refs: Vec<&[f32]> = hop1.iter().map(|c| c.h1.as_slice()).collect();
+        let mean_h1 = mean_vectors(&h1_refs, self.hidden_dim);
+        let (pre2, embedding) = self.layer2.forward(&h1_seed, &mean_h1);
+
+        SageCache {
+            feat_seed,
+            hop1,
+            mean_feat_hop1,
+            pre1_seed,
+            h1_seed,
+            mean_h1,
+            pre2,
+            embedding,
+        }
+    }
+
+    /// Forward pass returning just the embedding (inference).
+    pub fn infer(&self, sg: &SampledSubgraph) -> Vec<f32> {
+        self.forward_cached(sg).embedding
+    }
+
+    /// Fresh zero gradients for this model.
+    pub fn zero_grads(&self) -> SageGrads {
+        SageGrads {
+            layer1: SageLayerGrads::zeros(&self.layer1),
+            layer2: SageLayerGrads::zeros(&self.layer2),
+        }
+    }
+
+    /// Accumulate gradients of a scalar loss whose gradient w.r.t. the
+    /// embedding is `grad_out`.
+    pub fn backward(&self, cache: &SageCache, grad_out: &[f32], grads: &mut SageGrads) {
+        // ---- layer 2 ----
+        let grad_pre2 = relu_backward(grad_out, &cache.pre2);
+        grads
+            .layer2
+            .w_self
+            .add_outer(&grad_pre2, &cache.h1_seed, 1.0);
+        grads
+            .layer2
+            .w_neigh
+            .add_outer(&grad_pre2, &cache.mean_h1, 1.0);
+        axpy(&mut grads.layer2.bias, &grad_pre2, 1.0);
+
+        let grad_h1_seed = self.layer2.w_self.matvec_t(&grad_pre2);
+        let grad_mean_h1 = self.layer2.w_neigh.matvec_t(&grad_pre2);
+
+        // ---- layer 1, seed ----
+        let grad_pre1_seed = relu_backward(&grad_h1_seed, &cache.pre1_seed);
+        grads
+            .layer1
+            .w_self
+            .add_outer(&grad_pre1_seed, &cache.feat_seed, 1.0);
+        grads
+            .layer1
+            .w_neigh
+            .add_outer(&grad_pre1_seed, &cache.mean_feat_hop1, 1.0);
+        axpy(&mut grads.layer1.bias, &grad_pre1_seed, 1.0);
+
+        // ---- layer 1, hop-1 nodes (through mean_h1) ----
+        if !cache.hop1.is_empty() {
+            let scale = 1.0 / cache.hop1.len() as f32;
+            for hc in &cache.hop1 {
+                let grad_h1_u: Vec<f32> = grad_mean_h1.iter().map(|g| g * scale).collect();
+                let grad_pre1_u = relu_backward(&grad_h1_u, &hc.pre1);
+                grads.layer1.w_self.add_outer(&grad_pre1_u, &hc.feat, 1.0);
+                grads
+                    .layer1
+                    .w_neigh
+                    .add_outer(&grad_pre1_u, &hc.mean_child_feat, 1.0);
+                axpy(&mut grads.layer1.bias, &grad_pre1_u, 1.0);
+            }
+        }
+    }
+
+    /// SGD step: `θ ← θ - lr · g`.
+    pub fn apply_grads(&mut self, grads: &SageGrads, lr: f32) {
+        self.layer1.w_self.add_scaled(&grads.layer1.w_self, -lr);
+        self.layer1.w_neigh.add_scaled(&grads.layer1.w_neigh, -lr);
+        axpy(&mut self.layer1.bias, &grads.layer1.bias, -lr);
+        self.layer2.w_self.add_scaled(&grads.layer2.w_self, -lr);
+        self.layer2.w_neigh.add_scaled(&grads.layer2.w_neigh, -lr);
+        axpy(&mut self.layer2.bias, &grads.layer2.bias, -lr);
+    }
+
+    /// Mutable access to a few weights for gradient checking in tests.
+    #[doc(hidden)]
+    pub fn perturb_l1_wself(&mut self, r: usize, c: usize, delta: f32) {
+        *self.layer1.w_self.get_mut(r, c) += delta;
+    }
+
+    #[doc(hidden)]
+    pub fn grad_l1_wself(grads: &SageGrads, r: usize, c: usize) -> f32 {
+        grads.layer1.w_self.get(r, c)
+    }
+
+    #[doc(hidden)]
+    pub fn perturb_l2_wneigh(&mut self, r: usize, c: usize, delta: f32) {
+        *self.layer2.w_neigh.get_mut(r, c) += delta;
+    }
+
+    #[doc(hidden)]
+    pub fn grad_l2_wneigh(grads: &SageGrads, r: usize, c: usize) -> f32 {
+        grads.layer2.w_neigh.get(r, c)
+    }
+
+    /// Serialize the trained weights (deploying an offline-trained model
+    /// to the online model servers, §2.2 → §7.5).
+    pub fn save(&self) -> bytes::Bytes {
+        self.encode_to_bytes()
+    }
+
+    /// Load weights previously produced by [`SageModel::save`].
+    pub fn load(raw: &[u8]) -> helios_types::Result<SageModel> {
+        SageModel::decode_from_slice(raw)
+    }
+}
+
+impl Encode for SageLayer {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.w_self.encode(buf);
+        self.w_neigh.encode(buf);
+        self.bias.encode(buf);
+    }
+}
+
+impl Decode for SageLayer {
+    fn decode(buf: &mut impl Buf) -> helios_types::Result<Self> {
+        Ok(SageLayer {
+            w_self: Matrix::decode(buf)?,
+            w_neigh: Matrix::decode(buf)?,
+            bias: Vec::<f32>::decode(buf)?,
+        })
+    }
+}
+
+impl Encode for SageModel {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.in_dim as u32).encode(buf);
+        (self.hidden_dim as u32).encode(buf);
+        (self.out_dim as u32).encode(buf);
+        self.layer1.encode(buf);
+        self.layer2.encode(buf);
+    }
+}
+
+impl Decode for SageModel {
+    fn decode(buf: &mut impl Buf) -> helios_types::Result<Self> {
+        let in_dim = u32::decode(buf)? as usize;
+        let hidden_dim = u32::decode(buf)? as usize;
+        let out_dim = u32::decode(buf)? as usize;
+        let layer1 = SageLayer::decode(buf)?;
+        let layer2 = SageLayer::decode(buf)?;
+        if layer1.w_self.rows() != hidden_dim
+            || layer1.w_self.cols() != in_dim
+            || layer2.w_self.rows() != out_dim
+            || layer2.w_self.cols() != hidden_dim
+        {
+            return Err(HeliosError::Codec("model dimensions inconsistent".into()));
+        }
+        Ok(SageModel {
+            in_dim,
+            hidden_dim,
+            out_dim,
+            layer1,
+            layer2,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_query::HopSamples;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_subgraph(with_features: bool) -> SampledSubgraph {
+        let mut sg = SampledSubgraph::new(VertexId(1));
+        sg.hops.push(HopSamples {
+            groups: vec![(VertexId(1), vec![VertexId(10), VertexId(11)])],
+        });
+        sg.hops.push(HopSamples {
+            groups: vec![
+                (VertexId(10), vec![VertexId(20)]),
+                (VertexId(11), vec![VertexId(21), VertexId(22)]),
+            ],
+        });
+        if with_features {
+            for (i, v) in [1u64, 10, 11, 20, 21, 22].iter().enumerate() {
+                sg.features.insert(
+                    VertexId(*v),
+                    vec![0.1 * (i as f32 + 1.0), -0.2, 0.3, 0.05 * i as f32],
+                );
+            }
+        }
+        sg
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = SageModel::new(4, 8, 6, &mut rng);
+        let sg = toy_subgraph(true);
+        let z1 = m.infer(&sg);
+        let z2 = m.infer(&sg);
+        assert_eq!(z1.len(), 6);
+        assert_eq!(z1, z2);
+        assert!(z1.iter().any(|&v| v != 0.0), "embedding all zero");
+    }
+
+    #[test]
+    fn missing_features_degrade_not_crash() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = SageModel::new(4, 8, 6, &mut rng);
+        let full = m.infer(&toy_subgraph(true));
+        let empty = m.infer(&toy_subgraph(false));
+        assert_eq!(empty.len(), 6);
+        assert_ne!(full, empty);
+    }
+
+    #[test]
+    fn one_hop_subgraph_supported() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = SageModel::new(4, 8, 6, &mut rng);
+        let mut sg = SampledSubgraph::new(VertexId(1));
+        sg.hops.push(HopSamples {
+            groups: vec![(VertexId(1), vec![VertexId(10)])],
+        });
+        sg.features.insert(VertexId(1), vec![1.0; 4]);
+        sg.features.insert(VertexId(10), vec![0.5; 4]);
+        let z = m.infer(&sg);
+        assert_eq!(z.len(), 6);
+    }
+
+    #[test]
+    fn empty_subgraph_supported() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = SageModel::new(4, 8, 6, &mut rng);
+        let z = m.infer(&SampledSubgraph::new(VertexId(9)));
+        assert_eq!(z.len(), 6);
+    }
+
+    /// Finite-difference gradient check on loss = sum(embedding).
+    #[test]
+    fn gradient_check() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = SageModel::new(4, 8, 6, &mut rng);
+        let sg = toy_subgraph(true);
+
+        let loss = |m: &SageModel| m.infer(&sg).iter().sum::<f32>();
+
+        let cache = m.forward_cached(&sg);
+        let mut grads = m.zero_grads();
+        m.backward(&cache, &[1.0; 6], &mut grads);
+
+        let eps = 1e-3;
+        // Check several coordinates in both layers.
+        for (r, c) in [(0usize, 0usize), (2, 1), (5, 3)] {
+            let analytic = SageModel::grad_l1_wself(&grads, r, c);
+            let base = loss(&m);
+            m.perturb_l1_wself(r, c, eps);
+            let bumped = loss(&m);
+            m.perturb_l1_wself(r, c, -eps);
+            let numeric = (bumped - base) / eps;
+            assert!(
+                (numeric - analytic).abs() < 0.02 + 0.05 * analytic.abs(),
+                "layer1 w_self[{r}][{c}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        for (r, c) in [(0usize, 0usize), (3, 5)] {
+            let analytic = SageModel::grad_l2_wneigh(&grads, r, c);
+            let base = loss(&m);
+            m.perturb_l2_wneigh(r, c, eps);
+            let bumped = loss(&m);
+            m.perturb_l2_wneigh(r, c, -eps);
+            let numeric = (bumped - base) / eps;
+            assert!(
+                (numeric - analytic).abs() < 0.02 + 0.05 * analytic.abs(),
+                "layer2 w_neigh[{r}][{c}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_inference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = SageModel::new(4, 8, 6, &mut rng);
+        let sg = toy_subgraph(true);
+        let raw = m.save();
+        let m2 = SageModel::load(&raw).unwrap();
+        assert_eq!(m.infer(&sg), m2.infer(&sg));
+        assert_eq!(m2.in_dim(), 4);
+        assert_eq!(m2.out_dim(), 6);
+        // Corrupt payload is rejected, not mis-loaded.
+        assert!(SageModel::load(&raw[..raw.len() / 2]).is_err());
+        assert!(SageModel::load(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn sgd_reduces_simple_loss() {
+        // Minimise ||embedding||² — gradients should drive it down.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut m = SageModel::new(4, 8, 6, &mut rng);
+        let sg = toy_subgraph(true);
+        let norm2 = |m: &SageModel| m.infer(&sg).iter().map(|v| v * v).sum::<f32>();
+        let before = norm2(&m);
+        for _ in 0..50 {
+            let cache = m.forward_cached(&sg);
+            let grad: Vec<f32> = cache.embedding.iter().map(|v| 2.0 * v).collect();
+            let mut g = m.zero_grads();
+            m.backward(&cache, &grad, &mut g);
+            m.apply_grads(&g, 0.01);
+        }
+        let after = norm2(&m);
+        assert!(after < before * 0.5, "{before} → {after}");
+    }
+}

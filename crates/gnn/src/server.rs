@@ -1,0 +1,88 @@
+//! The model-serving substrate (TensorFlow-Serving stand-in, §7.5).
+//!
+//! A [`ModelServer`] owns an immutable trained model shared across any
+//! number of caller threads; `infer`/`score` run the real forward pass.
+//! Inference throughput/latency is measured by the Fig. 19 harness, which
+//! drives many client threads against one server.
+
+use crate::model::SageModel;
+use crate::tensor::{dot, sigmoid};
+use helios_query::SampledSubgraph;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Thread-safe model server.
+#[derive(Clone)]
+pub struct ModelServer {
+    model: Arc<SageModel>,
+    requests: Arc<AtomicU64>,
+}
+
+impl ModelServer {
+    /// Serve a trained model.
+    pub fn new(model: SageModel) -> Self {
+        ModelServer {
+            model: Arc::new(model),
+            requests: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Embed one subgraph.
+    pub fn infer(&self, sg: &SampledSubgraph) -> Vec<f32> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.model.infer(sg)
+    }
+
+    /// Two-tower link score in [0, 1].
+    pub fn score(&self, src: &SampledSubgraph, dst: &SampledSubgraph) -> f32 {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let zs = self.model.infer(src);
+        let zd = self.model.infer(dst);
+        sigmoid(dot(&zs, &zd))
+    }
+
+    /// Requests served so far.
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_types::VertexId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn concurrent_inference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let server = ModelServer::new(SageModel::new(4, 8, 6, &mut rng));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = server.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        let sg = SampledSubgraph::new(VertexId(t * 100 + i));
+                        let z = s.infer(&sg);
+                        assert_eq!(z.len(), 6);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.request_count(), 400);
+    }
+
+    #[test]
+    fn score_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let server = ModelServer::new(SageModel::new(4, 8, 6, &mut rng));
+        let a = SampledSubgraph::new(VertexId(1));
+        let b = SampledSubgraph::new(VertexId(2));
+        let s = server.score(&a, &b);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

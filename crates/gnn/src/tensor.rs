@@ -1,0 +1,299 @@
+//! Minimal dense linear algebra for small GNN layers.
+//!
+//! Row-major `f32` matrices with exactly the operations two GraphSAGE
+//! layers need: matrix–vector products, transposed products (backprop),
+//! outer-product accumulation (weight gradients), ReLU and vector helpers.
+//! Dimensions here are tiny (≤ 128), so simple loops beat any BLAS call
+//! overhead; the inner loops vectorize under `-O`.
+
+use bytes::{Buf, BytesMut};
+use helios_types::{Decode, Encode, HeliosError};
+use rand::Rng;
+
+/// Row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialisation.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from rows of data (panics on ragged input).
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Borrow a row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `y = A·x` (matrix–vector).
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *yr = acc;
+        }
+        y
+    }
+
+    /// `y = Aᵀ·x` (transposed matrix–vector, used in backprop).
+    pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            let row = self.row(r);
+            for (yc, a) in y.iter_mut().zip(row) {
+                *yc += a * xr;
+            }
+        }
+        y
+    }
+
+    /// `A += scale · u·vᵀ` (outer-product accumulate; weight gradients).
+    pub fn add_outer(&mut self, u: &[f32], v: &[f32], scale: f32) {
+        assert_eq!(u.len(), self.rows);
+        assert_eq!(v.len(), self.cols);
+        for (r, &ur) in u.iter().enumerate() {
+            let base = r * self.cols;
+            let ur = ur * scale;
+            for (c, vc) in v.iter().enumerate() {
+                self.data[base + c] += ur * vc;
+            }
+        }
+    }
+
+    /// `A += scale · B` (SGD update).
+    pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Set every element to zero.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Frobenius norm (training diagnostics).
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl Encode for Matrix {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.rows as u32).encode(buf);
+        (self.cols as u32).encode(buf);
+        self.data.encode(buf);
+    }
+}
+
+impl Decode for Matrix {
+    fn decode(buf: &mut impl Buf) -> helios_types::Result<Self> {
+        let rows = u32::decode(buf)? as usize;
+        let cols = u32::decode(buf)? as usize;
+        let data = Vec::<f32>::decode(buf)?;
+        if data.len() != rows * cols {
+            return Err(HeliosError::Codec(format!(
+                "matrix payload {} != {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+}
+
+/// Element-wise ReLU.
+pub fn relu(x: &[f32]) -> Vec<f32> {
+    x.iter().map(|&v| v.max(0.0)).collect()
+}
+
+/// Mask `grad` by ReLU'(pre): zero where the pre-activation was ≤ 0.
+pub fn relu_backward(grad: &[f32], pre: &[f32]) -> Vec<f32> {
+    grad.iter()
+        .zip(pre)
+        .map(|(&g, &z)| if z > 0.0 { g } else { 0.0 })
+        .collect()
+}
+
+/// Element-wise mean of equal-length vectors; zeros when the set is empty
+/// (an unsampled neighborhood aggregates to nothing).
+pub fn mean_vectors(vs: &[&[f32]], dim: usize) -> Vec<f32> {
+    if vs.is_empty() {
+        return vec![0.0; dim];
+    }
+    let mut out = vec![0.0; dim];
+    for v in vs {
+        assert_eq!(v.len(), dim);
+        for (o, x) in out.iter_mut().zip(*v) {
+            *o += x;
+        }
+    }
+    let n = vs.len() as f32;
+    for o in &mut out {
+        *o /= n;
+    }
+    out
+}
+
+/// Dot product.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Numerically-stable logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// `a += scale * b`.
+pub fn axpy(a: &mut [f32], b: &[f32], scale: f32) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += scale * y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_known_values() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0, 11.0]);
+        assert_eq!(m.matvec_t(&[1.0, 0.0, 1.0]), vec![6.0, 8.0]);
+        assert_eq!(m.get(1, 1), 4.0);
+        assert_eq!(m.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose_of_matvec() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::xavier(5, 7, &mut rng);
+        // <A x, y> == <x, Aᵀ y>
+        let x: Vec<f32> = (0..7).map(|i| i as f32 * 0.3 - 1.0).collect();
+        let y: Vec<f32> = (0..5).map(|i| 1.0 - i as f32 * 0.2).collect();
+        let lhs = dot(&m.matvec(&x), &y);
+        let rhs = dot(&x, &m.matvec_t(&y));
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn outer_product_accumulation() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_outer(&[1.0, 2.0], &[1.0, 0.0, -1.0], 0.5);
+        assert_eq!(m.get(0, 0), 0.5);
+        assert_eq!(m.get(0, 2), -0.5);
+        assert_eq!(m.get(1, 0), 1.0);
+        m.clear();
+        assert_eq!(m.norm(), 0.0);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let pre = vec![-1.0, 0.0, 2.0];
+        assert_eq!(relu(&pre), vec![0.0, 0.0, 2.0]);
+        assert_eq!(relu_backward(&[1.0, 1.0, 1.0], &pre), vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_vectors_handles_empty() {
+        assert_eq!(mean_vectors(&[], 3), vec![0.0; 3]);
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        assert_eq!(mean_vectors(&[&a, &b], 2), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_correct() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!(sigmoid(1000.0).is_finite());
+    }
+
+    #[test]
+    fn gradient_check_linear_layer() {
+        // Finite-difference check: d/dW of f(W) = sum(W·x) equals x
+        // broadcast over rows.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = Matrix::xavier(3, 4, &mut rng);
+        let x: Vec<f32> = vec![0.5, -0.25, 1.0, 2.0];
+        let eps = 1e-3;
+        let f = |w: &Matrix| w.matvec(&x).iter().sum::<f32>();
+        let base = f(&w);
+        let before = w.get(1, 2);
+        *w.get_mut(1, 2) += eps;
+        let bumped = f(&w);
+        let numeric = (bumped - base) / eps;
+        assert!((numeric - x[2]).abs() < 1e-2, "{numeric} vs {}", x[2]);
+        *w.get_mut(1, 2) = before;
+    }
+}

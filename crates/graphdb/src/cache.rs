@@ -1,0 +1,119 @@
+//! A Neo4j-style query result cache with write invalidation.
+//!
+//! Graph databases can reuse results of previously executed queries, "but
+//! the continuous updates in dynamic graphs render most query caches
+//! unavailable, significantly limiting the cache hit ratio" (§1). The
+//! model here is deliberately simple and matches that failure mode: every
+//! cached result is stamped with the database's global write version and
+//! is only valid while no write has happened since.
+
+use helios_query::SampledSubgraph;
+use helios_types::{FxHashMap, VertexId};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Versioned query-result cache.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    version: AtomicU64,
+    entries: RwLock<FxHashMap<VertexId, (u64, SampledSubgraph)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    /// New empty cache.
+    pub fn new() -> Self {
+        QueryCache::default()
+    }
+
+    /// Record a write: bumps the global version, invalidating every entry.
+    pub fn on_write(&self) {
+        self.version.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Look up a still-valid result for `seed`.
+    pub fn get(&self, seed: VertexId) -> Option<SampledSubgraph> {
+        let current = self.version.load(Ordering::Relaxed);
+        let entries = self.entries.read();
+        match entries.get(&seed) {
+            Some((v, sg)) if *v == current => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(sg.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a freshly computed result.
+    pub fn put(&self, seed: VertexId, sg: SampledSubgraph) {
+        let current = self.version.load(Ordering::Relaxed);
+        self.entries.write().insert(seed, (current, sg));
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Hit ratio in [0, 1]; 0 when never queried.
+    pub fn hit_ratio(&self) -> f64 {
+        let (h, m) = self.stats();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sg(seed: u64) -> SampledSubgraph {
+        SampledSubgraph::new(VertexId(seed))
+    }
+
+    #[test]
+    fn hit_until_write() {
+        let c = QueryCache::new();
+        assert!(c.get(VertexId(1)).is_none());
+        c.put(VertexId(1), sg(1));
+        assert!(c.get(VertexId(1)).is_some());
+        assert!(c.get(VertexId(1)).is_some());
+        c.on_write();
+        assert!(c.get(VertexId(1)).is_none(), "write invalidates");
+        let (h, m) = c.stats();
+        assert_eq!((h, m), (2, 2));
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reinsert_after_invalidation_works() {
+        let c = QueryCache::new();
+        c.put(VertexId(1), sg(1));
+        c.on_write();
+        c.put(VertexId(1), sg(1));
+        assert!(c.get(VertexId(1)).is_some());
+    }
+
+    #[test]
+    fn continuous_writes_collapse_hit_ratio() {
+        // The §1 claim in miniature: interleave writes with queries and
+        // the cache never helps.
+        let c = QueryCache::new();
+        for i in 0..100u64 {
+            c.put(VertexId(i), sg(i));
+            c.on_write(); // a graph update arrives
+            assert!(c.get(VertexId(i)).is_none());
+        }
+        assert_eq!(c.hit_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! A counting semaphore (parking_lot Mutex + Condvar).
+//!
+//! Models the bounded query-execution thread pool of a storage node: when
+//! more concurrent queries hit a node than it has compute slots, they
+//! queue here — which is precisely where the baselines' latency explodes
+//! under load in Figs. 9/10.
+
+use parking_lot::{Condvar, Mutex};
+
+/// Counting semaphore.
+#[derive(Debug)]
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    /// New semaphore with `permits` slots.
+    pub fn new(permits: usize) -> Self {
+        assert!(permits > 0, "semaphore needs at least one permit");
+        Semaphore {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until a permit is available; the guard releases it on drop.
+    pub fn acquire(&self) -> SemaphoreGuard<'_> {
+        let mut p = self.permits.lock();
+        while *p == 0 {
+            self.cv.wait(&mut p);
+        }
+        *p -= 1;
+        SemaphoreGuard { sem: self }
+    }
+
+    /// Try to take a permit without blocking.
+    pub fn try_acquire(&self) -> Option<SemaphoreGuard<'_>> {
+        let mut p = self.permits.lock();
+        if *p == 0 {
+            None
+        } else {
+            *p -= 1;
+            Some(SemaphoreGuard { sem: self })
+        }
+    }
+
+    /// Permits currently available.
+    pub fn available(&self) -> usize {
+        *self.permits.lock()
+    }
+
+    fn release(&self) {
+        let mut p = self.permits.lock();
+        *p += 1;
+        drop(p);
+        self.cv.notify_one();
+    }
+}
+
+/// RAII permit.
+#[must_use = "dropping the guard releases the permit immediately"]
+pub struct SemaphoreGuard<'a> {
+    sem: &'a Semaphore,
+}
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        self.sem.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn permits_bound_concurrency() {
+        let sem = Arc::new(Semaphore::new(2));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let sem = Arc::clone(&sem);
+                let inside = Arc::clone(&inside);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let _g = sem.acquire();
+                        let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_micros(100));
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn try_acquire_fails_when_exhausted() {
+        let sem = Semaphore::new(1);
+        let g = sem.try_acquire().unwrap();
+        assert!(sem.try_acquire().is_none());
+        drop(g);
+        assert!(sem.try_acquire().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one permit")]
+    fn zero_permits_panics() {
+        let _ = Semaphore::new(0);
+    }
+}

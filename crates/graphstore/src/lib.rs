@@ -1,0 +1,19 @@
+//! # helios-graphstore
+//!
+//! Dynamic graph storage: adjacency lists + vertex feature table for one
+//! partition of an append-only dynamic graph (§4.2). Used by
+//!
+//! * the graph-database baseline (`helios-graphdb`), where each simulated
+//!   storage node owns one [`GraphPartition`] and runs ad-hoc traversals
+//!   over it, and
+//! * Helios sampling workers, whose feature tables are the same structure
+//!   minus adjacency (they keep reservoirs instead of full adjacency).
+//!
+//! Also implements the paper's three edge partition policies (`BySrc`,
+//! `ByDest`, `Both`) and TTL expiry of stale graph data.
+
+pub mod partition;
+pub mod policy;
+
+pub use partition::{GraphPartition, StoredEdge};
+pub use policy::PartitionPolicy;

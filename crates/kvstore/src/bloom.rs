@@ -1,0 +1,153 @@
+//! A compact bloom filter for SST files.
+//!
+//! Uses double hashing (Kirsch–Mitzenmacher): two base hashes generate k
+//! probe positions. ~10 bits/key with k=6 gives a ≈1% false-positive
+//! rate, matching RocksDB's default block-based filter.
+
+use helios_types::fx_hash_u64;
+
+const BITS_PER_KEY: usize = 10;
+const NUM_PROBES: u32 = 6;
+
+/// Immutable-after-build bloom filter over byte keys.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    nbits: u64,
+}
+
+fn hash_pair(key: &[u8]) -> (u64, u64) {
+    // Hash the key bytes in 8-byte words with two different seeds.
+    let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h2: u64 = 0x9e37_79b9_7f4a_7c15;
+    for chunk in key.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        let v = u64::from_le_bytes(w);
+        h1 = fx_hash_u64(h1 ^ v);
+        h2 = fx_hash_u64(h2.wrapping_add(v));
+    }
+    // Avoid a degenerate second hash (stride 0 would probe one bit).
+    if h2 == 0 {
+        h2 = 1;
+    }
+    (h1, h2)
+}
+
+impl BloomFilter {
+    /// Build a filter sized for `keys.len()` keys.
+    pub fn build<'a>(keys: impl ExactSizeIterator<Item = &'a [u8]>) -> Self {
+        let n = keys.len().max(1);
+        let words = ((n * BITS_PER_KEY).max(64) as u64).div_ceil(64) as usize;
+        // Round nbits up to the word boundary so a filter rebuilt via
+        // `from_words` (which only sees whole words) probes identically.
+        let nbits = (words as u64) * 64;
+        let mut bits = vec![0u64; words];
+        for key in keys {
+            let (h1, h2) = hash_pair(key);
+            for i in 0..NUM_PROBES {
+                let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % nbits;
+                bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+            }
+        }
+        BloomFilter { bits, nbits }
+    }
+
+    /// Might the filter contain `key`? False positives possible, false
+    /// negatives never.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = hash_pair(key);
+        for i in 0..NUM_PROBES {
+            let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.nbits;
+            if self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Serialized size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Serialize into a word vector (for SST persistence).
+    pub fn to_words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuild from serialized words. An empty word list yields a filter
+    /// that rejects everything (the safe answer for a truncated payload).
+    pub fn from_words(mut words: Vec<u64>) -> Self {
+        if words.is_empty() {
+            words.push(0);
+        }
+        let nbits = (words.len() as u64) * 64;
+        BloomFilter { bits: words, nbits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<Vec<u8>> = (0..10_000u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let f = BloomFilter::build(keys.iter().map(|k| k.as_slice()));
+        for k in &keys {
+            assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let keys: Vec<Vec<u8>> = (0..10_000u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let f = BloomFilter::build(keys.iter().map(|k| k.as_slice()));
+        let mut fp = 0;
+        let probes = 10_000u64;
+        for i in 0..probes {
+            let k = (1_000_000 + i).to_le_bytes();
+            if f.may_contain(&k) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        assert!(rate < 0.05, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn empty_filter_works() {
+        let f = BloomFilter::build(std::iter::empty::<&[u8]>());
+        // Nothing inserted: everything should miss (with overwhelming
+        // probability for a fresh filter — actually deterministically,
+        // since no bit is set).
+        assert!(!f.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let keys: Vec<Vec<u8>> = (0..100u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let f = BloomFilter::build(keys.iter().map(|k| k.as_slice()));
+        let f2 = BloomFilter::from_words(f.to_words().to_vec());
+        for k in &keys {
+            assert!(f2.may_contain(k));
+        }
+        assert_eq!(f.byte_size(), f2.byte_size());
+    }
+
+    #[test]
+    fn from_empty_words_rejects_without_panicking() {
+        let f = BloomFilter::from_words(Vec::new());
+        assert!(!f.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn variable_length_keys() {
+        let keys: Vec<Vec<u8>> = vec![b"a".to_vec(), b"ab".to_vec(), b"abcdefghij".to_vec()];
+        let f = BloomFilter::build(keys.iter().map(|k| k.as_slice()));
+        for k in &keys {
+            assert!(f.may_contain(k));
+        }
+    }
+}

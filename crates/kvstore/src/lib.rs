@@ -1,0 +1,33 @@
+//! # helios-kvstore
+//!
+//! A sharded, LSM-flavoured key-value store — the reproduction's stand-in
+//! for RocksDB's *hybrid memory-disk mode*, which the paper uses to back
+//! the sample table and feature table of each serving worker (§6).
+//!
+//! Shape of the implementation:
+//!
+//! * the key space is sharded by hash across `shards` independent shards,
+//!   each with its own lock (writes from data-updating threads and reads
+//!   from serving threads rarely contend);
+//! * each shard has a **memtable** (ordered map, newest values win);
+//! * when a memtable exceeds its budget it is **flushed** to an immutable
+//!   sorted **SST file** with a bloom filter and a sparse index;
+//! * `get` consults the memtable, then SSTs newest → oldest;
+//! * deletes write **tombstones** (needed when a serving worker evicts
+//!   cache entries after an unsubscribe message, §5.3);
+//! * `compact()` merges a shard's SSTs, dropping tombstones and
+//!   TTL-expired entries (§6's "time-to-live threshold to remove the
+//!   stale data in the sample cache");
+//! * memory/disk byte accounting feeds the Fig. 16 cache-ratio
+//!   experiment.
+//!
+//! Not reproduced from RocksDB: the WAL (callers that need durability —
+//! the checkpoint path — write through `helios-mq` segments instead),
+//! leveled compaction, column families, snapshots.
+
+pub mod bloom;
+pub mod sst;
+pub mod store;
+
+pub use bloom::BloomFilter;
+pub use store::{KvConfig, KvStats, KvStore};

@@ -1,0 +1,371 @@
+//! Immutable sorted string table (SST) files.
+//!
+//! Layout: `HSST1` magic, entry count, then sorted entries of
+//! `[key_len u32][key][flags u8][ts u64][val_len u32][val]`. On open the
+//! file is scanned once to build a bloom filter and a sparse index (every
+//! 16th key with its file offset); point reads binary-search the sparse
+//! index and scan forward at most 16 entries using positioned reads, so
+//! concurrent readers never contend on a seek position.
+
+use crate::bloom::BloomFilter;
+use bytes::Bytes;
+use helios_types::{HeliosError, Result, Timestamp};
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 5] = b"HSST1";
+const INDEX_EVERY: usize = 16;
+
+/// A stored value: payload + write timestamp + tombstone flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredValue {
+    /// The value bytes (empty for tombstones).
+    pub data: Bytes,
+    /// Timestamp of the write (drives TTL expiry).
+    pub ts: Timestamp,
+    /// True when this entry marks a deletion.
+    pub tombstone: bool,
+}
+
+impl StoredValue {
+    /// A live value.
+    pub fn live(data: Bytes, ts: Timestamp) -> Self {
+        StoredValue {
+            data,
+            ts,
+            tombstone: false,
+        }
+    }
+
+    /// A deletion marker.
+    pub fn tombstone(ts: Timestamp) -> Self {
+        StoredValue {
+            data: Bytes::new(),
+            ts,
+            tombstone: true,
+        }
+    }
+
+    /// Approximate in-memory footprint.
+    pub fn footprint(&self) -> usize {
+        std::mem::size_of::<Self>() + self.data.len()
+    }
+}
+
+/// Write a sorted run of `(key, value)` pairs to `path`. Keys must be
+/// strictly ascending; violations are a logic error and panic in debug.
+pub fn write_sst<'a>(
+    path: &Path,
+    entries: impl Iterator<Item = (&'a [u8], &'a StoredValue)>,
+) -> Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    // Entry count is unknown for a generic iterator; buffer the encoded
+    // body first (flushes are infrequent and bounded by memtable size).
+    let mut body: Vec<u8> = Vec::with_capacity(1 << 16);
+    let mut count: u32 = 0;
+    let mut last_key: Option<Vec<u8>> = None;
+    for (key, value) in entries {
+        if let Some(prev) = &last_key {
+            debug_assert!(prev.as_slice() < key, "SST keys must be sorted and unique");
+        }
+        last_key = Some(key.to_vec());
+        body.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        body.extend_from_slice(key);
+        body.push(u8::from(value.tombstone));
+        body.extend_from_slice(&value.ts.millis().to_le_bytes());
+        body.extend_from_slice(&(value.data.len() as u32).to_le_bytes());
+        body.extend_from_slice(&value.data);
+        count += 1;
+    }
+    w.write_all(MAGIC)?;
+    w.write_all(&count.to_le_bytes())?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// An open SST: bloom filter + sparse index + positioned-read handle.
+#[derive(Debug)]
+pub struct Sst {
+    path: PathBuf,
+    file: File,
+    bloom: BloomFilter,
+    /// `(key, file offset)` of every `INDEX_EVERY`-th entry.
+    index: Vec<(Vec<u8>, u64)>,
+    entries: u32,
+    file_bytes: u64,
+}
+
+impl Sst {
+    /// Open an SST, scanning it once to build the filter and index.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut file = File::open(path)?;
+        let mut magic = [0u8; 5];
+        file.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(HeliosError::Codec(format!(
+                "{} is not an SST file",
+                path.display()
+            )));
+        }
+        let mut count_buf = [0u8; 4];
+        file.read_exact(&mut count_buf)?;
+        let entries = u32::from_le_bytes(count_buf);
+
+        // Single sequential scan to collect keys (for the bloom filter)
+        // and the sparse index offsets.
+        let mut keys: Vec<Vec<u8>> = Vec::with_capacity(entries as usize);
+        let mut index = Vec::new();
+        let mut offset = (MAGIC.len() + 4) as u64;
+        let mut reader = std::io::BufReader::new(&mut file);
+        for i in 0..entries {
+            let entry_offset = offset;
+            let mut len4 = [0u8; 4];
+            reader.read_exact(&mut len4)?;
+            let klen = u32::from_le_bytes(len4) as usize;
+            let mut key = vec![0u8; klen];
+            reader.read_exact(&mut key)?;
+            let mut flag = [0u8; 1];
+            reader.read_exact(&mut flag)?;
+            let mut ts8 = [0u8; 8];
+            reader.read_exact(&mut ts8)?;
+            reader.read_exact(&mut len4)?;
+            let vlen = u32::from_le_bytes(len4) as usize;
+            std::io::copy(
+                &mut reader.by_ref().take(vlen as u64),
+                &mut std::io::sink(),
+            )?;
+            offset = entry_offset + 4 + klen as u64 + 1 + 8 + 4 + vlen as u64;
+            if (i as usize).is_multiple_of(INDEX_EVERY) {
+                index.push((key.clone(), entry_offset));
+            }
+            keys.push(key);
+        }
+        let bloom = BloomFilter::build(keys.iter().map(|k| k.as_slice()));
+        let file_bytes = offset;
+        let file = File::open(path)?;
+        Ok(Sst {
+            path: path.to_path_buf(),
+            file,
+            bloom,
+            index,
+            entries,
+            file_bytes,
+        })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u32 {
+        self.entries
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// On-disk size in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// In-memory metadata footprint (bloom + index).
+    pub fn meta_bytes(&self) -> usize {
+        self.bloom.byte_size()
+            + self
+                .index
+                .iter()
+                .map(|(k, _)| k.len() + 8)
+                .sum::<usize>()
+    }
+
+    /// File path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn read_entry_at(&self, offset: u64) -> Result<(Vec<u8>, StoredValue, u64)> {
+        let mut len4 = [0u8; 4];
+        self.file.read_exact_at(&mut len4, offset)?;
+        let klen = u32::from_le_bytes(len4) as usize;
+        let mut key = vec![0u8; klen];
+        self.file.read_exact_at(&mut key, offset + 4)?;
+        let mut flag = [0u8; 1];
+        self.file.read_exact_at(&mut flag, offset + 4 + klen as u64)?;
+        let mut ts8 = [0u8; 8];
+        self.file
+            .read_exact_at(&mut ts8, offset + 4 + klen as u64 + 1)?;
+        self.file
+            .read_exact_at(&mut len4, offset + 4 + klen as u64 + 9)?;
+        let vlen = u32::from_le_bytes(len4) as usize;
+        let mut val = vec![0u8; vlen];
+        self.file
+            .read_exact_at(&mut val, offset + 4 + klen as u64 + 13)?;
+        let next = offset + 4 + klen as u64 + 13 + vlen as u64;
+        Ok((
+            key,
+            StoredValue {
+                data: Bytes::from(val),
+                ts: Timestamp(u64::from_le_bytes(ts8)),
+                tombstone: flag[0] != 0,
+            },
+            next,
+        ))
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<StoredValue>> {
+        if self.entries == 0 || !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        // Find the last indexed key <= target.
+        let idx = match self.index.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => i,
+            Err(0) => return Ok(None), // smaller than the smallest key
+            Err(i) => i - 1,
+        };
+        let mut offset = self.index[idx].1;
+        for _ in 0..INDEX_EVERY {
+            if offset >= self.file_bytes {
+                break;
+            }
+            let (k, v, next) = self.read_entry_at(offset)?;
+            match k.as_slice().cmp(key) {
+                std::cmp::Ordering::Equal => return Ok(Some(v)),
+                std::cmp::Ordering::Greater => return Ok(None),
+                std::cmp::Ordering::Less => offset = next,
+            }
+        }
+        Ok(None)
+    }
+
+    /// Stream all entries in key order (compaction input).
+    pub fn scan(&self) -> Result<Vec<(Vec<u8>, StoredValue)>> {
+        let mut out = Vec::with_capacity(self.entries as usize);
+        let mut offset = (MAGIC.len() + 4) as u64;
+        for _ in 0..self.entries {
+            let (k, v, next) = self.read_entry_at(offset)?;
+            out.push((k, v));
+            offset = next;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("helios-sst-{}-{name}.sst", std::process::id()))
+    }
+
+    fn sample_map(n: u64) -> BTreeMap<Vec<u8>, StoredValue> {
+        (0..n)
+            .map(|i| {
+                (
+                    format!("key-{i:06}").into_bytes(),
+                    StoredValue::live(Bytes::from(format!("value-{i}")), Timestamp(i)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_open_get() {
+        let path = tmpfile("basic");
+        let map = sample_map(1000);
+        write_sst(&path, map.iter().map(|(k, v)| (k.as_slice(), v))).unwrap();
+        let sst = Sst::open(&path).unwrap();
+        assert_eq!(sst.len(), 1000);
+        assert!(!sst.is_empty());
+        for i in (0..1000).step_by(37) {
+            let k = format!("key-{i:06}");
+            let v = sst.get(k.as_bytes()).unwrap().unwrap();
+            assert_eq!(&v.data[..], format!("value-{i}").as_bytes());
+            assert_eq!(v.ts, Timestamp(i));
+            assert!(!v.tombstone);
+        }
+        assert!(sst.get(b"key-999999").unwrap().is_none());
+        assert!(sst.get(b"aaa").unwrap().is_none());
+        assert!(sst.get(b"zzz").unwrap().is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tombstones_roundtrip() {
+        let path = tmpfile("tomb");
+        let mut map = sample_map(10);
+        map.insert(b"key-000003".to_vec(), StoredValue::tombstone(Timestamp(99)));
+        write_sst(&path, map.iter().map(|(k, v)| (k.as_slice(), v))).unwrap();
+        let sst = Sst::open(&path).unwrap();
+        let v = sst.get(b"key-000003").unwrap().unwrap();
+        assert!(v.tombstone);
+        assert!(v.data.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scan_returns_sorted_everything() {
+        let path = tmpfile("scan");
+        let map = sample_map(200);
+        write_sst(&path, map.iter().map(|(k, v)| (k.as_slice(), v))).unwrap();
+        let sst = Sst::open(&path).unwrap();
+        let all = sst.scan().unwrap();
+        assert_eq!(all.len(), 200);
+        for w in all.windows(2) {
+            assert!(w[0].0 < w[1].0, "scan must be key-ordered");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_sst() {
+        let path = tmpfile("empty");
+        let map: BTreeMap<Vec<u8>, StoredValue> = BTreeMap::new();
+        write_sst(&path, map.iter().map(|(k, v)| (k.as_slice(), v))).unwrap();
+        let sst = Sst::open(&path).unwrap();
+        assert!(sst.is_empty());
+        assert!(sst.get(b"x").unwrap().is_none());
+        assert!(sst.scan().unwrap().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_non_sst_file() {
+        let path = tmpfile("bogus");
+        std::fs::write(&path, b"not an sst at all").unwrap();
+        assert!(Sst::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_readers() {
+        use std::sync::Arc;
+        let path = tmpfile("conc");
+        let map = sample_map(500);
+        write_sst(&path, map.iter().map(|(k, v)| (k.as_slice(), v))).unwrap();
+        let sst = Arc::new(Sst::open(&path).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let sst = Arc::clone(&sst);
+                std::thread::spawn(move || {
+                    for i in (t..500).step_by(4) {
+                        let k = format!("key-{i:06}");
+                        assert!(sst.get(k.as_bytes()).unwrap().is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

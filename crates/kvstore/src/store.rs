@@ -1,0 +1,476 @@
+//! The sharded store: memtables + SST runs per shard.
+
+use crate::sst::{write_sst, Sst, StoredValue};
+use bytes::Bytes;
+use helios_types::{fx_hash_u64, Result, Timestamp};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct KvConfig {
+    /// Number of independent shards (lock domains).
+    pub shards: usize,
+    /// Memtable byte budget per shard before a flush to disk is triggered.
+    /// Ignored in pure-memory mode (no `dir`).
+    pub memtable_budget: usize,
+    /// Directory for SST files. `None` = pure in-memory store.
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            shards: 8,
+            memtable_budget: 4 << 20,
+            dir: None,
+        }
+    }
+}
+
+impl KvConfig {
+    /// Pure in-memory configuration with `shards` shards.
+    pub fn in_memory(shards: usize) -> Self {
+        KvConfig {
+            shards,
+            ..Default::default()
+        }
+    }
+
+    /// Hybrid memory/disk configuration (the paper's RocksDB mode).
+    pub fn hybrid(shards: usize, memtable_budget: usize, dir: PathBuf) -> Self {
+        KvConfig {
+            shards,
+            memtable_budget,
+            dir: Some(dir),
+        }
+    }
+}
+
+/// Aggregate size statistics, the measurement behind Fig. 16.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KvStats {
+    /// Live + tombstone entries in memtables.
+    pub mem_entries: usize,
+    /// Approximate memtable bytes.
+    pub mem_bytes: usize,
+    /// Number of SST files.
+    pub sst_files: usize,
+    /// Bytes on disk across SSTs.
+    pub disk_bytes: u64,
+}
+
+impl KvStats {
+    /// Total footprint (memory + disk), the numerator of the cache ratio.
+    pub fn total_bytes(&self) -> u64 {
+        self.mem_bytes as u64 + self.disk_bytes
+    }
+}
+
+struct Shard {
+    memtable: BTreeMap<Vec<u8>, StoredValue>,
+    mem_bytes: usize,
+    /// Newest first.
+    ssts: Vec<Arc<Sst>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            memtable: BTreeMap::new(),
+            mem_bytes: 0,
+            ssts: Vec::new(),
+        }
+    }
+}
+
+/// Sharded LSM-style KV store. All operations are `&self`; internal
+/// per-shard `RwLock`s provide concurrency.
+pub struct KvStore {
+    config: KvConfig,
+    shards: Vec<RwLock<Shard>>,
+    next_sst_id: AtomicU64,
+}
+
+impl KvStore {
+    /// Open a store with the given configuration.
+    pub fn open(config: KvConfig) -> Result<Self> {
+        assert!(config.shards > 0, "need at least one shard");
+        if let Some(dir) = &config.dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let shards = (0..config.shards).map(|_| RwLock::new(Shard::new())).collect();
+        Ok(KvStore {
+            config,
+            shards,
+            next_sst_id: AtomicU64::new(0),
+        })
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &[u8]) -> &RwLock<Shard> {
+        let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+        for chunk in key.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            h = fx_hash_u64(h ^ u64::from_le_bytes(w));
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Insert or overwrite a key.
+    pub fn put(&self, key: &[u8], value: Bytes, ts: Timestamp) -> Result<()> {
+        let sv = StoredValue::live(value, ts);
+        self.write(key, sv)
+    }
+
+    /// Delete a key (tombstone).
+    pub fn delete(&self, key: &[u8], ts: Timestamp) -> Result<()> {
+        self.write(key, StoredValue::tombstone(ts))
+    }
+
+    fn write(&self, key: &[u8], sv: StoredValue) -> Result<()> {
+        let shard_lock = self.shard_of(key);
+        let mut flush_needed = false;
+        {
+            let mut shard = shard_lock.write();
+            let add = key.len() + sv.footprint();
+            if let Some(old) = shard.memtable.insert(key.to_vec(), sv) {
+                shard.mem_bytes = shard.mem_bytes.saturating_sub(old.footprint());
+                shard.mem_bytes += add - key.len();
+            } else {
+                shard.mem_bytes += add;
+            }
+            if self.config.dir.is_some() && shard.mem_bytes > self.config.memtable_budget {
+                flush_needed = true;
+            }
+        }
+        if flush_needed {
+            self.flush_shard(shard_lock)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup: memtable, then SSTs newest → oldest.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        let shard = self.shard_of(key).read();
+        if let Some(sv) = shard.memtable.get(key) {
+            return Ok(if sv.tombstone {
+                None
+            } else {
+                Some(sv.data.clone())
+            });
+        }
+        for sst in &shard.ssts {
+            if let Some(sv) = sst.get(key)? {
+                return Ok(if sv.tombstone {
+                    None
+                } else {
+                    Some(sv.data)
+                });
+            }
+        }
+        Ok(None)
+    }
+
+    /// Does the key exist (live)?
+    pub fn contains(&self, key: &[u8]) -> Result<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    fn flush_shard(&self, shard_lock: &RwLock<Shard>) -> Result<()> {
+        let dir = match &self.config.dir {
+            Some(d) => d.clone(),
+            None => return Ok(()),
+        };
+        let mut shard = shard_lock.write();
+        if shard.memtable.is_empty() {
+            return Ok(());
+        }
+        let id = self.next_sst_id.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("{id:010}.sst"));
+        write_sst(&path, shard.memtable.iter().map(|(k, v)| (k.as_slice(), v)))?;
+        let sst = Arc::new(Sst::open(&path)?);
+        shard.ssts.insert(0, sst);
+        shard.memtable.clear();
+        shard.mem_bytes = 0;
+        Ok(())
+    }
+
+    /// Force-flush every shard's memtable to disk (no-op in memory mode).
+    pub fn flush(&self) -> Result<()> {
+        for s in &self.shards {
+            self.flush_shard(s)?;
+        }
+        Ok(())
+    }
+
+    /// Merge each shard's SSTs into one, dropping tombstones and entries
+    /// older than `expire_before` (TTL horizon), then delete the old files.
+    pub fn compact(&self, expire_before: Option<Timestamp>) -> Result<()> {
+        let dir = match &self.config.dir {
+            Some(d) => d.clone(),
+            None => {
+                // Memory mode: TTL expiry applies to the memtable directly.
+                if let Some(h) = expire_before {
+                    for s in &self.shards {
+                        let mut shard = s.write();
+                        let mut freed = 0usize;
+                        shard.memtable.retain(|k, v| {
+                            let keep = !v.tombstone && v.ts >= h;
+                            if !keep {
+                                freed += k.len() + v.footprint();
+                            }
+                            keep
+                        });
+                        shard.mem_bytes = shard.mem_bytes.saturating_sub(freed);
+                    }
+                }
+                return Ok(());
+            }
+        };
+        for s in &self.shards {
+            let mut shard = s.write();
+            // Memtable TTL expiry.
+            if let Some(h) = expire_before {
+                let mut freed = 0usize;
+                shard.memtable.retain(|k, v| {
+                    let keep = v.tombstone || v.ts >= h;
+                    if !keep {
+                        freed += k.len() + v.footprint();
+                    }
+                    keep
+                });
+                shard.mem_bytes = shard.mem_bytes.saturating_sub(freed);
+            }
+            if shard.ssts.is_empty() {
+                continue;
+            }
+            // Newest-wins merge across runs.
+            let mut merged: BTreeMap<Vec<u8>, StoredValue> = BTreeMap::new();
+            for sst in shard.ssts.iter().rev() {
+                // oldest → newest so newer overwrite
+                for (k, v) in sst.scan()? {
+                    merged.insert(k, v);
+                }
+            }
+            merged.retain(|_, v| {
+                !v.tombstone && expire_before.is_none_or(|h| v.ts >= h)
+            });
+            let old: Vec<Arc<Sst>> = std::mem::take(&mut shard.ssts);
+            if !merged.is_empty() {
+                let id = self.next_sst_id.fetch_add(1, Ordering::Relaxed);
+                let path = dir.join(format!("{id:010}.sst"));
+                write_sst(&path, merged.iter().map(|(k, v)| (k.as_slice(), v)))?;
+                shard.ssts.push(Arc::new(Sst::open(&path)?));
+            }
+            drop(shard);
+            for sst in old {
+                let _ = std::fs::remove_file(sst.path());
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate size statistics.
+    pub fn stats(&self) -> KvStats {
+        let mut st = KvStats::default();
+        for s in &self.shards {
+            let shard = s.read();
+            st.mem_entries += shard.memtable.len();
+            st.mem_bytes += shard.mem_bytes;
+            st.sst_files += shard.ssts.len();
+            st.disk_bytes += shard.ssts.iter().map(|t| t.file_bytes()).sum::<u64>();
+        }
+        st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("helios-kv-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("k{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn put_get_delete_in_memory() {
+        let kv = KvStore::open(KvConfig::in_memory(4)).unwrap();
+        kv.put(&key(1), Bytes::from_static(b"one"), Timestamp(1)).unwrap();
+        assert_eq!(kv.get(&key(1)).unwrap().unwrap(), Bytes::from_static(b"one"));
+        assert!(kv.contains(&key(1)).unwrap());
+        kv.delete(&key(1), Timestamp(2)).unwrap();
+        assert!(kv.get(&key(1)).unwrap().is_none());
+        assert!(!kv.contains(&key(1)).unwrap());
+        assert!(kv.get(&key(2)).unwrap().is_none());
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let kv = KvStore::open(KvConfig::in_memory(2)).unwrap();
+        kv.put(&key(7), Bytes::from_static(b"v1"), Timestamp(1)).unwrap();
+        kv.put(&key(7), Bytes::from_static(b"v2"), Timestamp(2)).unwrap();
+        assert_eq!(kv.get(&key(7)).unwrap().unwrap(), Bytes::from_static(b"v2"));
+    }
+
+    #[test]
+    fn flush_spills_to_disk_and_reads_back() {
+        let dir = tmpdir("flush");
+        let kv = KvStore::open(KvConfig::hybrid(2, 1 << 30, dir.clone())).unwrap();
+        for i in 0..500u64 {
+            kv.put(&key(i), Bytes::from(format!("v{i}")), Timestamp(i)).unwrap();
+        }
+        kv.flush().unwrap();
+        let st = kv.stats();
+        assert_eq!(st.mem_entries, 0);
+        assert!(st.sst_files >= 1);
+        assert!(st.disk_bytes > 0);
+        for i in (0..500).step_by(13) {
+            assert_eq!(
+                kv.get(&key(i)).unwrap().unwrap(),
+                Bytes::from(format!("v{i}"))
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn automatic_flush_when_over_budget() {
+        let dir = tmpdir("auto");
+        let kv = KvStore::open(KvConfig::hybrid(1, 4096, dir.clone())).unwrap();
+        for i in 0..2000u64 {
+            kv.put(&key(i), Bytes::from(vec![0u8; 64]), Timestamp(i)).unwrap();
+        }
+        let st = kv.stats();
+        assert!(st.sst_files > 0, "budget overflow must trigger flushes");
+        // Everything remains readable.
+        for i in (0..2000).step_by(97) {
+            assert!(kv.get(&key(i)).unwrap().is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn newest_value_wins_across_memtable_and_ssts() {
+        let dir = tmpdir("newest");
+        let kv = KvStore::open(KvConfig::hybrid(1, 1 << 30, dir.clone())).unwrap();
+        kv.put(&key(1), Bytes::from_static(b"old"), Timestamp(1)).unwrap();
+        kv.flush().unwrap();
+        kv.put(&key(1), Bytes::from_static(b"new"), Timestamp(2)).unwrap();
+        assert_eq!(kv.get(&key(1)).unwrap().unwrap(), Bytes::from_static(b"new"));
+        // And across two SST runs:
+        kv.flush().unwrap();
+        assert_eq!(kv.get(&key(1)).unwrap().unwrap(), Bytes::from_static(b"new"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tombstone_shadows_older_sst_value() {
+        let dir = tmpdir("tomb");
+        let kv = KvStore::open(KvConfig::hybrid(1, 1 << 30, dir.clone())).unwrap();
+        kv.put(&key(5), Bytes::from_static(b"x"), Timestamp(1)).unwrap();
+        kv.flush().unwrap();
+        kv.delete(&key(5), Timestamp(2)).unwrap();
+        assert!(kv.get(&key(5)).unwrap().is_none());
+        kv.flush().unwrap();
+        assert!(kv.get(&key(5)).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_tombstones_and_shrinks_disk() {
+        let dir = tmpdir("compact");
+        let kv = KvStore::open(KvConfig::hybrid(1, 1 << 30, dir.clone())).unwrap();
+        for i in 0..300u64 {
+            kv.put(&key(i), Bytes::from(vec![1u8; 32]), Timestamp(i)).unwrap();
+        }
+        kv.flush().unwrap();
+        for i in 0..200u64 {
+            kv.delete(&key(i), Timestamp(1000 + i)).unwrap();
+        }
+        kv.flush().unwrap();
+        let before = kv.stats().disk_bytes;
+        kv.compact(None).unwrap();
+        let after = kv.stats();
+        assert!(after.disk_bytes < before);
+        assert_eq!(after.sst_files, 1);
+        for i in 0..200u64 {
+            assert!(kv.get(&key(i)).unwrap().is_none());
+        }
+        for i in 200..300u64 {
+            assert!(kv.get(&key(i)).unwrap().is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ttl_expiry_via_compaction() {
+        let dir = tmpdir("ttl");
+        let kv = KvStore::open(KvConfig::hybrid(1, 1 << 30, dir.clone())).unwrap();
+        for i in 0..100u64 {
+            kv.put(&key(i), Bytes::from_static(b"v"), Timestamp(i)).unwrap();
+        }
+        kv.flush().unwrap();
+        kv.compact(Some(Timestamp(50))).unwrap();
+        for i in 0..50u64 {
+            assert!(kv.get(&key(i)).unwrap().is_none(), "key {i} should expire");
+        }
+        for i in 50..100u64 {
+            assert!(kv.get(&key(i)).unwrap().is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ttl_expiry_in_memory_mode() {
+        let kv = KvStore::open(KvConfig::in_memory(2)).unwrap();
+        for i in 0..100u64 {
+            kv.put(&key(i), Bytes::from_static(b"v"), Timestamp(i)).unwrap();
+        }
+        kv.compact(Some(Timestamp(80))).unwrap();
+        assert!(kv.get(&key(10)).unwrap().is_none());
+        assert!(kv.get(&key(90)).unwrap().is_some());
+        let st = kv.stats();
+        assert_eq!(st.mem_entries, 20);
+    }
+
+    #[test]
+    fn concurrent_mixed_workload() {
+        use std::sync::Arc;
+        let kv = Arc::new(KvStore::open(KvConfig::in_memory(8)).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let kv = Arc::clone(&kv);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5000u64 {
+                    let k = key(t * 5000 + i);
+                    kv.put(&k, Bytes::from(vec![t as u8; 16]), Timestamp(i)).unwrap();
+                    assert!(kv.get(&k).unwrap().is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(kv.stats().mem_entries, 20_000);
+    }
+
+    #[test]
+    fn stats_total() {
+        let kv = KvStore::open(KvConfig::in_memory(1)).unwrap();
+        kv.put(b"a", Bytes::from_static(b"1"), Timestamp(0)).unwrap();
+        let st = kv.stats();
+        assert_eq!(st.total_bytes(), st.mem_bytes as u64);
+        assert_eq!(st.mem_entries, 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Model-based testing: the LSM store must behave exactly like a
+//! `BTreeMap` reference model under arbitrary interleavings of put,
+//! delete, flush and compact — in memory mode and hybrid (disk) mode.
+
+use bytes::Bytes;
+use helios_kvstore::{KvConfig, KvStore};
+use helios_types::Timestamp;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, Vec<u8>),
+    Delete(u16),
+    Get(u16),
+    Flush,
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..24)).prop_map(|(k, v)| Op::Put(k % 64, v)),
+        2 => any::<u16>().prop_map(|k| Op::Delete(k % 64)),
+        3 => any::<u16>().prop_map(|k| Op::Get(k % 64)),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+    ]
+}
+
+fn run_model(kv: &KvStore, ops: &[Op], allow_compact: bool) {
+    let mut model: BTreeMap<u16, Vec<u8>> = BTreeMap::new();
+    let mut ts = 0u64;
+    for op in ops {
+        ts += 1;
+        match op {
+            Op::Put(k, v) => {
+                kv.put(&k.to_be_bytes(), Bytes::from(v.clone()), Timestamp(ts))
+                    .unwrap();
+                model.insert(*k, v.clone());
+            }
+            Op::Delete(k) => {
+                kv.delete(&k.to_be_bytes(), Timestamp(ts)).unwrap();
+                model.remove(k);
+            }
+            Op::Get(k) => {
+                let got = kv.get(&k.to_be_bytes()).unwrap();
+                let want = model.get(k).map(|v| Bytes::from(v.clone()));
+                assert_eq!(got, want, "get({k}) diverged after {ts} ops");
+            }
+            Op::Flush => kv.flush().unwrap(),
+            Op::Compact => {
+                if allow_compact {
+                    kv.compact(None).unwrap();
+                }
+            }
+        }
+    }
+    // Final full audit.
+    for k in 0u16..64 {
+        let got = kv.get(&k.to_be_bytes()).unwrap();
+        let want = model.get(&k).map(|v| Bytes::from(v.clone()));
+        assert_eq!(got, want, "final audit of key {k}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
+
+    #[test]
+    fn in_memory_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let kv = KvStore::open(KvConfig::in_memory(4)).unwrap();
+        run_model(&kv, &ops, true);
+    }
+
+    #[test]
+    fn hybrid_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let dir = std::env::temp_dir().join(format!(
+            "helios-kv-model-{}-{:x}",
+            std::process::id(),
+            rand_suffix()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Tiny memtable: forces frequent spills so SST paths are exercised.
+        let kv = KvStore::open(KvConfig::hybrid(2, 256, dir.clone())).unwrap();
+        run_model(&kv, &ops, true);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+fn rand_suffix() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0)
+        .wrapping_add(N.fetch_add(1, Ordering::Relaxed))
+}

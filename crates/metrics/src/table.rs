@@ -1,0 +1,166 @@
+//! Fixed-width experiment table printer.
+//!
+//! Every figure/table harness in `helios-bench` prints its series through
+//! this type so `EXPERIMENTS.md` can be assembled from uniform output.
+
+use std::fmt::Write as _;
+
+/// A simple right-aligned table with a title, built row by row and
+/// rendered to a `String` (or stdout).
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of already-formatted cells. Panics if the arity does
+    /// not match the header row — a malformed experiment table is a bug.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of displayable cells.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a github-markdown-compatible table string.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let mut line = String::from("|");
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(line, " {h:>w$} |");
+        }
+        out.push_str(&line);
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            let mut line = String::from("|");
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(line, " {c:>w$} |");
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        let _ = writeln!(out);
+        debug_assert!(ncols > 0);
+        out
+    }
+
+    /// Print the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a float with 2 decimal places (helper for experiment rows).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format an ops/sec value with thousands separators.
+pub fn qps(v: f64) -> String {
+    let n = v.round() as u64;
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_table() {
+        let mut t = Table::new("Fig. X", &["concurrency", "qps", "p99 (ms)"]);
+        t.row(&["100".into(), "4,000".into(), "12.50".into()]);
+        t.row(&["200".into(), "7,900".into(), "14.10".into()]);
+        let s = t.render();
+        assert!(s.contains("### Fig. X"));
+        assert!(s.contains("| concurrency |"));
+        assert!(s.lines().count() >= 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn row_display_accepts_mixed_types() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row_display(&[&1u32, &"x"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn qps_formatting() {
+        assert_eq!(qps(1234567.0), "1,234,567");
+        assert_eq!(qps(999.4), "999");
+        assert_eq!(qps(0.0), "0");
+        assert_eq!(f2(1.005), "1.00"); // standard float rounding
+    }
+
+    #[test]
+    fn columns_align() {
+        let mut t = Table::new("align", &["x", "longer"]);
+        t.row(&["1".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // header and data lines have equal length
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+}

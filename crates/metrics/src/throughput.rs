@@ -1,0 +1,105 @@
+//! Throughput measurement.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts completed operations and reports rates over the elapsed window.
+///
+/// Used for serving QPS (Fig. 9/14/15/19) and ingestion records/s
+/// (Fig. 11/13).
+pub struct ThroughputMeter {
+    start: Instant,
+    ops: AtomicU64,
+}
+
+impl Default for ThroughputMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThroughputMeter {
+    /// Start a new measurement window at now.
+    pub fn new() -> Self {
+        ThroughputMeter {
+            start: Instant::now(),
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Record `n` completed operations.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one completed operation.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Total operations recorded.
+    pub fn total(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Seconds elapsed since the meter was created.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Operations per second over the elapsed window.
+    pub fn rate(&self) -> f64 {
+        let secs = self.elapsed_secs();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.total() as f64 / secs
+        }
+    }
+
+    /// Rate in millions of operations per second (the paper's "M/s" unit
+    /// for ingestion throughput).
+    pub fn rate_millions(&self) -> f64 {
+        self.rate() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn counts_and_rates() {
+        let m = ThroughputMeter::new();
+        m.add(500);
+        m.incr();
+        assert_eq!(m.total(), 501);
+        std::thread::sleep(Duration::from_millis(10));
+        let r = m.rate();
+        assert!(r > 0.0 && r < 501.0 / 0.01 * 1.5);
+        assert!(m.rate_millions() > 0.0 && m.rate_millions() < r / 1e6 * 1.5);
+    }
+
+    #[test]
+    fn concurrent_increments() {
+        let m = Arc::new(ThroughputMeter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..25_000 {
+                        m.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.total(), 100_000);
+    }
+}

@@ -1,0 +1,213 @@
+//! A single partition: an in-memory log with offset addressing, bounded
+//! retention, and optional durable segment backing.
+
+use crate::record::Record;
+use crate::segment::SegmentWriter;
+use bytes::Bytes;
+use helios_types::{PartitionId, Result};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::path::Path;
+
+#[derive(Debug)]
+struct Inner {
+    /// Records currently retained; `log[i]` has offset `base_offset + i`.
+    log: VecDeque<Record>,
+    /// Offset of the front record.
+    base_offset: u64,
+    /// Next offset to assign.
+    next_offset: u64,
+    /// Bytes currently retained.
+    bytes: usize,
+    /// Durable backing, if configured.
+    segment: Option<SegmentWriter>,
+}
+
+/// One partition of a topic.
+#[derive(Debug)]
+pub struct Partition {
+    id: PartitionId,
+    inner: Mutex<Inner>,
+    /// Soft cap on retained records (0 = unbounded).
+    retention_records: usize,
+}
+
+impl Partition {
+    pub(crate) fn new(id: PartitionId, retention_records: usize) -> Self {
+        Partition {
+            id,
+            inner: Mutex::new(Inner {
+                log: VecDeque::new(),
+                base_offset: 0,
+                next_offset: 0,
+                bytes: 0,
+                segment: None,
+            }),
+            retention_records,
+        }
+    }
+
+    pub(crate) fn attach_segment(&self, path: &Path) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.segment = Some(SegmentWriter::open(path)?);
+        Ok(())
+    }
+
+    /// Partition id.
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// Append a record; returns its offset.
+    pub fn append(&self, key: u64, payload: Bytes) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let offset = inner.next_offset;
+        inner.next_offset += 1;
+        if let Some(seg) = inner.segment.as_mut() {
+            seg.append(key, &payload)?;
+        }
+        let rec = Record {
+            partition: self.id,
+            offset,
+            key,
+            payload,
+        };
+        inner.bytes += rec.footprint();
+        inner.log.push_back(rec);
+        if self.retention_records > 0 {
+            while inner.log.len() > self.retention_records {
+                if let Some(old) = inner.log.pop_front() {
+                    inner.bytes -= old.footprint();
+                    inner.base_offset = old.offset + 1;
+                }
+            }
+        }
+        Ok(offset)
+    }
+
+    /// Restore a record during recovery without writing back to disk.
+    pub(crate) fn restore(&self, key: u64, payload: Bytes) {
+        let mut inner = self.inner.lock();
+        let offset = inner.next_offset;
+        inner.next_offset += 1;
+        let rec = Record {
+            partition: self.id,
+            offset,
+            key,
+            payload,
+        };
+        inner.bytes += rec.footprint();
+        inner.log.push_back(rec);
+    }
+
+    /// Fetch up to `max` records starting at `offset`. Returns records and
+    /// the next offset to poll from. If `offset` has been truncated away,
+    /// reading resumes at the retained front (like Kafka's
+    /// `auto.offset.reset=earliest`).
+    pub fn fetch(&self, offset: u64, max: usize) -> (Vec<Record>, u64) {
+        let inner = self.inner.lock();
+        let start = offset.max(inner.base_offset);
+        if start >= inner.next_offset {
+            return (Vec::new(), inner.next_offset.max(offset));
+        }
+        let idx = (start - inner.base_offset) as usize;
+        let records: Vec<Record> = inner.log.iter().skip(idx).take(max).cloned().collect();
+        let next = records.last().map_or(start, |r| r.offset + 1);
+        (records, next)
+    }
+
+    /// Offset that the next appended record will receive (= log end).
+    pub fn end_offset(&self) -> u64 {
+        self.inner.lock().next_offset
+    }
+
+    /// Oldest retained offset.
+    pub fn base_offset(&self) -> u64 {
+        self.inner.lock().base_offset
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().log.len()
+    }
+
+    /// Is the retained log empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes retained in memory.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Flush the durable segment, if any.
+    pub fn sync(&self) -> Result<()> {
+        if let Some(seg) = self.inner.lock().segment.as_mut() {
+            seg.sync()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn offsets_are_dense_and_monotonic() {
+        let p = Partition::new(PartitionId(0), 0);
+        for i in 0..10u64 {
+            assert_eq!(p.append(i, bytes("x")).unwrap(), i);
+        }
+        assert_eq!(p.end_offset(), 10);
+        assert_eq!(p.base_offset(), 0);
+    }
+
+    #[test]
+    fn fetch_respects_offset_and_max() {
+        let p = Partition::new(PartitionId(0), 0);
+        for i in 0..10u64 {
+            p.append(i, bytes(&format!("m{i}"))).unwrap();
+        }
+        let (recs, next) = p.fetch(3, 4);
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[0].offset, 3);
+        assert_eq!(next, 7);
+        let (recs, next) = p.fetch(next, 100);
+        assert_eq!(recs.len(), 3);
+        assert_eq!(next, 10);
+        let (recs, next) = p.fetch(next, 100);
+        assert!(recs.is_empty());
+        assert_eq!(next, 10);
+    }
+
+    #[test]
+    fn retention_truncates_front_and_resets_readers() {
+        let p = Partition::new(PartitionId(0), 5);
+        for i in 0..20u64 {
+            p.append(i, bytes("y")).unwrap();
+        }
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.base_offset(), 15);
+        // A reader at a truncated offset resumes at the retained front.
+        let (recs, next) = p.fetch(2, 100);
+        assert_eq!(recs.len(), 5);
+        assert_eq!(recs[0].offset, 15);
+        assert_eq!(next, 20);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_retention() {
+        let p = Partition::new(PartitionId(0), 2);
+        p.append(0, Bytes::from(vec![0u8; 1000])).unwrap();
+        p.append(1, Bytes::from(vec![0u8; 1000])).unwrap();
+        let two = p.bytes();
+        p.append(2, Bytes::from(vec![0u8; 1000])).unwrap();
+        assert_eq!(p.bytes(), two, "retention keeps byte count bounded");
+    }
+}

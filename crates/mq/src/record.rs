@@ -1,0 +1,40 @@
+//! Queue records.
+
+use bytes::Bytes;
+use helios_types::PartitionId;
+
+/// A record as stored in (and returned from) a partition log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Partition the record lives in.
+    pub partition: PartitionId,
+    /// Offset within the partition (dense, starting at 0).
+    pub offset: u64,
+    /// Optional producer key (used for partition routing).
+    pub key: u64,
+    /// Opaque payload.
+    pub payload: Bytes,
+}
+
+impl Record {
+    /// Approximate in-memory footprint, used for retention accounting.
+    pub fn footprint(&self) -> usize {
+        std::mem::size_of::<Self>() + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_includes_payload() {
+        let r = Record {
+            partition: PartitionId(0),
+            offset: 0,
+            key: 1,
+            payload: Bytes::from(vec![0u8; 100]),
+        };
+        assert!(r.footprint() >= 100);
+    }
+}

@@ -1,0 +1,164 @@
+//! Append-only on-disk segment files for durable topics.
+//!
+//! Format: a flat sequence of `[key: u64 LE][len: u32 LE][payload bytes]`
+//! frames. One file per partition. Writes go through a `BufWriter` and are
+//! flushed on [`SegmentWriter::sync`]; recovery reads frames until EOF (a
+//! truncated trailing frame — torn write — is dropped, like Kafka's log
+//! recovery).
+
+use bytes::Bytes;
+use helios_types::Result;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Appends frames to a partition's segment file.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+}
+
+impl SegmentWriter {
+    /// Open (creating or appending to) the segment at `path`.
+    pub fn open(path: &Path) -> Result<Self> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(SegmentWriter {
+            path: path.to_path_buf(),
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Append one frame.
+    pub fn append(&mut self, key: u64, payload: &[u8]) -> Result<()> {
+        self.out.write_all(&key.to_le_bytes())?;
+        self.out.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.out.write_all(payload)?;
+        Ok(())
+    }
+
+    /// Flush buffered frames to the OS.
+    pub fn sync(&mut self) -> Result<()> {
+        self.out.flush()?;
+        Ok(())
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Read back all intact frames from a segment file. Returns an empty list
+/// if the file does not exist.
+pub fn read_segment(path: &Path) -> Result<Vec<(u64, Bytes)>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut r = BufReader::new(file);
+    let mut out = Vec::new();
+    loop {
+        let mut key_buf = [0u8; 8];
+        match r.read_exact(&mut key_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let mut len_buf = [0u8; 4];
+        if r.read_exact(&mut len_buf).is_err() {
+            break; // torn frame: drop
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut payload = vec![0u8; len];
+        if r.read_exact(&mut payload).is_err() {
+            break; // torn frame: drop
+        }
+        out.push((u64::from_le_bytes(key_buf), Bytes::from(payload)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("helios-mq-seg-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let dir = tmpdir("rt");
+        let p = dir.join("p0.seg");
+        {
+            let mut w = SegmentWriter::open(&p).unwrap();
+            for i in 0..100u64 {
+                w.append(i, format!("payload-{i}").as_bytes()).unwrap();
+            }
+            w.sync().unwrap();
+        }
+        let frames = read_segment(&p).unwrap();
+        assert_eq!(frames.len(), 100);
+        assert_eq!(frames[42].0, 42);
+        assert_eq!(&frames[42].1[..], b"payload-42");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        let dir = tmpdir("missing");
+        assert!(read_segment(&dir.join("nope.seg")).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_frame_is_dropped() {
+        let dir = tmpdir("torn");
+        let p = dir.join("p0.seg");
+        {
+            let mut w = SegmentWriter::open(&p).unwrap();
+            w.append(1, b"complete").unwrap();
+            w.sync().unwrap();
+        }
+        // Append a torn frame by hand: key + length promising 100 bytes
+        // but only 3 present.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+            f.write_all(&2u64.to_le_bytes()).unwrap();
+            f.write_all(&100u32.to_le_bytes()).unwrap();
+            f.write_all(b"abc").unwrap();
+        }
+        let frames = read_segment(&p).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(&frames[0].1[..], b"complete");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_is_cumulative_across_reopens() {
+        let dir = tmpdir("reopen");
+        let p = dir.join("p0.seg");
+        {
+            let mut w = SegmentWriter::open(&p).unwrap();
+            w.append(1, b"a").unwrap();
+            w.sync().unwrap();
+        }
+        {
+            let mut w = SegmentWriter::open(&p).unwrap();
+            w.append(2, b"b").unwrap();
+            w.sync().unwrap();
+        }
+        let frames = read_segment(&p).unwrap();
+        assert_eq!(frames.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

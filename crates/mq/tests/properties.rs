@@ -1,0 +1,161 @@
+//! Property tests of the queue's delivery guarantees: per-key FIFO under
+//! concurrent producers, at-least-once re-delivery without commits,
+//! retention monotonicity, and durable recovery equivalence.
+
+use bytes::Bytes;
+use helios_mq::{Broker, TopicConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Per-key order is preserved no matter how producers interleave, because
+/// a key always routes to the same partition and partitions are FIFO.
+#[test]
+fn per_key_fifo_under_concurrent_producers() {
+    let broker = Broker::new();
+    let topic = broker.create_topic("t", TopicConfig::in_memory(4)).unwrap();
+    let keys_per_thread = 8u64;
+    let msgs_per_key = 200u64;
+    let mut handles = Vec::new();
+    for th in 0..4u64 {
+        let topic = Arc::clone(&topic);
+        handles.push(std::thread::spawn(move || {
+            for seq in 0..msgs_per_key {
+                for k in 0..keys_per_thread {
+                    let key = th * keys_per_thread + k;
+                    let payload = Bytes::from(format!("{key}:{seq}"));
+                    topic.produce(key, payload).unwrap();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut consumer = broker.consumer_all("g", "t").unwrap();
+    let mut last_seq: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+    let mut total = 0u64;
+    loop {
+        let recs = consumer.poll_now(1000);
+        if recs.is_empty() {
+            break;
+        }
+        for r in recs {
+            let s = String::from_utf8(r.payload.to_vec()).unwrap();
+            let (key, seq) = s.split_once(':').unwrap();
+            let key: u64 = key.parse().unwrap();
+            let seq: i64 = seq.parse().unwrap();
+            let prev = last_seq.entry(key).or_insert(-1);
+            assert!(seq > *prev, "key {key}: seq {seq} after {prev}");
+            *prev = seq;
+            total += 1;
+        }
+    }
+    assert_eq!(total, 4 * keys_per_thread * msgs_per_key);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..Default::default() })]
+
+    /// Any produce sequence: a consumer that never commits re-reads the
+    /// same records; a consumer that commits resumes exactly after.
+    #[test]
+    fn commit_resume_equivalence(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 1..60),
+        commit_at in 0usize..60,
+    ) {
+        let broker = Broker::new();
+        let topic = broker.create_topic("t", TopicConfig::in_memory(2)).unwrap();
+        for (i, p) in payloads.iter().enumerate() {
+            topic.produce(i as u64, Bytes::from(p.clone())).unwrap();
+        }
+        let commit_at = commit_at.min(payloads.len());
+
+        // First consumer reads `commit_at` records, commits, drops.
+        {
+            let mut c = broker.consumer_all("g", "t").unwrap();
+            let mut seen = 0;
+            while seen < commit_at {
+                let recs = c.poll_now(commit_at - seen);
+                prop_assert!(!recs.is_empty());
+                seen += recs.len();
+            }
+            c.commit();
+        }
+        // Second consumer must see exactly the remainder.
+        let mut c2 = broker.consumer_all("g", "t").unwrap();
+        let mut rest = 0;
+        loop {
+            let recs = c2.poll_now(1000);
+            if recs.is_empty() { break; }
+            rest += recs.len();
+        }
+        prop_assert_eq!(rest, payloads.len() - commit_at);
+    }
+
+    /// Retention never loses the *newest* records and never delivers a
+    /// record twice within one consumer.
+    #[test]
+    fn retention_keeps_newest(n in 1usize..200, cap in 1usize..50) {
+        let broker = Broker::new();
+        let topic = broker
+            .create_topic("t", TopicConfig { partitions: 1, retention_records: cap, segment_dir: None })
+            .unwrap();
+        for i in 0..n {
+            topic.produce(0, Bytes::from(vec![i as u8])).unwrap();
+        }
+        let mut c = broker.consumer_all("g", "t").unwrap();
+        let recs = c.poll_now(1000);
+        let expect = n.min(cap);
+        prop_assert_eq!(recs.len(), expect);
+        // The retained suffix is exactly the last `expect` records.
+        for (j, r) in recs.iter().enumerate() {
+            prop_assert_eq!(r.payload[0] as usize, n - expect + j);
+        }
+        prop_assert!(c.poll_now(10).is_empty());
+    }
+
+    /// Durable topics recover the exact same record sequence.
+    #[test]
+    fn durable_recovery_equivalence(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..40)
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "helios-mq-prop-{}-{}",
+            std::process::id(),
+            payloads.len() * 1000 + payloads.first().map_or(0, |p| p.len())
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = TopicConfig { partitions: 2, retention_records: 0, segment_dir: Some(dir.clone()) };
+        let before: Vec<Vec<u8>>;
+        {
+            let broker = Broker::new();
+            let topic = broker.create_topic("d", cfg.clone()).unwrap();
+            for (i, p) in payloads.iter().enumerate() {
+                topic.produce(i as u64, Bytes::from(p.clone())).unwrap();
+            }
+            topic.sync().unwrap();
+            let mut c = broker.consumer_all("g", "d").unwrap();
+            before = drain(&mut c);
+        }
+        let broker = Broker::new();
+        let _ = broker.recover_topic("d", cfg).unwrap();
+        let mut c = broker.consumer_all("g", "d").unwrap();
+        let after = drain(&mut c);
+        prop_assert_eq!(before, after);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+fn drain(c: &mut helios_mq::Consumer) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let recs = c.poll_now(1000);
+        if recs.is_empty() {
+            break;
+        }
+        for r in recs {
+            out.push(r.payload.to_vec());
+        }
+    }
+    out
+}

@@ -1,0 +1,103 @@
+//! # helios-query
+//!
+//! The sampling-query layer of Helios: a Gremlin-like builder and parser
+//! for K-hop sampling queries (Fig. 1 of the paper), decomposition of a
+//! K-hop query into K one-hop queries with a dependency DAG (§5.1), a
+//! graph schema registry (vertex/edge label names ↔ compact ids), and the
+//! [`SampledSubgraph`] result type that serving workers assemble and GNN
+//! models consume.
+//!
+//! ```
+//! use helios_query::{KHopQuery, SamplingStrategy, Schema};
+//!
+//! let mut schema = Schema::new();
+//! let user = schema.vertex_type("User");
+//! let item = schema.vertex_type("Item");
+//! let click = schema.edge_type("Click");
+//! let copurchase = schema.edge_type("CoPurchase");
+//!
+//! // The 2-hop e-commerce query of Fig. 1:
+//! let q = KHopQuery::builder(user)
+//!     .hop(click, item, 2, SamplingStrategy::Random)
+//!     .hop(copurchase, item, 2, SamplingStrategy::TopK)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(q.hops(), 2);
+//! let one_hop = q.decompose();
+//! assert_eq!(one_hop.len(), 2);
+//! ```
+
+pub mod parser;
+pub mod result;
+pub mod schema;
+pub mod spec;
+
+pub use parser::parse_query;
+pub use result::{HopSamples, SampledSubgraph};
+pub use schema::Schema;
+pub use spec::{KHopQuery, KHopQueryBuilder, OneHopQuery, QueryDag};
+
+// Re-export the strategy type so query users don't need helios-sampling
+// just to name a strategy.
+pub use strategy::SamplingStrategy;
+
+/// A local mirror of the sampling strategy enum.
+///
+/// `helios-query` sits *below* `helios-sampling` in the dependency order
+/// conceptually (queries don't sample), so rather than depending on the
+/// sampling crate for one enum, the strategy is defined in both crates
+/// with conversion glue in `helios-core`. The variants and string names
+/// are identical by construction (see tests).
+mod strategy {
+    use helios_types::{HeliosError, Result};
+
+    /// Neighbor-selection strategy of a one-hop query.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub enum SamplingStrategy {
+        /// Uniform over all edge updates (reservoir Algorithm R).
+        Random,
+        /// K largest timestamps.
+        TopK,
+        /// Probability proportional to edge weight.
+        EdgeWeight,
+    }
+
+    impl SamplingStrategy {
+        /// Canonical name as it appears in query strings.
+        pub fn name(self) -> &'static str {
+            match self {
+                SamplingStrategy::Random => "Random",
+                SamplingStrategy::TopK => "TopK",
+                SamplingStrategy::EdgeWeight => "EdgeWeight",
+            }
+        }
+
+        /// Parse a query-string token.
+        pub fn parse(s: &str) -> Result<Self> {
+            match s {
+                "Random" => Ok(SamplingStrategy::Random),
+                "TopK" => Ok(SamplingStrategy::TopK),
+                "EdgeWeight" => Ok(SamplingStrategy::EdgeWeight),
+                other => Err(HeliosError::InvalidConfig(format!(
+                    "unknown sampling strategy '{other}'"
+                ))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_names_stable() {
+        assert_eq!(SamplingStrategy::Random.name(), "Random");
+        assert_eq!(SamplingStrategy::TopK.name(), "TopK");
+        assert_eq!(SamplingStrategy::EdgeWeight.name(), "EdgeWeight");
+        for n in ["Random", "TopK", "EdgeWeight"] {
+            assert_eq!(SamplingStrategy::parse(n).unwrap().name(), n);
+        }
+        assert!(SamplingStrategy::parse("nope").is_err());
+    }
+}

@@ -1,0 +1,358 @@
+//! Parser for the Gremlin-like textual query language of Fig. 1.
+//!
+//! Accepted grammar (whitespace/newlines insignificant):
+//!
+//! ```text
+//! query  := ["g."] "V(" label ["," ident] ")" { step } [".values"]
+//! step   := ".alias(" label ")"                 // ignored
+//!         | ".outV(" label "," label ")"        // edge label, dst vertex label
+//!           ".sample(" int ")" ".by(" label ")" // fan-out, strategy
+//! label  := "'" chars "'"
+//! ```
+//!
+//! The paper's original syntax omits the destination vertex label because
+//! the production system resolves it from the graph schema; here the
+//! query text is self-contained instead, e.g.:
+//!
+//! ```text
+//! g.V('User').outV('Click', 'Item').sample(2).by('Random')
+//!            .outV('CoPurchase', 'Item').sample(2).by('TopK')
+//! ```
+
+use crate::schema::Schema;
+use crate::spec::KHopQuery;
+use crate::SamplingStrategy;
+use helios_types::{HeliosError, Result};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Int(u64),
+    LParen,
+    RParen,
+    Dot,
+    Comma,
+}
+
+fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '.' => {
+                chars.next();
+                out.push(Token::Dot);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(HeliosError::InvalidConfig(
+                                "unterminated string literal in query".into(),
+                            ))
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = 0u64;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(u64::from(v)))
+                            .ok_or_else(|| {
+                                HeliosError::InvalidConfig("integer overflow in query".into())
+                            })?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Int(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            other => {
+                return Err(HeliosError::InvalidConfig(format!(
+                    "unexpected character '{other}' in query"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| HeliosError::InvalidConfig("unexpected end of query".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        let got = self.next()?;
+        if &got == t {
+            Ok(())
+        } else {
+            Err(HeliosError::InvalidConfig(format!(
+                "expected {t:?}, got {got:?}"
+            )))
+        }
+    }
+
+    fn expect_ident_ci(&mut self, name: &str) -> Result<()> {
+        match self.next()? {
+            Token::Ident(s) if s.eq_ignore_ascii_case(name) => Ok(()),
+            got => Err(HeliosError::InvalidConfig(format!(
+                "expected '{name}', got {got:?}"
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Str(s) => Ok(s),
+            got => Err(HeliosError::InvalidConfig(format!(
+                "expected string literal, got {got:?}"
+            ))),
+        }
+    }
+
+    fn int(&mut self) -> Result<u64> {
+        match self.next()? {
+            Token::Int(n) => Ok(n),
+            got => Err(HeliosError::InvalidConfig(format!(
+                "expected integer, got {got:?}"
+            ))),
+        }
+    }
+}
+
+/// Parse a textual query into a [`KHopQuery`], interning labels into
+/// `schema`.
+pub fn parse_query(input: &str, schema: &mut Schema) -> Result<KHopQuery> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+
+    // optional "g."
+    if matches!(p.peek(), Some(Token::Ident(s)) if s == "g") {
+        p.next()?;
+        p.expect(&Token::Dot)?;
+    }
+
+    // V('Label'[, ID])
+    p.expect_ident_ci("V")?;
+    p.expect(&Token::LParen)?;
+    let seed_label = p.string()?;
+    if matches!(p.peek(), Some(Token::Comma)) {
+        p.next()?; // comma
+        p.next()?; // the ID placeholder (ident or int), ignored
+    }
+    p.expect(&Token::RParen)?;
+
+    let seed_type = schema.vertex_type(&seed_label);
+    let mut builder = KHopQuery::builder(seed_type);
+
+    // steps
+    while matches!(p.peek(), Some(Token::Dot)) {
+        p.next()?; // dot
+        let step = match p.next()? {
+            Token::Ident(s) => s,
+            got => {
+                return Err(HeliosError::InvalidConfig(format!(
+                    "expected step name, got {got:?}"
+                )))
+            }
+        };
+        match step.to_ascii_lowercase().as_str() {
+            "alias" => {
+                p.expect(&Token::LParen)?;
+                let _ = p.string()?;
+                p.expect(&Token::RParen)?;
+            }
+            "values" => {
+                // terminal marker; allow with or without parens
+                if matches!(p.peek(), Some(Token::LParen)) {
+                    p.next()?;
+                    p.expect(&Token::RParen)?;
+                }
+                break;
+            }
+            "outv" => {
+                p.expect(&Token::LParen)?;
+                let edge_label = p.string()?;
+                p.expect(&Token::Comma)?;
+                let dst_label = p.string()?;
+                p.expect(&Token::RParen)?;
+                p.expect(&Token::Dot)?;
+                p.expect_ident_ci("sample")?;
+                p.expect(&Token::LParen)?;
+                let fanout = p.int()?;
+                p.expect(&Token::RParen)?;
+                p.expect(&Token::Dot)?;
+                p.expect_ident_ci("by")?;
+                p.expect(&Token::LParen)?;
+                let strat = p.string()?;
+                p.expect(&Token::RParen)?;
+
+                let etype = schema.edge_type(&edge_label);
+                let dst_type = schema.vertex_type(&dst_label);
+                let strategy = SamplingStrategy::parse(&strat)?;
+                let fanout = u32::try_from(fanout).map_err(|_| {
+                    HeliosError::InvalidConfig(format!("fan-out {fanout} too large"))
+                })?;
+                builder = builder.hop(etype, dst_type, fanout, strategy);
+            }
+            other => {
+                return Err(HeliosError::InvalidConfig(format!(
+                    "unknown query step '{other}'"
+                )))
+            }
+        }
+    }
+
+    if p.peek().is_some() {
+        return Err(HeliosError::InvalidConfig(format!(
+            "trailing tokens after query: {:?}",
+            p.peek()
+        )));
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helios_types::QueryHopId;
+
+    #[test]
+    fn parses_fig1_query() {
+        let mut schema = Schema::new();
+        let q = parse_query(
+            "g.V('User', ID).alias('Seed')\
+             .outV('Click', 'Item').sample(2).by('Random')\
+             .outV('CoPurchase', 'Item').sample(2).by('TopK').values",
+            &mut schema,
+        )
+        .unwrap();
+        assert_eq!(q.hops(), 2);
+        assert_eq!(q.fanouts(), vec![2, 2]);
+        let hops = q.decompose();
+        assert_eq!(hops[0].strategy, SamplingStrategy::Random);
+        assert_eq!(hops[1].strategy, SamplingStrategy::TopK);
+        assert_eq!(hops[1].upstream, Some(QueryHopId(0)));
+        assert_eq!(schema.vertex_name(q.seed_type()), "User");
+        assert_eq!(schema.edge_name(hops[0].etype), "Click");
+    }
+
+    #[test]
+    fn parses_without_optional_pieces() {
+        let mut schema = Schema::new();
+        let q = parse_query(
+            "V('Account').outV('TransferTo', 'Account').sample(25).by('TopK')",
+            &mut schema,
+        )
+        .unwrap();
+        assert_eq!(q.hops(), 1);
+        assert_eq!(q.fanouts(), vec![25]);
+    }
+
+    #[test]
+    fn parses_three_hop_inter_query() {
+        let mut schema = Schema::new();
+        let q = parse_query(
+            "g.V('Forum').outV('Has', 'Person').sample(25).by('Random')\
+             .outV('Knows', 'Person').sample(10).by('Random')\
+             .outV('Knows', 'Person').sample(5).by('Random')",
+            &mut schema,
+        )
+        .unwrap();
+        assert_eq!(q.hops(), 3);
+        assert_eq!(q.fanouts(), vec![25, 10, 5]);
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        let mut s = Schema::new();
+        for bad in [
+            "",
+            "V('User')",                                          // zero hops
+            "V('User').outV('Click','Item').sample(0).by('Random')", // zero fan-out
+            "V('User').outV('Click','Item').sample(2).by('Bogus')",  // bad strategy
+            "V('User').outV('Click').sample(2).by('Random')",        // missing dst label
+            "V(User)",                                             // unquoted label
+            "V('User').outV('Click','Item').sample(2).by('Random') trailing",
+            "V('User').fooV('Click','Item')",                      // unknown step
+            "V('Unterminated",
+            "V('User').outV('Click','Item').sample(99999999999999999999).by('Random')",
+        ] {
+            assert!(parse_query(bad, &mut s).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn case_insensitive_step_names() {
+        let mut s = Schema::new();
+        let q = parse_query(
+            "g.V('User').OutV('Click', 'Item').Sample(3).By('Random')",
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(q.fanouts(), vec![3]);
+    }
+
+    #[test]
+    fn labels_shared_across_queries_via_schema() {
+        let mut s = Schema::new();
+        let q1 = parse_query("V('User').outV('Click','Item').sample(2).by('Random')", &mut s).unwrap();
+        let q2 = parse_query("V('User').outV('View','Item').sample(2).by('Random')", &mut s).unwrap();
+        assert_eq!(q1.seed_type(), q2.seed_type());
+        assert_ne!(q1.decompose()[0].etype, q2.decompose()[0].etype);
+    }
+}

@@ -1,0 +1,166 @@
+//! The K-hop sampling result assembled by serving workers and consumed by
+//! GNN inference.
+
+use helios_types::{FxHashMap, FxHashSet, VertexId};
+
+/// Samples of a single hop: for every parent vertex of the previous
+/// frontier, the list of sampled neighbors (`groups` preserves parent
+/// order, so the GNN layer can aggregate children into the right parent).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HopSamples {
+    /// `(parent, sampled children)` pairs in frontier order.
+    pub groups: Vec<(VertexId, Vec<VertexId>)>,
+}
+
+impl HopSamples {
+    /// All sampled vertices of this hop, in order, with duplicates (a
+    /// vertex can be sampled under several parents).
+    pub fn flat(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.groups.iter().flat_map(|(_, c)| c.iter().copied())
+    }
+
+    /// Number of sampled (parent, child) edges in this hop.
+    pub fn edge_count(&self) -> usize {
+        self.groups.iter().map(|(_, c)| c.len()).sum()
+    }
+}
+
+/// A complete K-hop sampled subgraph for one seed vertex, together with
+/// the features of every vertex it references.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SampledSubgraph {
+    /// The inference seed.
+    pub seed: VertexId,
+    /// Per-hop samples; `hops[0]` are the seed's direct samples.
+    pub hops: Vec<HopSamples>,
+    /// Feature vectors for the seed and all sampled vertices. Vertices
+    /// whose features have not arrived yet (eventual consistency, §6) are
+    /// absent; the model layer substitutes zeros.
+    pub features: FxHashMap<VertexId, Vec<f32>>,
+}
+
+impl SampledSubgraph {
+    /// New empty result for a seed.
+    pub fn new(seed: VertexId) -> Self {
+        SampledSubgraph {
+            seed,
+            hops: Vec::new(),
+            features: FxHashMap::default(),
+        }
+    }
+
+    /// Number of hops in the result.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// The frontier *entering* hop `k`: the seed for `k == 0`, otherwise
+    /// the flattened samples of hop `k-1` (with duplicates, in order).
+    pub fn frontier(&self, k: usize) -> Vec<VertexId> {
+        if k == 0 {
+            vec![self.seed]
+        } else {
+            self.hops
+                .get(k - 1)
+                .map(|h| h.flat().collect())
+                .unwrap_or_default()
+        }
+    }
+
+    /// Every distinct vertex mentioned (seed + all samples).
+    pub fn all_vertices(&self) -> FxHashSet<VertexId> {
+        let mut s = FxHashSet::default();
+        s.insert(self.seed);
+        for h in &self.hops {
+            for v in h.flat() {
+                s.insert(v);
+            }
+        }
+        s
+    }
+
+    /// Total sampled edges across hops (the "size" of the subgraph).
+    pub fn sampled_edge_count(&self) -> usize {
+        self.hops.iter().map(HopSamples::edge_count).sum()
+    }
+
+    /// Fraction of referenced vertices whose features are present — a
+    /// staleness measure under eventual consistency.
+    pub fn feature_coverage(&self) -> f64 {
+        let all = self.all_vertices();
+        if all.is_empty() {
+            return 1.0;
+        }
+        let have = all.iter().filter(|v| self.features.contains_key(v)).count();
+        have as f64 / all.len() as f64
+    }
+
+    /// Feature of `v`, or `None` if it has not been propagated yet.
+    pub fn feature(&self, v: VertexId) -> Option<&[f32]> {
+        self.features.get(&v).map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_hop_result() -> SampledSubgraph {
+        let mut r = SampledSubgraph::new(VertexId(1));
+        r.hops.push(HopSamples {
+            groups: vec![(VertexId(1), vec![VertexId(10), VertexId(11)])],
+        });
+        r.hops.push(HopSamples {
+            groups: vec![
+                (VertexId(10), vec![VertexId(20), VertexId(21)]),
+                (VertexId(11), vec![VertexId(20)]), // shared neighbor
+            ],
+        });
+        for v in [1u64, 10, 11, 20, 21] {
+            r.features.insert(VertexId(v), vec![v as f32; 4]);
+        }
+        r
+    }
+
+    #[test]
+    fn frontiers() {
+        let r = two_hop_result();
+        assert_eq!(r.frontier(0), vec![VertexId(1)]);
+        assert_eq!(r.frontier(1), vec![VertexId(10), VertexId(11)]);
+        assert_eq!(
+            r.frontier(2),
+            vec![VertexId(20), VertexId(21), VertexId(20)]
+        );
+        assert!(r.frontier(3).is_empty());
+    }
+
+    #[test]
+    fn vertex_and_edge_accounting() {
+        let r = two_hop_result();
+        assert_eq!(r.hop_count(), 2);
+        assert_eq!(r.sampled_edge_count(), 5);
+        let all = r.all_vertices();
+        assert_eq!(all.len(), 5); // 1, 10, 11, 20, 21 (20 deduped)
+        assert!(all.contains(&VertexId(20)));
+    }
+
+    #[test]
+    fn feature_coverage_reflects_missing() {
+        let mut r = two_hop_result();
+        assert_eq!(r.feature_coverage(), 1.0);
+        r.features.remove(&VertexId(21));
+        let cov = r.feature_coverage();
+        assert!((cov - 0.8).abs() < 1e-9, "coverage {cov}");
+        assert!(r.feature(VertexId(21)).is_none());
+        assert_eq!(r.feature(VertexId(20)).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn empty_result_is_well_behaved() {
+        let r = SampledSubgraph::new(VertexId(5));
+        assert_eq!(r.hop_count(), 0);
+        assert_eq!(r.sampled_edge_count(), 0);
+        assert_eq!(r.all_vertices().len(), 1);
+        assert_eq!(r.feature_coverage(), 0.0); // seed feature missing
+    }
+}

@@ -1,0 +1,126 @@
+//! Graph schema registry: human-readable vertex/edge labels ↔ compact ids.
+
+use helios_types::{EdgeType, FxHashMap, HeliosError, Result, VertexType};
+
+/// Interns vertex/edge label names into compact ids and back.
+///
+/// Registration is idempotent: asking for an existing label returns the
+/// id it was first given, so schemas can be rebuilt in any order.
+#[derive(Debug, Default, Clone)]
+pub struct Schema {
+    vertex_names: Vec<String>,
+    vertex_ids: FxHashMap<String, VertexType>,
+    edge_names: Vec<String>,
+    edge_ids: FxHashMap<String, EdgeType>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Intern (or look up) a vertex label.
+    pub fn vertex_type(&mut self, name: &str) -> VertexType {
+        if let Some(&id) = self.vertex_ids.get(name) {
+            return id;
+        }
+        let id = VertexType(
+            u16::try_from(self.vertex_names.len()).expect("more than 65535 vertex labels"),
+        );
+        self.vertex_names.push(name.to_string());
+        self.vertex_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Intern (or look up) an edge label.
+    pub fn edge_type(&mut self, name: &str) -> EdgeType {
+        if let Some(&id) = self.edge_ids.get(name) {
+            return id;
+        }
+        let id =
+            EdgeType(u16::try_from(self.edge_names.len()).expect("more than 65535 edge labels"));
+        self.edge_names.push(name.to_string());
+        self.edge_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up a vertex label without interning.
+    pub fn find_vertex_type(&self, name: &str) -> Result<VertexType> {
+        self.vertex_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| HeliosError::NotFound(format!("vertex label '{name}'")))
+    }
+
+    /// Look up an edge label without interning.
+    pub fn find_edge_type(&self, name: &str) -> Result<EdgeType> {
+        self.edge_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| HeliosError::NotFound(format!("edge label '{name}'")))
+    }
+
+    /// Name of a vertex type id.
+    pub fn vertex_name(&self, vt: VertexType) -> &str {
+        self.vertex_names
+            .get(vt.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("<unknown>")
+    }
+
+    /// Name of an edge type id.
+    pub fn edge_name(&self, et: EdgeType) -> &str {
+        self.edge_names
+            .get(et.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("<unknown>")
+    }
+
+    /// Number of registered vertex labels.
+    pub fn vertex_type_count(&self) -> usize {
+        self.vertex_names.len()
+    }
+
+    /// Number of registered edge labels.
+    pub fn edge_type_count(&self) -> usize {
+        self.edge_names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut s = Schema::new();
+        let a = s.vertex_type("User");
+        let b = s.vertex_type("Item");
+        let a2 = s.vertex_type("User");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(s.vertex_type_count(), 2);
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut s = Schema::new();
+        s.edge_type("Click");
+        assert!(s.find_edge_type("Click").is_ok());
+        assert!(s.find_edge_type("Missing").is_err());
+        assert!(s.find_vertex_type("Missing").is_err());
+        assert_eq!(s.edge_type_count(), 1, "find must not intern");
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        let mut s = Schema::new();
+        let u = s.vertex_type("User");
+        let c = s.edge_type("Click");
+        assert_eq!(s.vertex_name(u), "User");
+        assert_eq!(s.edge_name(c), "Click");
+        assert_eq!(s.vertex_name(VertexType(99)), "<unknown>");
+        assert_eq!(s.edge_name(EdgeType(99)), "<unknown>");
+    }
+}

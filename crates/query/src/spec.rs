@@ -1,0 +1,352 @@
+//! K-hop query specification, decomposition and dependency DAG (§5.1).
+
+use crate::SamplingStrategy;
+use helios_types::{EdgeType, HeliosError, QueryHopId, Result, VertexType};
+
+/// One hop of a K-hop query: traverse `etype` edges from the current
+/// frontier (whose vertices have type `src_type`) to `dst_type` vertices,
+/// sampling `fanout` neighbors with `strategy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopSpec {
+    /// Edge label traversed by this hop.
+    pub etype: EdgeType,
+    /// Vertex label of the sampled neighbors.
+    pub dst_type: VertexType,
+    /// Number of neighbors to sample (the hop's fan-out).
+    pub fanout: u32,
+    /// Sampling strategy.
+    pub strategy: SamplingStrategy,
+}
+
+/// A complete K-hop sampling query, as registered with the coordinator.
+///
+/// The *pattern* of the query (fan-outs, hop count, strategies) is fixed
+/// by how the GNN model was trained — the paper's key insight — which is
+/// what makes pre-sampling possible at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KHopQuery {
+    seed_type: VertexType,
+    hops: Vec<HopSpec>,
+}
+
+impl KHopQuery {
+    /// Start building a query whose seeds have the given vertex label.
+    pub fn builder(seed_type: VertexType) -> KHopQueryBuilder {
+        KHopQueryBuilder {
+            seed_type,
+            hops: Vec::new(),
+        }
+    }
+
+    /// Number of hops K.
+    pub fn hops(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Vertex label of seed vertices.
+    pub fn seed_type(&self) -> VertexType {
+        self.seed_type
+    }
+
+    /// The hop specifications in order.
+    pub fn hop_specs(&self) -> &[HopSpec] {
+        &self.hops
+    }
+
+    /// The fan-out vector `[C₁, …, C_K]`.
+    pub fn fanouts(&self) -> Vec<u32> {
+        self.hops.iter().map(|h| h.fanout).collect()
+    }
+
+    /// Upper bound on the number of *sample-table* lookups needed to build
+    /// a complete K-hop result: `∏_{i=1}^{K-1} Cᵢ` plus the seed lookup
+    /// (§6). Independent of vertex degree — the core of Helios's bounded
+    /// tail latency.
+    pub fn max_sample_lookups(&self) -> u64 {
+        let mut total = 1u64; // the seed's own lookup in Q₁
+        let mut frontier = 1u64;
+        for h in &self.hops[..self.hops.len().saturating_sub(1)] {
+            frontier *= u64::from(h.fanout);
+            total += frontier;
+        }
+        total
+    }
+
+    /// Upper bound on the number of *feature-table* lookups:
+    /// `∏_{i=1}^{K} Cᵢ` summed over hops, plus the seed's feature.
+    pub fn max_feature_lookups(&self) -> u64 {
+        let mut total = 1u64;
+        let mut frontier = 1u64;
+        for h in &self.hops {
+            frontier *= u64::from(h.fanout);
+            total += frontier;
+        }
+        total
+    }
+
+    /// Decompose into K one-hop queries (Fig. 1 → Q₁, Q₂, …).
+    ///
+    /// Hop k's *target* (key) vertex type is the neighbor type of hop k-1
+    /// (the seed type for Q₁), and its input dependency is Q_{k-1}.
+    pub fn decompose(&self) -> Vec<OneHopQuery> {
+        let mut out = Vec::with_capacity(self.hops.len());
+        let mut key_type = self.seed_type;
+        for (i, h) in self.hops.iter().enumerate() {
+            out.push(OneHopQuery {
+                hop: QueryHopId(i as u16),
+                key_type,
+                etype: h.etype,
+                neighbor_type: h.dst_type,
+                fanout: h.fanout,
+                strategy: h.strategy,
+                upstream: if i == 0 {
+                    None
+                } else {
+                    Some(QueryHopId((i - 1) as u16))
+                },
+            });
+            key_type = h.dst_type;
+        }
+        out
+    }
+
+    /// Build the dependency DAG over the decomposed one-hop queries.
+    pub fn dag(&self) -> QueryDag {
+        QueryDag::from_query(self)
+    }
+}
+
+/// Builder for [`KHopQuery`].
+#[derive(Debug, Clone)]
+pub struct KHopQueryBuilder {
+    seed_type: VertexType,
+    hops: Vec<HopSpec>,
+}
+
+impl KHopQueryBuilder {
+    /// Append a hop: `.outV(etype).sample(fanout).by(strategy)` targeting
+    /// `dst_type` vertices.
+    pub fn hop(
+        mut self,
+        etype: EdgeType,
+        dst_type: VertexType,
+        fanout: u32,
+        strategy: SamplingStrategy,
+    ) -> Self {
+        self.hops.push(HopSpec {
+            etype,
+            dst_type,
+            fanout,
+            strategy,
+        });
+        self
+    }
+
+    /// Validate and produce the query.
+    pub fn build(self) -> Result<KHopQuery> {
+        if self.hops.is_empty() {
+            return Err(HeliosError::InvalidConfig(
+                "a sampling query needs at least one hop".into(),
+            ));
+        }
+        if let Some(h) = self.hops.iter().find(|h| h.fanout == 0) {
+            return Err(HeliosError::InvalidConfig(format!(
+                "hop on edge {:?} has zero fan-out",
+                h.etype
+            )));
+        }
+        if self.hops.len() > u16::MAX as usize {
+            return Err(HeliosError::InvalidConfig("too many hops".into()));
+        }
+        Ok(KHopQuery {
+            seed_type: self.seed_type,
+            hops: self.hops,
+        })
+    }
+}
+
+/// A one-hop query Qₖ produced by decomposition. The unit of work for
+/// sampling workers: each maintains one reservoir table per one-hop query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OneHopQuery {
+    /// Which hop this is (Q₁ = `QueryHopId(0)`).
+    pub hop: QueryHopId,
+    /// Vertex label of the *key* (target) vertices of this one-hop query —
+    /// e.g. `User` for Q₁ in Fig. 1, `Item` for Q₂.
+    pub key_type: VertexType,
+    /// Edge label matched by this hop.
+    pub etype: EdgeType,
+    /// Vertex label of sampled neighbors.
+    pub neighbor_type: VertexType,
+    /// Fan-out (reservoir capacity).
+    pub fanout: u32,
+    /// Sampling strategy.
+    pub strategy: SamplingStrategy,
+    /// The one-hop query whose outputs feed this one (None for Q₁).
+    pub upstream: Option<QueryHopId>,
+}
+
+impl OneHopQuery {
+    /// Does an edge `(src_type --etype--> dst_type)` match this one-hop
+    /// query (i.e. should it be offered to the reservoir of `src`)?
+    #[inline]
+    pub fn matches_edge(&self, src_type: VertexType, etype: EdgeType, dst_type: VertexType) -> bool {
+        self.key_type == src_type && self.etype == etype && self.neighbor_type == dst_type
+    }
+}
+
+/// The data-dependency DAG between one-hop queries, distributed by the
+/// coordinator to all workers (§4.1). For chain queries this is a path
+/// Q₁ → Q₂ → …; the representation supports general DAGs so future
+/// multi-branch queries (e.g. two edge types from the same hop) fit.
+#[derive(Debug, Clone, Default)]
+pub struct QueryDag {
+    nodes: Vec<OneHopQuery>,
+    /// `downstream[i]` lists the indices of queries consuming Qᵢ's output.
+    downstream: Vec<Vec<usize>>,
+}
+
+impl QueryDag {
+    /// Build the DAG for a (chain) K-hop query.
+    pub fn from_query(q: &KHopQuery) -> Self {
+        let nodes = q.decompose();
+        let mut downstream = vec![Vec::new(); nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            if let Some(up) = n.upstream {
+                downstream[up.index()].push(i);
+            }
+        }
+        QueryDag { nodes, downstream }
+    }
+
+    /// All one-hop queries, topologically ordered (hop order).
+    pub fn nodes(&self) -> &[OneHopQuery] {
+        &self.nodes
+    }
+
+    /// The one-hop query for a hop id.
+    pub fn node(&self, hop: QueryHopId) -> Option<&OneHopQuery> {
+        self.nodes.get(hop.index())
+    }
+
+    /// Queries that consume the output of `hop` (Q_{k+1} for chains).
+    pub fn downstream(&self, hop: QueryHopId) -> impl Iterator<Item = &OneHopQuery> {
+        self.downstream
+            .get(hop.index())
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.nodes[i])
+    }
+
+    /// Number of one-hop queries.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the DAG holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_query() -> KHopQuery {
+        // User -Click-> Item -CoPurchase-> Item, fan-outs [2, 2]
+        KHopQuery::builder(VertexType(0))
+            .hop(EdgeType(0), VertexType(1), 2, SamplingStrategy::Random)
+            .hop(EdgeType(1), VertexType(1), 2, SamplingStrategy::TopK)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn decompose_matches_fig1() {
+        let q = fig1_query();
+        let one_hop = q.decompose();
+        assert_eq!(one_hop.len(), 2);
+
+        let q1 = &one_hop[0];
+        assert_eq!(q1.hop, QueryHopId(0));
+        assert_eq!(q1.key_type, VertexType(0)); // User
+        assert_eq!(q1.etype, EdgeType(0)); // Click
+        assert_eq!(q1.neighbor_type, VertexType(1)); // Item
+        assert_eq!(q1.strategy, SamplingStrategy::Random);
+        assert_eq!(q1.upstream, None);
+
+        let q2 = &one_hop[1];
+        assert_eq!(q2.hop, QueryHopId(1));
+        assert_eq!(q2.key_type, VertexType(1)); // Item (outputs of Q1)
+        assert_eq!(q2.etype, EdgeType(1)); // CoPurchase
+        assert_eq!(q2.strategy, SamplingStrategy::TopK);
+        assert_eq!(q2.upstream, Some(QueryHopId(0)));
+    }
+
+    #[test]
+    fn dag_downstream_links() {
+        let q = fig1_query();
+        let dag = q.dag();
+        assert_eq!(dag.len(), 2);
+        assert!(!dag.is_empty());
+        let down: Vec<_> = dag.downstream(QueryHopId(0)).collect();
+        assert_eq!(down.len(), 1);
+        assert_eq!(down[0].hop, QueryHopId(1));
+        assert_eq!(dag.downstream(QueryHopId(1)).count(), 0);
+        assert_eq!(dag.node(QueryHopId(1)).unwrap().etype, EdgeType(1));
+        assert!(dag.node(QueryHopId(9)).is_none());
+    }
+
+    #[test]
+    fn lookup_bounds_match_paper_formulas() {
+        // Paper §6: sample lookups = ∏_{i=1}^{K-1} Cᵢ (+ seed),
+        // feature lookups = ∏_{i=1}^{K} Cᵢ (+ …). For fan-outs [25, 10]:
+        let q = KHopQuery::builder(VertexType(0))
+            .hop(EdgeType(0), VertexType(1), 25, SamplingStrategy::TopK)
+            .hop(EdgeType(1), VertexType(2), 10, SamplingStrategy::TopK)
+            .build()
+            .unwrap();
+        // 1 (seed in Q1) + 25 (hop-1 samples in Q2)
+        assert_eq!(q.max_sample_lookups(), 26);
+        // 1 (seed) + 25 + 250
+        assert_eq!(q.max_feature_lookups(), 276);
+        assert_eq!(q.fanouts(), vec![25, 10]);
+    }
+
+    #[test]
+    fn three_hop_decomposition_chains_types() {
+        // Forum -Has-> Person -Knows-> Person -Knows-> Person
+        let q = KHopQuery::builder(VertexType(0))
+            .hop(EdgeType(0), VertexType(1), 25, SamplingStrategy::Random)
+            .hop(EdgeType(1), VertexType(1), 10, SamplingStrategy::Random)
+            .hop(EdgeType(1), VertexType(1), 5, SamplingStrategy::Random)
+            .build()
+            .unwrap();
+        let hops = q.decompose();
+        assert_eq!(hops[1].key_type, VertexType(1));
+        assert_eq!(hops[2].key_type, VertexType(1));
+        assert_eq!(hops[2].upstream, Some(QueryHopId(1)));
+        assert_eq!(q.max_sample_lookups(), 1 + 25 + 250);
+        assert_eq!(q.max_feature_lookups(), 1 + 25 + 250 + 1250);
+    }
+
+    #[test]
+    fn builder_rejects_invalid() {
+        assert!(KHopQuery::builder(VertexType(0)).build().is_err());
+        assert!(KHopQuery::builder(VertexType(0))
+            .hop(EdgeType(0), VertexType(1), 0, SamplingStrategy::Random)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn matches_edge_checks_all_three_labels() {
+        let q = fig1_query();
+        let q1 = q.decompose()[0];
+        assert!(q1.matches_edge(VertexType(0), EdgeType(0), VertexType(1)));
+        assert!(!q1.matches_edge(VertexType(1), EdgeType(0), VertexType(1)));
+        assert!(!q1.matches_edge(VertexType(0), EdgeType(1), VertexType(1)));
+        assert!(!q1.matches_edge(VertexType(0), EdgeType(0), VertexType(0)));
+    }
+}

@@ -1,0 +1,535 @@
+//! The per-vertex reservoir cell and the three sampling strategies.
+
+use bytes::{Buf, BytesMut};
+use helios_types::{Decode, Encode, HeliosError, Result, Timestamp, VertexId};
+use rand::Rng;
+
+/// How a one-hop query selects neighbors (`.by('Random' | 'TopK' |
+/// 'EdgeWeight')` in the query language of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SamplingStrategy {
+    /// Uniform over all edge updates seen for the key vertex (Algorithm R).
+    Random,
+    /// The K neighbors with the largest timestamps.
+    TopK,
+    /// Inclusion probability proportional to edge weight (A-Res).
+    EdgeWeight,
+}
+
+impl SamplingStrategy {
+    /// Strategy name as used in query strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplingStrategy::Random => "Random",
+            SamplingStrategy::TopK => "TopK",
+            SamplingStrategy::EdgeWeight => "EdgeWeight",
+        }
+    }
+
+    /// Parse from a query-string token.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "Random" => Ok(SamplingStrategy::Random),
+            "TopK" => Ok(SamplingStrategy::TopK),
+            "EdgeWeight" => Ok(SamplingStrategy::EdgeWeight),
+            other => Err(HeliosError::InvalidConfig(format!(
+                "unknown sampling strategy '{other}'"
+            ))),
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            SamplingStrategy::Random => 0,
+            SamplingStrategy::TopK => 1,
+            SamplingStrategy::EdgeWeight => 2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Self> {
+        match t {
+            0 => Ok(SamplingStrategy::Random),
+            1 => Ok(SamplingStrategy::TopK),
+            2 => Ok(SamplingStrategy::EdgeWeight),
+            other => Err(HeliosError::Codec(format!("bad strategy tag {other}"))),
+        }
+    }
+}
+
+impl Encode for SamplingStrategy {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.tag().encode(buf);
+    }
+}
+
+impl Decode for SamplingStrategy {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        SamplingStrategy::from_tag(u8::decode(buf)?)
+    }
+}
+
+/// One sampled neighbor held in a reservoir cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleEntry {
+    /// The sampled neighbor vertex.
+    pub neighbor: VertexId,
+    /// Timestamp of the edge update that produced this sample.
+    pub ts: Timestamp,
+    /// Edge weight of that update.
+    pub weight: f32,
+    /// A-Res key (`u^(1/w)`); 0 for non-weighted strategies.
+    pub key: f32,
+}
+
+impl Encode for SampleEntry {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.neighbor.encode(buf);
+        self.ts.encode(buf);
+        self.weight.encode(buf);
+        self.key.encode(buf);
+    }
+}
+
+impl Decode for SampleEntry {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        Ok(SampleEntry {
+            neighbor: VertexId::decode(buf)?,
+            ts: Timestamp::decode(buf)?,
+            weight: f32::decode(buf)?,
+            key: f32::decode(buf)?,
+        })
+    }
+}
+
+/// What an [`Reservoir::offer`] call did to the cell. The sampling worker
+/// uses this to drive subscription updates (§5.3): `Added`/`Replaced`
+/// trigger subscribe messages for the new sample; `Replaced` additionally
+/// triggers an unsubscribe for the evicted one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReservoirOutcome {
+    /// The edge update was not selected; the reservoir is unchanged.
+    Ignored,
+    /// The cell had spare capacity and the neighbor was appended.
+    Added,
+    /// The neighbor replaced an existing sample.
+    Replaced {
+        /// The sample that was evicted.
+        evicted: SampleEntry,
+    },
+}
+
+impl ReservoirOutcome {
+    /// Did the reservoir contents change?
+    #[inline]
+    pub fn changed(self) -> bool {
+        !matches!(self, ReservoirOutcome::Ignored)
+    }
+}
+
+/// A fixed-capacity reservoir of sampled neighbors for one (query, vertex)
+/// pair — one "value cell" of the paper's reservoir table.
+///
+/// Fan-outs in GNN sampling are small (≤ 25 in every query of Table 2), so
+/// entries are kept in a plain `Vec` and evictions do linear scans: at
+/// these sizes that beats any heap by a wide margin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reservoir {
+    strategy: SamplingStrategy,
+    capacity: u32,
+    /// Total number of edge updates offered to this cell (Algorithm R's
+    /// stream counter `x`).
+    seen: u64,
+    entries: Vec<SampleEntry>,
+}
+
+impl Reservoir {
+    /// New empty reservoir. `capacity` is the query fan-out and must be
+    /// non-zero.
+    pub fn new(strategy: SamplingStrategy, capacity: u32) -> Self {
+        assert!(capacity > 0, "reservoir capacity (fan-out) must be > 0");
+        Reservoir {
+            strategy,
+            capacity,
+            seen: 0,
+            entries: Vec::with_capacity(capacity as usize),
+        }
+    }
+
+    /// The sampling strategy of the owning one-hop query.
+    pub fn strategy(&self) -> SamplingStrategy {
+        self.strategy
+    }
+
+    /// The configured fan-out.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Number of edge updates offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Current samples (unordered for Random/EdgeWeight; arbitrary order
+    /// for TopK — callers that need recency order should sort by `ts`).
+    pub fn entries(&self) -> &[SampleEntry] {
+        &self.entries
+    }
+
+    /// Current sampled neighbor ids.
+    pub fn neighbors(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.entries.iter().map(|e| e.neighbor)
+    }
+
+    /// Is the cell at capacity?
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity as usize
+    }
+
+    /// Offer an incoming edge update `(key_vertex → neighbor, ts, weight)`
+    /// to the reservoir and return what happened.
+    pub fn offer(
+        &mut self,
+        neighbor: VertexId,
+        ts: Timestamp,
+        weight: f32,
+        rng: &mut impl Rng,
+    ) -> ReservoirOutcome {
+        self.seen += 1;
+        match self.strategy {
+            SamplingStrategy::Random => self.offer_random(neighbor, ts, weight, rng),
+            SamplingStrategy::TopK => self.offer_topk(neighbor, ts, weight),
+            SamplingStrategy::EdgeWeight => self.offer_weighted(neighbor, ts, weight, rng),
+        }
+    }
+
+    /// Algorithm R (Vitter 1985): the x-th item replaces slot `p-1` when a
+    /// uniform draw `p ∈ [1, x]` lands within the cell capacity.
+    fn offer_random(
+        &mut self,
+        neighbor: VertexId,
+        ts: Timestamp,
+        weight: f32,
+        rng: &mut impl Rng,
+    ) -> ReservoirOutcome {
+        let entry = SampleEntry {
+            neighbor,
+            ts,
+            weight,
+            key: 0.0,
+        };
+        if !self.is_full() {
+            self.entries.push(entry);
+            return ReservoirOutcome::Added;
+        }
+        let p = rng.gen_range(1..=self.seen);
+        if p <= u64::from(self.capacity) {
+            let slot = (p - 1) as usize;
+            let evicted = std::mem::replace(&mut self.entries[slot], entry);
+            ReservoirOutcome::Replaced { evicted }
+        } else {
+            ReservoirOutcome::Ignored
+        }
+    }
+
+    /// Timestamp TopK: keep the `C` most recent edges; an incoming edge
+    /// replaces the oldest sample if it is newer.
+    fn offer_topk(&mut self, neighbor: VertexId, ts: Timestamp, weight: f32) -> ReservoirOutcome {
+        let entry = SampleEntry {
+            neighbor,
+            ts,
+            weight,
+            key: 0.0,
+        };
+        if !self.is_full() {
+            self.entries.push(entry);
+            return ReservoirOutcome::Added;
+        }
+        // Linear scan for the oldest sample; fan-outs are tiny.
+        let (oldest_idx, oldest_ts) = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, e.ts))
+            .min_by_key(|&(_, t)| t)
+            .expect("full reservoir is non-empty");
+        if ts > oldest_ts {
+            let evicted = std::mem::replace(&mut self.entries[oldest_idx], entry);
+            ReservoirOutcome::Replaced { evicted }
+        } else {
+            ReservoirOutcome::Ignored
+        }
+    }
+
+    /// Efraimidis–Spirakis A-Res: draw `key = u^(1/w)` and keep the `C`
+    /// largest keys. Non-positive weights are treated as a minimal weight
+    /// so malformed data cannot poison the reservoir.
+    fn offer_weighted(
+        &mut self,
+        neighbor: VertexId,
+        ts: Timestamp,
+        weight: f32,
+        rng: &mut impl Rng,
+    ) -> ReservoirOutcome {
+        let w = if weight.is_finite() && weight > 0.0 {
+            weight
+        } else {
+            f32::MIN_POSITIVE
+        };
+        let u: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+        let key = u.powf(1.0 / w);
+        let entry = SampleEntry {
+            neighbor,
+            ts,
+            weight,
+            key,
+        };
+        if !self.is_full() {
+            self.entries.push(entry);
+            return ReservoirOutcome::Added;
+        }
+        let (min_idx, min_key) = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, e.key))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("keys are finite"))
+            .expect("full reservoir is non-empty");
+        if key > min_key {
+            let evicted = std::mem::replace(&mut self.entries[min_idx], entry);
+            ReservoirOutcome::Replaced { evicted }
+        } else {
+            ReservoirOutcome::Ignored
+        }
+    }
+
+    /// Drop samples whose edge timestamp is older than `horizon` (TTL
+    /// expiry, §4.2). Returns the evicted samples so subscriptions can be
+    /// torn down.
+    pub fn expire_before(&mut self, horizon: Timestamp) -> Vec<SampleEntry> {
+        let mut evicted = Vec::new();
+        self.entries.retain(|e| {
+            if e.ts < horizon {
+                evicted.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        evicted
+    }
+
+    /// Approximate heap footprint in bytes (for cache-size accounting).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.entries.capacity() * std::mem::size_of::<SampleEntry>()
+    }
+}
+
+impl Encode for Reservoir {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.strategy.encode(buf);
+        self.capacity.encode(buf);
+        self.seen.encode(buf);
+        self.entries.encode(buf);
+    }
+}
+
+impl Decode for Reservoir {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        let strategy = SamplingStrategy::decode(buf)?;
+        let capacity = u32::decode(buf)?;
+        if capacity == 0 {
+            return Err(HeliosError::Codec("reservoir capacity 0".into()));
+        }
+        let seen = u64::decode(buf)?;
+        let entries = Vec::<SampleEntry>::decode(buf)?;
+        if entries.len() > capacity as usize {
+            return Err(HeliosError::Codec(format!(
+                "reservoir holds {} entries but capacity is {capacity}",
+                entries.len()
+            )));
+        }
+        Ok(Reservoir {
+            strategy,
+            capacity,
+            seen,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn fills_up_to_capacity_then_replaces_or_ignores() {
+        let mut r = Reservoir::new(SamplingStrategy::Random, 3);
+        let mut g = rng(1);
+        for i in 0..3 {
+            assert_eq!(
+                r.offer(VertexId(i), Timestamp(i), 1.0, &mut g),
+                ReservoirOutcome::Added
+            );
+        }
+        assert!(r.is_full());
+        for i in 3..100 {
+            match r.offer(VertexId(i), Timestamp(i), 1.0, &mut g) {
+                ReservoirOutcome::Added => panic!("cannot add to full reservoir"),
+                ReservoirOutcome::Ignored | ReservoirOutcome::Replaced { .. } => {}
+            }
+            assert_eq!(r.entries().len(), 3);
+        }
+        assert_eq!(r.seen(), 100);
+    }
+
+    #[test]
+    fn topk_keeps_largest_timestamps_exactly() {
+        let mut r = Reservoir::new(SamplingStrategy::TopK, 4);
+        let mut g = rng(2);
+        // Shuffled timestamps 0..20
+        let order = [13u64, 2, 19, 7, 0, 15, 4, 11, 8, 17, 3, 9, 1, 14, 6, 18, 5, 12, 10, 16];
+        for &t in &order {
+            r.offer(VertexId(t), Timestamp(t), 1.0, &mut g);
+        }
+        let mut ts: Vec<u64> = r.entries().iter().map(|e| e.ts.millis()).collect();
+        ts.sort_unstable();
+        assert_eq!(ts, vec![16, 17, 18, 19]);
+    }
+
+    #[test]
+    fn topk_ignores_stale_edges() {
+        let mut r = Reservoir::new(SamplingStrategy::TopK, 2);
+        let mut g = rng(3);
+        r.offer(VertexId(1), Timestamp(100), 1.0, &mut g);
+        r.offer(VertexId(2), Timestamp(200), 1.0, &mut g);
+        let out = r.offer(VertexId(3), Timestamp(50), 1.0, &mut g);
+        assert_eq!(out, ReservoirOutcome::Ignored);
+        let out = r.offer(VertexId(4), Timestamp(150), 1.0, &mut g);
+        match out {
+            ReservoirOutcome::Replaced { evicted } => assert_eq!(evicted.neighbor, VertexId(1)),
+            other => panic!("expected replace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_uniformity_over_stream() {
+        // Each of N=50 distinct neighbors should land in a C=5 reservoir
+        // with probability C/N = 0.1. 2000 trials → expected 200 each.
+        let n = 50u64;
+        let c = 5u32;
+        let trials = 2000;
+        let mut counts = vec![0u32; n as usize];
+        let mut g = rng(42);
+        for _ in 0..trials {
+            let mut r = Reservoir::new(SamplingStrategy::Random, c);
+            for v in 0..n {
+                r.offer(VertexId(v), Timestamp(v), 1.0, &mut g);
+            }
+            for e in r.entries() {
+                counts[e.neighbor.raw() as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * f64::from(c) / n as f64;
+        for (v, &cnt) in counts.iter().enumerate() {
+            let dev = (f64::from(cnt) - expected).abs() / expected;
+            assert!(
+                dev < 0.35,
+                "neighbor {v} sampled {cnt} times, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_prefers_heavy_edges() {
+        // Neighbor 0 has weight 10, neighbors 1..=9 weight 1. Inclusion of
+        // neighbor 0 in a C=2 reservoir must far exceed a uniform 2/10.
+        let trials = 1500;
+        let mut heavy_in = 0u32;
+        let mut g = rng(7);
+        for _ in 0..trials {
+            let mut r = Reservoir::new(SamplingStrategy::EdgeWeight, 2);
+            for v in 0..10u64 {
+                let w = if v == 0 { 10.0 } else { 1.0 };
+                r.offer(VertexId(v), Timestamp(v), w, &mut g);
+            }
+            if r.neighbors().any(|x| x == VertexId(0)) {
+                heavy_in += 1;
+            }
+        }
+        let frac = f64::from(heavy_in) / f64::from(trials);
+        assert!(frac > 0.55, "heavy neighbor included only {frac:.2} of runs");
+    }
+
+    #[test]
+    fn weighted_handles_bad_weights() {
+        let mut r = Reservoir::new(SamplingStrategy::EdgeWeight, 2);
+        let mut g = rng(9);
+        for (i, w) in [(0u64, 0.0f32), (1, -3.0), (2, f32::NAN), (3, f32::INFINITY)] {
+            r.offer(VertexId(i), Timestamp(i), w, &mut g);
+        }
+        // no panic; reservoir holds capacity entries
+        assert_eq!(r.entries().len(), 2);
+    }
+
+    #[test]
+    fn expire_before_evicts_and_reports() {
+        let mut r = Reservoir::new(SamplingStrategy::TopK, 4);
+        let mut g = rng(4);
+        for t in [10u64, 20, 30, 40] {
+            r.offer(VertexId(t), Timestamp(t), 1.0, &mut g);
+        }
+        let evicted = r.expire_before(Timestamp(25));
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(r.entries().len(), 2);
+        assert!(r.entries().iter().all(|e| e.ts >= Timestamp(25)));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let mut r = Reservoir::new(SamplingStrategy::EdgeWeight, 3);
+        let mut g = rng(5);
+        for v in 0..10u64 {
+            r.offer(VertexId(v), Timestamp(v), (v as f32) + 0.5, &mut g);
+        }
+        let bytes = r.encode_to_bytes();
+        let back = Reservoir::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_state() {
+        // capacity 0
+        let mut r = Reservoir::new(SamplingStrategy::Random, 1);
+        let mut g = rng(6);
+        r.offer(VertexId(1), Timestamp(1), 1.0, &mut g);
+        let mut raw = r.encode_to_bytes().to_vec();
+        // strategy(1) + capacity(4): zero the capacity field
+        raw[1..5].copy_from_slice(&0u32.to_le_bytes());
+        assert!(Reservoir::decode_from_slice(&raw).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out")]
+    fn zero_capacity_panics() {
+        let _ = Reservoir::new(SamplingStrategy::Random, 0);
+    }
+
+    #[test]
+    fn strategy_parse_roundtrip() {
+        for s in [
+            SamplingStrategy::Random,
+            SamplingStrategy::TopK,
+            SamplingStrategy::EdgeWeight,
+        ] {
+            assert_eq!(SamplingStrategy::parse(s.name()).unwrap(), s);
+        }
+        assert!(SamplingStrategy::parse("Bogus").is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! The reservoir table: one per one-hop query in each sampling worker
+//! (§4.2). Key = target vertex id of the one-hop query; value = the
+//! reservoir cell holding that vertex's sampled neighbors.
+
+use crate::reservoir::{Reservoir, ReservoirOutcome, SampleEntry, SamplingStrategy};
+use helios_types::{FxHashMap, Timestamp, VertexId};
+use rand::Rng;
+
+/// A reservoir table for a single one-hop query.
+///
+/// Not internally synchronized: each sampling worker owns its partition of
+/// keys exclusively ("no duplication among all sampling workers for the
+/// keys in their reservoir tables", §5.2), so tables are accessed from a
+/// single sampling thread, or sharded by key across threads.
+#[derive(Debug, Clone)]
+pub struct ReservoirTable {
+    strategy: SamplingStrategy,
+    fanout: u32,
+    cells: FxHashMap<VertexId, Reservoir>,
+}
+
+impl ReservoirTable {
+    /// New table for a one-hop query with the given strategy and fan-out.
+    pub fn new(strategy: SamplingStrategy, fanout: u32) -> Self {
+        assert!(fanout > 0, "fan-out must be positive");
+        ReservoirTable {
+            strategy,
+            fanout,
+            cells: FxHashMap::default(),
+        }
+    }
+
+    /// The query's sampling strategy.
+    pub fn strategy(&self) -> SamplingStrategy {
+        self.strategy
+    }
+
+    /// The query's fan-out (cell capacity).
+    pub fn fanout(&self) -> u32 {
+        self.fanout
+    }
+
+    /// Number of key vertices currently tracked.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Offer an edge update `(key → neighbor)` to the key's reservoir,
+    /// creating the cell on first touch.
+    pub fn offer(
+        &mut self,
+        key: VertexId,
+        neighbor: VertexId,
+        ts: Timestamp,
+        weight: f32,
+        rng: &mut impl Rng,
+    ) -> ReservoirOutcome {
+        let cell = self
+            .cells
+            .entry(key)
+            .or_insert_with(|| Reservoir::new(self.strategy, self.fanout));
+        cell.offer(neighbor, ts, weight, rng)
+    }
+
+    /// Current samples for `key` (empty slice if unknown).
+    pub fn samples(&self, key: VertexId) -> &[SampleEntry] {
+        self.cells.get(&key).map_or(&[], |c| c.entries())
+    }
+
+    /// The full reservoir cell for `key`, if present (used by snapshot
+    /// pushes when a new subscription arrives).
+    pub fn cell(&self, key: VertexId) -> Option<&Reservoir> {
+        self.cells.get(&key)
+    }
+
+    /// Iterate over all (key, reservoir) pairs — checkpointing and tests.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &Reservoir)> {
+        self.cells.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Restore a cell from a checkpoint.
+    pub fn restore(&mut self, key: VertexId, cell: Reservoir) {
+        self.cells.insert(key, cell);
+    }
+
+    /// Apply TTL expiry: drop samples older than `horizon` everywhere and
+    /// remove empty cells. Returns `(key, evicted)` pairs so the caller
+    /// can tear down subscriptions.
+    pub fn expire_before(&mut self, horizon: Timestamp) -> Vec<(VertexId, SampleEntry)> {
+        let mut out = Vec::new();
+        self.cells.retain(|&key, cell| {
+            for e in cell.expire_before(horizon) {
+                out.push((key, e));
+            }
+            !cell.entries().is_empty()
+        });
+        out
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let per_entry = std::mem::size_of::<VertexId>() + std::mem::size_of::<Reservoir>();
+        self.cells.capacity() * per_entry
+            + self
+                .cells
+                .values()
+                .map(|c| std::mem::size_of_val(c.entries()))
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn offer_creates_cells_lazily() {
+        let mut t = ReservoirTable::new(SamplingStrategy::TopK, 2);
+        let mut g = StdRng::seed_from_u64(1);
+        assert!(t.is_empty());
+        t.offer(VertexId(1), VertexId(10), Timestamp(5), 1.0, &mut g);
+        t.offer(VertexId(1), VertexId(11), Timestamp(6), 1.0, &mut g);
+        t.offer(VertexId(2), VertexId(12), Timestamp(7), 1.0, &mut g);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.samples(VertexId(1)).len(), 2);
+        assert_eq!(t.samples(VertexId(2)).len(), 1);
+        assert!(t.samples(VertexId(99)).is_empty());
+    }
+
+    #[test]
+    fn per_key_independence() {
+        let mut t = ReservoirTable::new(SamplingStrategy::TopK, 1);
+        let mut g = StdRng::seed_from_u64(2);
+        t.offer(VertexId(1), VertexId(10), Timestamp(100), 1.0, &mut g);
+        t.offer(VertexId(2), VertexId(20), Timestamp(1), 1.0, &mut g);
+        // A stale edge for key 1 must not disturb key 2.
+        let out = t.offer(VertexId(1), VertexId(11), Timestamp(50), 1.0, &mut g);
+        assert_eq!(out, ReservoirOutcome::Ignored);
+        assert_eq!(t.samples(VertexId(2))[0].neighbor, VertexId(20));
+    }
+
+    #[test]
+    fn expire_prunes_cells_and_reports_evictions() {
+        let mut t = ReservoirTable::new(SamplingStrategy::TopK, 2);
+        let mut g = StdRng::seed_from_u64(3);
+        t.offer(VertexId(1), VertexId(10), Timestamp(5), 1.0, &mut g);
+        t.offer(VertexId(2), VertexId(20), Timestamp(50), 1.0, &mut g);
+        let evicted = t.expire_before(Timestamp(10));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, VertexId(1));
+        assert_eq!(evicted[0].1.neighbor, VertexId(10));
+        assert_eq!(t.len(), 1, "empty cell must be removed");
+    }
+
+    #[test]
+    fn restore_roundtrip_via_iter() {
+        let mut t = ReservoirTable::new(SamplingStrategy::Random, 3);
+        let mut g = StdRng::seed_from_u64(4);
+        for v in 0..20u64 {
+            t.offer(VertexId(v % 4), VertexId(100 + v), Timestamp(v), 1.0, &mut g);
+        }
+        let mut t2 = ReservoirTable::new(SamplingStrategy::Random, 3);
+        for (k, cell) in t.iter() {
+            t2.restore(k, cell.clone());
+        }
+        assert_eq!(t2.len(), t.len());
+        for (k, cell) in t.iter() {
+            assert_eq!(t2.cell(k).unwrap(), cell);
+        }
+    }
+
+    #[test]
+    fn memory_accounting_grows() {
+        let mut t = ReservoirTable::new(SamplingStrategy::TopK, 8);
+        let mut g = StdRng::seed_from_u64(5);
+        let before = t.memory_bytes();
+        for v in 0..1000u64 {
+            t.offer(VertexId(v), VertexId(v + 1), Timestamp(v), 1.0, &mut g);
+        }
+        assert!(t.memory_bytes() > before);
+    }
+}

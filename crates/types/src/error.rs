@@ -1,0 +1,86 @@
+//! Common error type for all Helios crates.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, HeliosError>;
+
+/// Errors surfaced by Helios components.
+#[derive(Debug)]
+pub enum HeliosError {
+    /// A topic/partition/worker/query name did not resolve.
+    NotFound(String),
+    /// An entity was registered twice.
+    AlreadyExists(String),
+    /// Malformed wire data encountered while decoding.
+    Codec(String),
+    /// Invalid user-supplied configuration (e.g. zero fan-out).
+    InvalidConfig(String),
+    /// A channel/queue peer shut down while an operation was in flight.
+    Disconnected(String),
+    /// The component has been shut down and refuses new work.
+    ShuttingDown,
+    /// A blocking operation timed out.
+    Timeout(String),
+    /// Underlying I/O failure (kvstore spill, mq segment, checkpoint).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for HeliosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeliosError::NotFound(s) => write!(f, "not found: {s}"),
+            HeliosError::AlreadyExists(s) => write!(f, "already exists: {s}"),
+            HeliosError::Codec(s) => write!(f, "codec error: {s}"),
+            HeliosError::InvalidConfig(s) => write!(f, "invalid config: {s}"),
+            HeliosError::Disconnected(s) => write!(f, "disconnected: {s}"),
+            HeliosError::ShuttingDown => write!(f, "component is shutting down"),
+            HeliosError::Timeout(s) => write!(f, "timed out: {s}"),
+            HeliosError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HeliosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HeliosError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for HeliosError {
+    fn from(e: std::io::Error) -> Self {
+        HeliosError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            HeliosError::NotFound("topic x".into()).to_string(),
+            "not found: topic x"
+        );
+        assert_eq!(
+            HeliosError::InvalidConfig("fanout=0".into()).to_string(),
+            "invalid config: fanout=0"
+        );
+        assert_eq!(
+            HeliosError::ShuttingDown.to_string(),
+            "component is shutting down"
+        );
+    }
+
+    #[test]
+    fn io_error_wraps_with_source() {
+        use std::error::Error;
+        let e: HeliosError = std::io::Error::other("disk on fire").into();
+        assert!(e.to_string().contains("disk on fire"));
+        assert!(e.source().is_some());
+    }
+}

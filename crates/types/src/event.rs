@@ -1,0 +1,200 @@
+//! Graph update events (§4.2).
+//!
+//! Helios categorizes graph updates into **vertex updates** (insertion of a
+//! new vertex, or a feature refresh of a previously observed vertex) and
+//! **edge updates** (insertion of a new edge — the dynamic graph is
+//! append-only; stale data is removed by TTL, not by deletes).
+
+use crate::ids::{EdgeType, VertexId, VertexType};
+use crate::time::Timestamp;
+
+/// Insertion of a vertex, or a feature update of an existing vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VertexUpdate {
+    /// Vertex label.
+    pub vtype: VertexType,
+    /// Vertex id.
+    pub id: VertexId,
+    /// Dense feature vector (the paper's datasets use 10- or 128-dim
+    /// float features; see Table 1).
+    pub feature: Vec<f32>,
+    /// Event time.
+    pub ts: Timestamp,
+}
+
+/// Insertion of a new directed edge `src → dst`.
+///
+/// For undirected graphs the ingestion layer replicates the edge in both
+/// directions (the `Both` partition policy, §4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeUpdate {
+    /// Edge label.
+    pub etype: EdgeType,
+    /// Label of the source vertex (needed to match one-hop query target
+    /// vertex types without a storage lookup).
+    pub src_type: VertexType,
+    /// Source vertex.
+    pub src: VertexId,
+    /// Label of the destination vertex.
+    pub dst_type: VertexType,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Event time — the value compared by timestamp-TopK sampling.
+    pub ts: Timestamp,
+    /// Edge weight — the value used by weighted (EdgeWeight) sampling.
+    pub weight: f32,
+}
+
+impl EdgeUpdate {
+    /// The same edge with direction reversed (used by the `Both`/undirected
+    /// partition policies).
+    pub fn reversed(&self) -> EdgeUpdate {
+        EdgeUpdate {
+            etype: self.etype,
+            src_type: self.dst_type,
+            src: self.dst,
+            dst_type: self.src_type,
+            dst: self.src,
+            ts: self.ts,
+            weight: self.weight,
+        }
+    }
+}
+
+/// A single event in the dynamic-graph update stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphUpdate {
+    /// Vertex insertion / feature refresh.
+    Vertex(VertexUpdate),
+    /// Edge insertion.
+    Edge(EdgeUpdate),
+}
+
+impl GraphUpdate {
+    /// Event timestamp.
+    #[inline]
+    pub fn ts(&self) -> Timestamp {
+        match self {
+            GraphUpdate::Vertex(v) => v.ts,
+            GraphUpdate::Edge(e) => e.ts,
+        }
+    }
+
+    /// The vertex id whose hash decides which sampling-worker partition
+    /// receives this update: the vertex itself for vertex updates, the
+    /// *source* vertex for edge updates (BySrc; the ingestion layer emits
+    /// an extra reversed copy under ByDest/Both).
+    #[inline]
+    pub fn routing_vertex(&self) -> VertexId {
+        match self {
+            GraphUpdate::Vertex(v) => v.id,
+            GraphUpdate::Edge(e) => e.src,
+        }
+    }
+
+    /// Is this a vertex update?
+    #[inline]
+    pub fn is_vertex(&self) -> bool {
+        matches!(self, GraphUpdate::Vertex(_))
+    }
+
+    /// Is this an edge update?
+    #[inline]
+    pub fn is_edge(&self) -> bool {
+        matches!(self, GraphUpdate::Edge(_))
+    }
+
+    /// Approximate in-flight size in bytes, used by the network model to
+    /// charge bandwidth.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            GraphUpdate::Vertex(v) => 1 + 2 + 8 + 8 + 4 + v.feature.len() * 4,
+            GraphUpdate::Edge(_) => 1 + 2 + 2 + 2 + 8 + 8 + 8 + 4,
+        }
+    }
+}
+
+impl From<VertexUpdate> for GraphUpdate {
+    fn from(v: VertexUpdate) -> Self {
+        GraphUpdate::Vertex(v)
+    }
+}
+
+impl From<EdgeUpdate> for GraphUpdate {
+    fn from(e: EdgeUpdate) -> Self {
+        GraphUpdate::Edge(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(src: u64, dst: u64, ts: u64) -> EdgeUpdate {
+        EdgeUpdate {
+            etype: EdgeType(1),
+            src_type: VertexType(0),
+            src: VertexId(src),
+            dst_type: VertexType(1),
+            dst: VertexId(dst),
+            ts: Timestamp(ts),
+            weight: 1.5,
+        }
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints_and_types() {
+        let e = edge(1, 2, 10);
+        let r = e.reversed();
+        assert_eq!(r.src, VertexId(2));
+        assert_eq!(r.dst, VertexId(1));
+        assert_eq!(r.src_type, VertexType(1));
+        assert_eq!(r.dst_type, VertexType(0));
+        assert_eq!(r.ts, e.ts);
+        assert_eq!(r.weight, e.weight);
+        assert_eq!(r.reversed(), e, "double reverse is identity");
+    }
+
+    #[test]
+    fn routing_vertex_is_src_for_edges() {
+        let g: GraphUpdate = edge(7, 9, 1).into();
+        assert_eq!(g.routing_vertex(), VertexId(7));
+        assert!(g.is_edge());
+        assert!(!g.is_vertex());
+        assert_eq!(g.ts(), Timestamp(1));
+    }
+
+    #[test]
+    fn routing_vertex_is_self_for_vertices() {
+        let g: GraphUpdate = VertexUpdate {
+            vtype: VertexType(0),
+            id: VertexId(5),
+            feature: vec![0.0; 10],
+            ts: Timestamp(3),
+        }
+        .into();
+        assert_eq!(g.routing_vertex(), VertexId(5));
+        assert!(g.is_vertex());
+        assert_eq!(g.ts(), Timestamp(3));
+    }
+
+    #[test]
+    fn wire_size_scales_with_feature_dim() {
+        let small: GraphUpdate = VertexUpdate {
+            vtype: VertexType(0),
+            id: VertexId(5),
+            feature: vec![0.0; 10],
+            ts: Timestamp(3),
+        }
+        .into();
+        let big: GraphUpdate = VertexUpdate {
+            vtype: VertexType(0),
+            id: VertexId(5),
+            feature: vec![0.0; 128],
+            ts: Timestamp(3),
+        }
+        .into();
+        assert!(big.wire_size() > small.wire_size());
+        assert_eq!(big.wire_size() - small.wire_size(), (128 - 10) * 4);
+    }
+}

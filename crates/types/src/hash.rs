@@ -1,0 +1,189 @@
+//! FxHash-style fast hashing and partition routing.
+//!
+//! Vertex-id keyed tables dominate Helios's hot paths (reservoir tables,
+//! sample tables, subscription tables), and the keys are integers, so the
+//! default SipHash hasher would be needlessly slow. This module implements
+//! the Firefox/rustc "Fx" multiply-rotate hash in-repo (the sanctioned
+//! dependency list excludes `rustc-hash`), plus the deterministic routing
+//! functions that slice graph updates across sampling workers and inference
+//! requests across serving workers (§4.1).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc/Firefox Fx hash: a fast, non-cryptographic, deterministic
+/// hasher. Not HashDoS-resistant — fine here because all keys are
+/// internally generated vertex ids, never attacker-controlled strings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u64::from(u32::from_le_bytes(buf)));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the Fx hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// Hash a single `u64` with the Fx mix. This is the *routing* hash used
+/// everywhere a vertex id must be mapped to a partition / worker, so it
+/// must stay stable across the whole deployment.
+#[inline]
+pub fn fx_hash_u64(v: u64) -> u64 {
+    // A single multiply-rotate round is too weak for low-entropy
+    // sequential ids (they would all land in a few partitions), so run
+    // two rounds like hashing one u64 through the full hasher.
+    let mut h = FxHasher::default();
+    h.write_u64(v);
+    // finalize with an avalanche so consecutive ids spread over partitions
+    let mut x = h.finish();
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x
+}
+
+/// Route a vertex id onto one of `n` partitions/workers. Panics if `n == 0`.
+#[inline]
+pub fn route(vertex_raw: u64, n: usize) -> usize {
+    assert!(n > 0, "cannot route onto zero partitions");
+    (fx_hash_u64(vertex_raw) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(fx_hash_u64(42), fx_hash_u64(42));
+        assert_ne!(fx_hash_u64(42), fx_hash_u64(43));
+    }
+
+    #[test]
+    fn route_is_stable_and_in_range() {
+        for v in 0..1000u64 {
+            let r = route(v, 7);
+            assert!(r < 7);
+            assert_eq!(r, route(v, 7));
+        }
+    }
+
+    #[test]
+    fn sequential_ids_spread_evenly() {
+        // Sequential ids are the common case (datasets assign dense id
+        // ranges); the router must not funnel them into few partitions.
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        let total = 80_000u64;
+        for v in 0..total {
+            counts[route(v, n)] += 1;
+        }
+        let expect = total as usize / n;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect * 9 / 10 && c < expect * 11 / 10,
+                "partition {i} got {c}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn hashmap_alias_works() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+
+    #[test]
+    fn hasher_handles_all_write_widths() {
+        let mut h = FxHasher::default();
+        h.write_u8(1);
+        h.write_u16(2);
+        h.write_u32(3);
+        h.write_u64(4);
+        h.write_usize(5);
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+        let a = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write_u8(1);
+        h2.write_u16(2);
+        h2.write_u32(3);
+        h2.write_u64(4);
+        h2.write_usize(5);
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+        assert_eq!(a, h2.finish());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero partitions")]
+    fn route_zero_panics() {
+        route(1, 0);
+    }
+}

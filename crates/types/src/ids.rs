@@ -1,0 +1,172 @@
+//! Strongly-typed identifiers for graph entities, workers, and queries.
+//!
+//! Using newtypes instead of bare integers prevents an entire class of
+//! routing bugs (e.g. hashing a serving-worker id where a vertex id was
+//! expected) at zero runtime cost: every type here is `#[repr(transparent)]`
+//! over a primitive integer.
+
+use std::fmt;
+
+/// Identifier of a graph vertex.
+///
+/// Vertex ids are globally unique across vertex types in the synthetic
+/// datasets (the generator assigns disjoint id ranges per type), matching
+/// how the LDBC benchmarks assign ids.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct VertexId(pub u64);
+
+impl VertexId {
+    /// Raw id value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+impl From<u64> for VertexId {
+    #[inline]
+    fn from(v: u64) -> Self {
+        VertexId(v)
+    }
+}
+
+/// Identifier of a vertex *type* (label), e.g. `User`, `Item`, `Account`.
+///
+/// Schemas in Helios are small (a handful of labels), so a `u16` suffices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct VertexType(pub u16);
+
+impl fmt::Debug for VertexType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VT{}", self.0)
+    }
+}
+
+/// Identifier of an edge *type* (label), e.g. `Click`, `Co-purchase`,
+/// `TransferTo`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct EdgeType(pub u16);
+
+impl fmt::Debug for EdgeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ET{}", self.0)
+    }
+}
+
+/// Index of a one-hop query within a decomposed K-hop query (0-based hop
+/// number). The paper decomposes a K-hop query into K one-hop queries
+/// Q₁..Q_K (§5.1); `QueryHopId(0)` is Q₁.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct QueryHopId(pub u16);
+
+impl QueryHopId {
+    /// The one-hop query for the next hop (Q_{k+1}).
+    #[inline]
+    pub const fn next(self) -> QueryHopId {
+        QueryHopId(self.0 + 1)
+    }
+
+    /// 0-based hop index as usize, convenient for indexing `Vec`s of
+    /// per-hop state.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for QueryHopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0 + 1)
+    }
+}
+
+/// Identifier of a sampling worker (SAW in the paper's Fig. 7).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct SamplingWorkerId(pub u32);
+
+impl fmt::Debug for SamplingWorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SAW{}", self.0)
+    }
+}
+
+/// Identifier of a serving worker (SEW in the paper's Fig. 7).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct ServingWorkerId(pub u32);
+
+impl fmt::Debug for ServingWorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SEW{}", self.0)
+    }
+}
+
+/// Identifier of a partition of a message-queue topic or of the graph
+/// update stream.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct PartitionId(pub u32);
+
+impl fmt::Debug for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip_and_ordering() {
+        let a = VertexId::from(3);
+        let b = VertexId(7);
+        assert!(a < b);
+        assert_eq!(a.raw(), 3);
+        assert_eq!(format!("{a:?}"), "V3");
+        assert_eq!(a.to_string(), "V3");
+    }
+
+    #[test]
+    fn query_hop_next_and_index() {
+        let q1 = QueryHopId(0);
+        assert_eq!(q1.index(), 0);
+        assert_eq!(q1.next(), QueryHopId(1));
+        assert_eq!(format!("{:?}", q1), "Q1");
+        assert_eq!(format!("{:?}", q1.next()), "Q2");
+    }
+
+    #[test]
+    fn ids_are_transparent_size() {
+        use std::mem::size_of;
+        assert_eq!(size_of::<VertexId>(), size_of::<u64>());
+        assert_eq!(size_of::<VertexType>(), size_of::<u16>());
+        assert_eq!(size_of::<EdgeType>(), size_of::<u16>());
+        assert_eq!(size_of::<SamplingWorkerId>(), size_of::<u32>());
+        assert_eq!(size_of::<ServingWorkerId>(), size_of::<u32>());
+    }
+
+    #[test]
+    fn worker_id_debug_matches_paper_notation() {
+        assert_eq!(format!("{:?}", SamplingWorkerId(1)), "SAW1");
+        assert_eq!(format!("{:?}", ServingWorkerId(2)), "SEW2");
+        assert_eq!(format!("{:?}", PartitionId(5)), "P5");
+    }
+}

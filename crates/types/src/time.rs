@@ -1,0 +1,147 @@
+//! Logical timestamps for dynamic-graph events.
+//!
+//! Helios's event streams carry monotonically non-decreasing timestamps
+//! (milliseconds in the datasets we replay). Timestamp-based TopK sampling
+//! (§5.2) compares these values, and TTL expiry (§4.2/§6) subtracts them.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A logical event timestamp, in milliseconds since an arbitrary epoch.
+///
+/// Timestamps are totally ordered; dataset replay produces non-decreasing
+/// timestamps but Helios never *requires* that (late events simply lose
+/// TopK comparisons).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The zero timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Maximum representable timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Raw millisecond value.
+    #[inline]
+    pub const fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a millisecond delta.
+    #[inline]
+    pub const fn saturating_add(self, delta_ms: u64) -> Timestamp {
+        Timestamp(self.0.saturating_add(delta_ms))
+    }
+
+    /// Saturating subtraction of a millisecond delta. Used for TTL
+    /// horizon computation (`now - ttl`).
+    #[inline]
+    pub const fn saturating_sub(self, delta_ms: u64) -> Timestamp {
+        Timestamp(self.0.saturating_sub(delta_ms))
+    }
+
+    /// Milliseconds elapsed since `earlier` (0 if `earlier` is later).
+    #[inline]
+    pub const fn since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    #[inline]
+    fn from(v: u64) -> Self {
+        Timestamp(v)
+    }
+}
+
+/// A shared, monotonically increasing logical clock.
+///
+/// Dataset replay and tests use this to mint strictly increasing
+/// timestamps from many threads without locking.
+#[derive(Debug, Default)]
+pub struct LogicalClock {
+    now: AtomicU64,
+}
+
+impl LogicalClock {
+    /// New clock starting at `start`.
+    pub fn new(start: Timestamp) -> Self {
+        LogicalClock {
+            now: AtomicU64::new(start.0),
+        }
+    }
+
+    /// Current time without advancing.
+    #[inline]
+    pub fn now(&self) -> Timestamp {
+        Timestamp(self.now.load(Ordering::Relaxed))
+    }
+
+    /// Advance by one millisecond and return the *new* time. Each caller
+    /// across all threads observes a unique value.
+    #[inline]
+    pub fn tick(&self) -> Timestamp {
+        Timestamp(self.now.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Advance the clock to at least `to` (no-op if already past).
+    pub fn advance_to(&self, to: Timestamp) {
+        self.now.fetch_max(to.0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp(100);
+        assert_eq!(t.saturating_add(50), Timestamp(150));
+        assert_eq!(t.saturating_sub(150), Timestamp::ZERO);
+        assert_eq!(Timestamp(200).since(t), 100);
+        assert_eq!(t.since(Timestamp(200)), 0);
+        assert_eq!(t.millis(), 100);
+    }
+
+    #[test]
+    fn clock_monotonic_single_thread() {
+        let c = LogicalClock::new(Timestamp(10));
+        assert_eq!(c.now(), Timestamp(10));
+        assert_eq!(c.tick(), Timestamp(11));
+        assert_eq!(c.tick(), Timestamp(12));
+        c.advance_to(Timestamp(100));
+        assert_eq!(c.now(), Timestamp(100));
+        c.advance_to(Timestamp(5)); // no-op, never goes backwards
+        assert_eq!(c.now(), Timestamp(100));
+    }
+
+    #[test]
+    fn clock_unique_across_threads() {
+        let c = Arc::new(LogicalClock::new(Timestamp::ZERO));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| c.tick().millis()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8000, "every tick must be unique");
+        assert_eq!(*all.last().unwrap(), 8000);
+    }
+}
