@@ -41,38 +41,39 @@ fn build(degree_cold: u64, degree_hot: u64) -> Vec<GraphUpdate> {
         }));
     }
     let mut item_id = 1000u64;
-    let mut add_items = |updates: &mut Vec<GraphUpdate>, user: u64, degree: u64, t: &mut dyn FnMut() -> u64| {
-        for _ in 0..degree {
-            item_id += 1;
-            let i = item_id;
-            updates.push(GraphUpdate::Vertex(VertexUpdate {
-                vtype: ITEM,
-                id: VertexId(i),
-                feature: vec![i as f32; 8],
-                ts: Timestamp(t()),
-            }));
-            for j in 0..3u64 {
+    let mut add_items =
+        |updates: &mut Vec<GraphUpdate>, user: u64, degree: u64, t: &mut dyn FnMut() -> u64| {
+            for _ in 0..degree {
+                item_id += 1;
+                let i = item_id;
+                updates.push(GraphUpdate::Vertex(VertexUpdate {
+                    vtype: ITEM,
+                    id: VertexId(i),
+                    feature: vec![i as f32; 8],
+                    ts: Timestamp(t()),
+                }));
+                for j in 0..3u64 {
+                    updates.push(GraphUpdate::Edge(EdgeUpdate {
+                        etype: COP,
+                        src_type: ITEM,
+                        src: VertexId(i),
+                        dst_type: ITEM,
+                        dst: VertexId(1001 + (i + j) % degree.max(3)),
+                        ts: Timestamp(t()),
+                        weight: 1.0,
+                    }));
+                }
                 updates.push(GraphUpdate::Edge(EdgeUpdate {
-                    etype: COP,
-                    src_type: ITEM,
-                    src: VertexId(i),
+                    etype: CLICK,
+                    src_type: USER,
+                    src: VertexId(user),
                     dst_type: ITEM,
-                    dst: VertexId(1001 + (i + j) % degree.max(3)),
+                    dst: VertexId(i),
                     ts: Timestamp(t()),
                     weight: 1.0,
                 }));
             }
-            updates.push(GraphUpdate::Edge(EdgeUpdate {
-                etype: CLICK,
-                src_type: USER,
-                src: VertexId(user),
-                dst_type: ITEM,
-                dst: VertexId(i),
-                ts: Timestamp(t()),
-                weight: 1.0,
-            }));
-        }
-    };
+        };
     add_items(&mut updates, 1, degree_cold, &mut t);
     add_items(&mut updates, 2, degree_hot, &mut t);
     updates
@@ -110,7 +111,13 @@ fn main() {
 
     let mut t = helios_metrics::Table::new(
         format!("Ablation: serving cost vs seed degree ({cold} vs {hot} neighbors)"),
-        &["system", "seed degree", "avg (µs)", "P99 (µs)", "hot/cold cost ratio"],
+        &[
+            "system",
+            "seed degree",
+            "avg (µs)",
+            "P99 (µs)",
+            "hot/cold cost ratio",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(1);
 

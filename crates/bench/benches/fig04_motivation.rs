@@ -119,13 +119,22 @@ fn part_c() {
     points.sort_by_key(|p| p.0);
     let mut t = Table::new(
         "Fig. 4(c): traversed vertices vs query latency (single node, sequential)",
-        &["traversed bucket", "queries", "avg traversed", "avg latency (µs)"],
+        &[
+            "traversed bucket",
+            "queries",
+            "avg traversed",
+            "avg latency (µs)",
+        ],
     );
     let buckets = 5;
     let per = (points.len() / buckets).max(1);
     for b in 0..buckets {
         let lo = b * per;
-        let hi = if b == buckets - 1 { points.len() } else { (b + 1) * per };
+        let hi = if b == buckets - 1 {
+            points.len()
+        } else {
+            (b + 1) * per
+        };
         if lo >= points.len() {
             break;
         }

@@ -20,7 +20,14 @@ const CONCURRENCY: [usize; 2] = [8, 32];
 fn main() {
     let mut t = helios_metrics::Table::new(
         format!("Fig. 9: serving throughput (QPS), scale {SCALE}"),
-        &["Dataset", "Strategy", "Conc.", "Baseline QPS", "Helios QPS", "speedup"],
+        &[
+            "Dataset",
+            "Strategy",
+            "Conc.",
+            "Baseline QPS",
+            "Helios QPS",
+            "speedup",
+        ],
     );
     for preset in [Preset::Bi, Preset::Inter, Preset::Fin] {
         for strategy in [SamplingStrategy::TopK, SamplingStrategy::Random] {
@@ -38,7 +45,10 @@ fn main() {
                 let base: BenchOutcome = drive(conc, WINDOW, |c, seq| {
                     let mut rng = StdRng::seed_from_u64(c as u64 * 1_000_000 + seq);
                     let seed = bseeds[(seq as usize * 31 + c * 7) % bseeds.len()];
-                    let _ = baseline.db.execute(seed, &baseline.query, &mut rng).unwrap();
+                    let _ = baseline
+                        .db
+                        .execute(seed, &baseline.query, &mut rng)
+                        .unwrap();
                 });
                 let hel: BenchOutcome = drive(conc, WINDOW, |c, seq| {
                     let seed = helios.seeds[(seq as usize * 31 + c * 7) % helios.seeds.len()];
@@ -53,9 +63,7 @@ fn main() {
                     format!("{:.1}x", hel.qps / base.qps.max(1.0)),
                 ]);
             }
-            if let Ok(d) = std::sync::Arc::try_unwrap(helios.deployment) {
-                d.shutdown();
-            }
+            helios.shutdown();
         }
     }
     t.print();

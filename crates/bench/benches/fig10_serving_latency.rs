@@ -18,14 +18,19 @@ fn main() {
     let mut t = helios_metrics::Table::new(
         format!("Fig. 10: serving latency vs concurrency (INTER & FIN, scale {SCALE})"),
         &[
-            "Dataset", "Strategy", "Conc.",
-            "Base avg", "Base P99", "Helios avg", "Helios P99", "P99 speedup",
+            "Dataset",
+            "Strategy",
+            "Conc.",
+            "Base avg",
+            "Base P99",
+            "Helios avg",
+            "Helios P99",
+            "P99 speedup",
         ],
     );
     for preset in [Preset::Inter, Preset::Fin] {
         for strategy in [SamplingStrategy::TopK, SamplingStrategy::Random] {
-            let baseline =
-                setup_baseline(preset, SCALE, strategy, false, nebulagraph_like(4), 512);
+            let baseline = setup_baseline(preset, SCALE, strategy, false, nebulagraph_like(4), 512);
             let helios = setup_helios(
                 preset,
                 SCALE,
@@ -38,7 +43,10 @@ fn main() {
                 let base = drive(conc, WINDOW, |c, seq| {
                     let mut rng = StdRng::seed_from_u64(c as u64 * 999_983 + seq);
                     let seed = bseeds[(seq as usize * 13 + c * 5) % bseeds.len()];
-                    let _ = baseline.db.execute(seed, &baseline.query, &mut rng).unwrap();
+                    let _ = baseline
+                        .db
+                        .execute(seed, &baseline.query, &mut rng)
+                        .unwrap();
                 });
                 let hel = drive(conc, WINDOW, |c, seq| {
                     let seed = helios.seeds[(seq as usize * 13 + c * 5) % helios.seeds.len()];
@@ -55,9 +63,7 @@ fn main() {
                     format!("{:.0}x", base.p99_ms / hel.p99_ms.max(1e-6)),
                 ]);
             }
-            if let Ok(d) = std::sync::Arc::try_unwrap(helios.deployment) {
-                d.shutdown();
-            }
+            helios.shutdown();
         }
     }
     t.print();

@@ -33,7 +33,13 @@ fn main() {
 
     let mut t = helios_metrics::Table::new(
         "Fig. 12: serving stability under concurrent ingestion (INTER, concurrency 16)",
-        &["ingest rate (rec/s)", "achieved rec/s", "QPS", "avg (ms)", "P99 (ms)"],
+        &[
+            "ingest rate (rec/s)",
+            "achieved rec/s",
+            "QPS",
+            "avg (ms)",
+            "P99 (ms)",
+        ],
     );
     for target_rate in [0u64, 2_000, 10_000, 50_000] {
         let stop = AtomicBool::new(false);

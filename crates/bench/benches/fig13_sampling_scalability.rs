@@ -15,7 +15,9 @@
 //! end-to-end pipeline run is included as a wall-clock reference.
 
 use bytes::BytesMut;
-use helios_core::{messages::SampleEntryLite, to_reservoir_strategy, HeliosConfig, HeliosDeployment};
+use helios_core::{
+    messages::SampleEntryLite, to_reservoir_strategy, HeliosConfig, HeliosDeployment,
+};
 use helios_datagen::{Dataset, DatasetConfig, EdgeSpec, Preset, VertexSpec};
 use helios_query::SamplingStrategy;
 use helios_sampling::ReservoirTable;
@@ -35,12 +37,32 @@ fn inter_balanced() -> Dataset {
         name: "INTER-bal",
         feature_dim: 10,
         vertices: vec![
-            VertexSpec { name: "Forum", count: 3_000 },
-            VertexSpec { name: "Person", count: 12_000 },
+            VertexSpec {
+                name: "Forum",
+                count: 3_000,
+            },
+            VertexSpec {
+                name: "Person",
+                count: 12_000,
+            },
         ],
         edges: vec![
-            EdgeSpec { name: "Has", src: "Forum", dst: "Person", count: 80_000, src_skew: 1.02, dst_skew: 1.02 },
-            EdgeSpec { name: "Knows", src: "Person", dst: "Person", count: 170_000, src_skew: 1.03, dst_skew: 1.02 },
+            EdgeSpec {
+                name: "Has",
+                src: "Forum",
+                dst: "Person",
+                count: 80_000,
+                src_skew: 1.02,
+                dst_skew: 1.02,
+            },
+            EdgeSpec {
+                name: "Knows",
+                src: "Person",
+                dst: "Person",
+                count: 170_000,
+                src_skew: 1.03,
+                dst_skew: 1.02,
+            },
         ],
         feature_update_ratio: 0.05,
         seed: 0x13,
@@ -88,7 +110,13 @@ fn shard_time(events: &[&GraphUpdate], dataset: &Dataset, strategy: SamplingStra
 }
 
 /// Simulated parallel rate for (workers × threads) sampling threads.
-fn simulate(events: &[GraphUpdate], dataset: &Dataset, workers: usize, threads: usize, strategy: SamplingStrategy) -> f64 {
+fn simulate(
+    events: &[GraphUpdate],
+    dataset: &Dataset,
+    workers: usize,
+    threads: usize,
+    strategy: SamplingStrategy,
+) -> f64 {
     // Two-level routing exactly like the deployment.
     let mut partitions: Vec<Vec<&GraphUpdate>> = vec![Vec::new(); workers * threads];
     for ev in events {

@@ -20,7 +20,13 @@ const CONCURRENCY: usize = 32;
 fn run(workers: usize, serving_threads: usize, table: &mut helios_metrics::Table, label: String) {
     let mut config = HeliosConfig::with_workers(2, workers);
     config.serving_threads = serving_threads;
-    let bench = setup_helios(Preset::Inter, SCALE, SamplingStrategy::Random, false, config);
+    let bench = setup_helios(
+        Preset::Inter,
+        SCALE,
+        SamplingStrategy::Random,
+        false,
+        config,
+    );
     let out = drive(CONCURRENCY, WINDOW, |c, seq| {
         let seed = bench.seeds[(seq as usize * 29 + c * 11) % bench.seeds.len()];
         let _ = bench.deployment.serve_queued(seed).unwrap();
@@ -32,7 +38,12 @@ fn run(workers: usize, serving_threads: usize, table: &mut helios_metrics::Table
         .map(|w| w.serve_latency().snapshot().sum)
         .sum();
     let total_threads = (workers * serving_threads) as f64;
-    let served: u64 = bench.deployment.serving_workers().iter().map(|w| w.served()).sum();
+    let served: u64 = bench
+        .deployment
+        .serving_workers()
+        .iter()
+        .map(|w| w.served())
+        .sum();
     let simulated = served as f64 / ((busy_ns as f64 / 1e9) / total_threads).max(1e-9);
     table.row(&[
         label,
@@ -41,9 +52,7 @@ fn run(workers: usize, serving_threads: usize, table: &mut helios_metrics::Table
         format!("{:.3}", out.avg_ms),
         format!("{:.3}", out.p99_ms),
     ]);
-    if let Ok(d) = std::sync::Arc::try_unwrap(bench.deployment) {
-        d.shutdown();
-    }
+    bench.shutdown();
 }
 
 fn main() {
@@ -58,7 +67,13 @@ fn main() {
 
     let mut b = helios_metrics::Table::new(
         "Fig. 14(b): serving scale-out (8 threads/worker, varying serving workers)",
-        &["workers", "wall QPS", "simulated QPS", "avg (ms)", "P99 (ms)"],
+        &[
+            "workers",
+            "wall QPS",
+            "simulated QPS",
+            "avg (ms)",
+            "P99 (ms)",
+        ],
     );
     for workers in [1usize, 2, 4] {
         run(workers, 8, &mut b, workers.to_string());

@@ -15,7 +15,14 @@ const WINDOW: Duration = Duration::from_secs(2);
 fn main() {
     let mut t = helios_metrics::Table::new(
         format!("Fig. 15: 2-hop vs 3-hop serving (INTER, Random, scale {SCALE})"),
-        &["hops", "lookup bound", "conc.", "QPS", "avg (ms)", "P99 (ms)"],
+        &[
+            "hops",
+            "lookup bound",
+            "conc.",
+            "QPS",
+            "avg (ms)",
+            "P99 (ms)",
+        ],
     );
     for three_hop in [false, true] {
         let bench = setup_helios(
@@ -32,7 +39,11 @@ fn main() {
                 let _ = bench.deployment.serve(seed).unwrap();
             });
             t.row(&[
-                if three_hop { "3".into() } else { "2".to_string() },
+                if three_hop {
+                    "3".into()
+                } else {
+                    "2".to_string()
+                },
                 bound.to_string(),
                 conc.to_string(),
                 format!("{:.0}", out.qps),
@@ -40,9 +51,7 @@ fn main() {
                 format!("{:.3}", out.p99_ms),
             ]);
         }
-        if let Ok(d) = std::sync::Arc::try_unwrap(bench.deployment) {
-            d.shutdown();
-        }
+        bench.shutdown();
     }
     t.print();
     println!(

@@ -26,16 +26,20 @@ fn main() {
         ],
     );
     for workers in [1usize, 2, 4] {
-        let dir = std::env::temp_dir().join(format!(
-            "helios-fig16-{}-{workers}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("helios-fig16-{}-{workers}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut config = HeliosConfig::with_workers(2, workers);
         config.cache_dir = Some(dir.clone());
         // Small memtables so the hybrid mode actually spills to disk.
         config.cache_memtable_budget = 256 << 10;
-        let bench = setup_helios(Preset::Inter, SCALE, SamplingStrategy::Random, false, config);
+        let bench = setup_helios(
+            Preset::Inter,
+            SCALE,
+            SamplingStrategy::Random,
+            false,
+            config,
+        );
         let total = bench.deployment.total_cache_bytes();
         let per_worker = total as f64 / workers as f64;
         t.row(&[
@@ -44,9 +48,7 @@ fn main() {
             format!("{:.0}", per_worker / 1024.0),
             format!("{:.1}%", per_worker / dataset_bytes as f64 * 100.0),
         ]);
-        if let Ok(d) = std::sync::Arc::try_unwrap(bench.deployment) {
-            d.shutdown();
-        }
+        bench.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
     t.print();

@@ -209,7 +209,10 @@ fn main() {
         item_q.clone(),
     );
     let loss = trainer.train(&mut model, &oracle, &positives, &item_pool, &mut rng);
-    println!("offline training: {} positives, final loss {loss:.3}\n", positives.len());
+    println!(
+        "offline training: {} positives, final loss {loss:.3}\n",
+        positives.len()
+    );
 
     // Test at the end of the stream: does the model rank an item from the
     // user's *current* cluster above one from a random other cluster?
@@ -236,7 +239,9 @@ fn main() {
                 let i_sg =
                     oracle.sample_asof(VertexId(item), &item_q, Timestamp(now), &mut eval_rng);
                 let zi = model.infer(&i_sg);
-                scores.push(helios_gnn::tensor::sigmoid(helios_gnn::tensor::dot(&zu, &zi)));
+                scores.push(helios_gnn::tensor::sigmoid(helios_gnn::tensor::dot(
+                    &zu, &zi,
+                )));
                 labels.push(label);
             }
         }

@@ -57,7 +57,11 @@ fn bench_kvstore(c: &mut Criterion) {
         let mut i = 200_000u64;
         b.iter(|| {
             i += 1;
-            kv.put(&i.to_be_bytes(), Bytes::from_static(&[0u8; 64]), Timestamp(i))
+            kv.put(
+                &i.to_be_bytes(),
+                Bytes::from_static(&[0u8; 64]),
+                Timestamp(i),
+            )
         });
     });
     g.finish();

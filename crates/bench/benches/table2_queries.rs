@@ -45,7 +45,5 @@ fn main() {
         ]);
     }
     t.print();
-    println!(
-        "serving cost is bounded by these lookup counts regardless of vertex degree (§6)"
-    );
+    println!("serving cost is bounded by these lookup counts regardless of vertex degree (§6)");
 }

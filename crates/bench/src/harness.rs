@@ -79,6 +79,22 @@ pub struct HeliosBench {
     pub query: KHopQuery,
 }
 
+impl HeliosBench {
+    /// Tear down: with `HELIOS_STATS=1` print the deployment's telemetry
+    /// snapshot first, so every fig* experiment gets per-subsystem
+    /// counters for free; then stop the deployment if this handle is the
+    /// last owner.
+    pub fn shutdown(self) {
+        if helios_telemetry::stats_env() {
+            println!("--- telemetry snapshot (HELIOS_STATS=1) ---");
+            print!("{}", self.deployment.telemetry_snapshot().render());
+        }
+        if let Ok(d) = Arc::try_unwrap(self.deployment) {
+            d.shutdown();
+        }
+    }
+}
+
 /// Generate the dataset, start Helios, replay the full stream and wait
 /// for the pipeline to settle.
 pub fn setup_helios(

@@ -43,6 +43,10 @@ pub struct HeliosConfig {
     pub cache_shards: usize,
     /// Memtable budget per cache shard before spilling to disk.
     pub cache_memtable_budget: usize,
+    /// Refresh period of the deployment's pipeline-lag gauges (mq
+    /// consumer lag, shard mailbox depth, cache sizes); `None` disables
+    /// the stats reporter thread.
+    pub stats_interval: Option<Duration>,
 }
 
 impl Default for HeliosConfig {
@@ -62,6 +66,7 @@ impl Default for HeliosConfig {
             cache_dir: None,
             cache_shards: 4,
             cache_memtable_budget: 16 << 20,
+            stats_interval: Some(Duration::from_millis(500)),
         }
     }
 }
@@ -100,6 +105,11 @@ impl HeliosConfig {
         if self.poll_batch == 0 {
             return Err(InvalidConfig("poll batch must be positive".into()));
         }
+        if self.stats_interval == Some(Duration::ZERO) {
+            return Err(InvalidConfig(
+                "stats interval must be positive (or None to disable)".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -132,6 +142,7 @@ mod tests {
             |c: &mut HeliosConfig| c.serving_replicas = 0,
             |c: &mut HeliosConfig| c.sample_queue_partitions = 0,
             |c: &mut HeliosConfig| c.poll_batch = 0,
+            |c: &mut HeliosConfig| c.stats_interval = Some(Duration::ZERO),
         ] {
             let mut c = HeliosConfig::default();
             f(&mut c);

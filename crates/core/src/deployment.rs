@@ -9,6 +9,7 @@ use crate::serving::ServingWorker;
 use helios_graphstore::PartitionPolicy;
 use helios_mq::{Broker, TopicConfig};
 use helios_query::{KHopQuery, SampledSubgraph};
+use helios_telemetry::{span, Registry, RegistrySnapshot, StatsReporter, TraceCtx};
 use helios_types::{
     hash::route, Encode, GraphUpdate, HeliosError, PartitionId, Result, SamplingWorkerId,
     ServingWorkerId, Timestamp, VertexId,
@@ -44,6 +45,11 @@ pub struct HeliosDeployment {
     updates_topic: Arc<helios_mq::Topic>,
     /// Round-robin cursor for spreading requests over replicas.
     replica_rr: std::sync::atomic::AtomicU64,
+    /// Per-deployment telemetry registry: every worker's counters,
+    /// gauges and latency histograms, queryable by name.
+    telemetry: Arc<Registry>,
+    /// Periodic pipeline-lag monitor; `None` when disabled by config.
+    reporter: Option<StatsReporter>,
 }
 
 impl HeliosDeployment {
@@ -74,8 +80,7 @@ impl HeliosDeployment {
         let m = config.sampling_workers as u32;
         let n = config.serving_workers as u32;
 
-        let updates_topic =
-            broker.create_topic(topics::UPDATES, TopicConfig::in_memory(m))?;
+        let updates_topic = broker.create_topic(topics::UPDATES, TopicConfig::in_memory(m))?;
         broker.create_topic(topics::CONTROL, TopicConfig::in_memory(m))?;
         for s in 0..n {
             broker.create_topic(
@@ -85,6 +90,7 @@ impl HeliosDeployment {
         }
 
         // Serving workers first so sample topics have consumers early.
+        let telemetry = Arc::new(Registry::new());
         let replicas = config.serving_replicas as u32;
         let mut serving = Vec::with_capacity((n * replicas) as usize);
         for s in 0..n {
@@ -97,6 +103,7 @@ impl HeliosDeployment {
                     &query,
                     &broker,
                     beacon,
+                    &telemetry,
                 )?);
             }
         }
@@ -104,13 +111,23 @@ impl HeliosDeployment {
         let mut sampling = Vec::with_capacity(m as usize);
         for w in 0..m {
             let beacon = coordinator.register_worker(&format!("saw{w}"));
-            let worker =
-                SamplingWorker::start(SamplingWorkerId(w), &config, &query, &broker, beacon)?;
+            let worker = SamplingWorker::start(
+                SamplingWorkerId(w),
+                &config,
+                &query,
+                &broker,
+                beacon,
+                &telemetry,
+            )?;
             if let Some(dir) = restore_dir {
                 worker.restore(dir)?;
             }
             sampling.push(worker);
         }
+
+        let reporter = config.stats_interval.map(|interval| {
+            Self::start_stats_reporter(interval, &telemetry, &broker, &sampling, &serving)
+        });
 
         Ok(HeliosDeployment {
             config,
@@ -120,6 +137,69 @@ impl HeliosDeployment {
             serving,
             updates_topic,
             replica_rr: std::sync::atomic::AtomicU64::new(0),
+            telemetry,
+            reporter,
+        })
+    }
+
+    /// Spawn the periodic pipeline-lag monitor: every `interval` it
+    /// refreshes `mq.lag{group,topic}` (consumer lag per group),
+    /// `actor.mailbox_depth{worker}` (sampling-shard backlog) and
+    /// `kvstore.*{worker,replica,table}` (cache memtable/SST sizes) in
+    /// the telemetry registry, so a snapshot at any moment shows where
+    /// the update pipeline is backed up.
+    fn start_stats_reporter(
+        interval: Duration,
+        telemetry: &Arc<Registry>,
+        broker: &Arc<Broker>,
+        sampling: &[SamplingWorker],
+        serving: &[Arc<ServingWorker>],
+    ) -> StatsReporter {
+        let registry = Arc::clone(telemetry);
+        let broker = Arc::clone(broker);
+        let probes: Vec<(String, Box<dyn Fn() -> usize + Send + Sync>)> = sampling
+            .iter()
+            .map(|w| (w.id().0.to_string(), Box::new(w.backlog_probe()) as _))
+            .collect();
+        let serving: Vec<Arc<ServingWorker>> = serving.iter().map(Arc::clone).collect();
+        StatsReporter::start("helios-stats", interval, move || {
+            for e in broker.lag_report() {
+                registry
+                    .gauge("mq.lag", &[("group", &e.group), ("topic", &e.topic)])
+                    .set(e.lag as i64);
+            }
+            for (worker, probe) in &probes {
+                registry
+                    .gauge("actor.mailbox_depth", &[("worker", worker)])
+                    .set(probe() as i64);
+            }
+            for w in &serving {
+                let sw = w.id().0.to_string();
+                let r = w.replica().to_string();
+                let (s, f) = w.cache_stats();
+                for (table, st) in [("samples", s), ("features", f)] {
+                    let labels: &[(&str, &str)] =
+                        &[("worker", &sw), ("replica", &r), ("table", table)];
+                    registry
+                        .gauge("kvstore.mem_bytes", labels)
+                        .set(st.mem_bytes as i64);
+                    registry
+                        .gauge("kvstore.mem_entries", labels)
+                        .set(st.mem_entries as i64);
+                    registry
+                        .gauge("kvstore.sst_files", labels)
+                        .set(st.sst_files as i64);
+                    registry
+                        .gauge("kvstore.disk_bytes", labels)
+                        .set(st.disk_bytes as i64);
+                    registry
+                        .gauge("kvstore.flushes", labels)
+                        .set(st.flushes as i64);
+                    registry
+                        .gauge("kvstore.compactions", labels)
+                        .set(st.compactions as i64);
+                }
+            }
         })
     }
 
@@ -136,6 +216,17 @@ impl HeliosDeployment {
     /// The broker (tests/benches may attach extra consumers).
     pub fn broker(&self) -> &Arc<Broker> {
         &self.broker
+    }
+
+    /// The deployment's telemetry registry: all worker counters, gauges
+    /// and latency histograms, queryable by instrument name.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
+    }
+
+    /// A merged snapshot of every instrument in the deployment.
+    pub fn telemetry_snapshot(&self) -> RegistrySnapshot {
+        self.telemetry.snapshot()
     }
 
     /// Serving worker handles.
@@ -213,16 +304,21 @@ impl HeliosDeployment {
 
     /// Serve a sampling query: route to the owning serving worker and
     /// assemble the K-hop result from its local cache (executed on the
-    /// caller's thread).
+    /// caller's thread). With tracing enabled, the request becomes a
+    /// `router.serve` root span with the worker's spans nested under it.
     pub fn serve(&self, seed: VertexId) -> Result<SampledSubgraph> {
-        self.serving_worker_for(seed).serve(seed)
+        let router_span = span("router.serve", TraceCtx::root());
+        self.serving_worker_for(seed)
+            .serve_traced(seed, router_span.ctx())
     }
 
     /// Serve through the owning worker's bounded serving-thread pool
     /// (§4.3): queueing delay becomes visible under load, which is what
     /// the scalability experiments measure.
     pub fn serve_queued(&self, seed: VertexId) -> Result<SampledSubgraph> {
-        self.serving_worker_for(seed).serve_queued(seed)
+        let router_span = span("router.serve", TraceCtx::root());
+        self.serving_worker_for(seed)
+            .serve_queued_traced(seed, router_span.ctx())
     }
 
     /// Trigger TTL expiry everywhere (paper: periodic stale-data removal).
@@ -315,12 +411,8 @@ impl HeliosDeployment {
             let mut backlog = 0usize;
             for w in &self.sampling {
                 let m = w.metrics();
-                updates_done += m
-                    .updates_processed
-                    .load(std::sync::atomic::Ordering::Relaxed);
-                control_done += m
-                    .control_processed
-                    .load(std::sync::atomic::Ordering::Relaxed);
+                updates_done += m.updates_processed.get();
+                control_done += m.control_processed.get();
                 backlog += w.backlog();
             }
             let applied: u64 = self.serving.iter().map(|s| s.applied()).sum();
@@ -355,6 +447,8 @@ impl HeliosDeployment {
 
     /// Stop all workers. Serving caches stay readable until drop.
     pub fn shutdown(mut self) {
+        // Stop the lag monitor before the workers it observes.
+        drop(self.reporter.take());
         for w in self.sampling.drain(..) {
             w.shutdown();
         }

@@ -11,6 +11,7 @@
 //!   serving worker's `samples-<sew>` topic.
 
 use bytes::{Buf, BytesMut};
+use helios_telemetry::TraceCtx;
 use helios_types::{
     Decode, Encode, GraphUpdate, HeliosError, QueryHopId, Result, ServingWorkerId, Timestamp,
     VertexId,
@@ -30,15 +31,20 @@ pub fn now_nanos() -> u64 {
 pub struct UpdateEnvelope {
     /// Enqueue time from [`now_nanos`].
     pub enqueued_at: u64,
+    /// Trace context of the ingesting request; [`TraceCtx::NONE`] unless
+    /// tracing is enabled at ingest time.
+    pub trace: TraceCtx,
     /// The update itself.
     pub update: GraphUpdate,
 }
 
 impl UpdateEnvelope {
-    /// Wrap an update, stamping it now.
+    /// Wrap an update, stamping it now. Starts a new trace when tracing
+    /// is enabled (each ingested update is its own root).
     pub fn stamp(update: GraphUpdate) -> Self {
         UpdateEnvelope {
             enqueued_at: now_nanos(),
+            trace: TraceCtx::root(),
             update,
         }
     }
@@ -47,6 +53,7 @@ impl UpdateEnvelope {
 impl Encode for UpdateEnvelope {
     fn encode(&self, buf: &mut BytesMut) {
         self.enqueued_at.encode(buf);
+        self.trace.encode(buf);
         self.update.encode(buf);
     }
 }
@@ -55,6 +62,7 @@ impl Decode for UpdateEnvelope {
     fn decode(buf: &mut impl Buf) -> Result<Self> {
         Ok(UpdateEnvelope {
             enqueued_at: u64::decode(buf)?,
+            trace: TraceCtx::decode(buf)?,
             update: GraphUpdate::decode(buf)?,
         })
     }
@@ -222,6 +230,9 @@ pub enum SampleMsg {
         /// Enqueue stamp of the update that caused this push (for
         /// ingestion-latency measurement); 0 for snapshot pushes.
         caused_at: u64,
+        /// Trace context of the causing update ([`TraceCtx::NONE`] for
+        /// snapshot pushes or when tracing is off).
+        trace: TraceCtx,
     },
     /// `(hop, key)` is no longer subscribed: remove it from the cache.
     Evict {
@@ -240,6 +251,9 @@ pub enum SampleMsg {
         ts: Timestamp,
         /// Enqueue stamp of the causing update; 0 for snapshot pushes.
         caused_at: u64,
+        /// Trace context of the causing update ([`TraceCtx::NONE`] for
+        /// snapshot pushes or when tracing is off).
+        trace: TraceCtx,
     },
     /// `vertex`'s feature is no longer subscribed: drop it.
     EvictFeature {
@@ -259,6 +273,17 @@ impl SampleMsg {
             }
         }
     }
+
+    /// Trace context carried by this message ([`TraceCtx::NONE`] for
+    /// evictions, which are not individually traced).
+    pub fn trace(&self) -> TraceCtx {
+        match self {
+            SampleMsg::SampleUpdate { trace, .. } | SampleMsg::FeatureUpdate { trace, .. } => {
+                *trace
+            }
+            SampleMsg::Evict { .. } | SampleMsg::EvictFeature { .. } => TraceCtx::NONE,
+        }
+    }
 }
 
 const SMP_UPDATE: u8 = 0;
@@ -274,12 +299,14 @@ impl Encode for SampleMsg {
                 key,
                 entries,
                 caused_at,
+                trace,
             } => {
                 buf.put_u8(SMP_UPDATE);
                 hop.encode(buf);
                 key.encode(buf);
                 entries.encode(buf);
                 caused_at.encode(buf);
+                trace.encode(buf);
             }
             SampleMsg::Evict { hop, key } => {
                 buf.put_u8(SMP_EVICT);
@@ -291,12 +318,14 @@ impl Encode for SampleMsg {
                 feature,
                 ts,
                 caused_at,
+                trace,
             } => {
                 buf.put_u8(SMP_FEAT);
                 vertex.encode(buf);
                 feature.encode(buf);
                 ts.encode(buf);
                 caused_at.encode(buf);
+                trace.encode(buf);
             }
             SampleMsg::EvictFeature { vertex } => {
                 buf.put_u8(SMP_EVICT_F);
@@ -314,6 +343,7 @@ impl Decode for SampleMsg {
                 key: VertexId::decode(buf)?,
                 entries: Vec::<SampleEntryLite>::decode(buf)?,
                 caused_at: u64::decode(buf)?,
+                trace: TraceCtx::decode(buf)?,
             }),
             SMP_EVICT => Ok(SampleMsg::Evict {
                 hop: QueryHopId::decode(buf)?,
@@ -324,6 +354,7 @@ impl Decode for SampleMsg {
                 feature: Vec::<f32>::decode(buf)?,
                 ts: Timestamp::decode(buf)?,
                 caused_at: u64::decode(buf)?,
+                trace: TraceCtx::decode(buf)?,
             }),
             SMP_EVICT_F => Ok(SampleMsg::EvictFeature {
                 vertex: VertexId::decode(buf)?,
@@ -402,6 +433,10 @@ mod tests {
                     },
                 ],
                 caused_at: 42,
+                trace: TraceCtx {
+                    trace: 77,
+                    parent: 5,
+                },
             },
             SampleMsg::Evict {
                 hop: QueryHopId(1),
@@ -412,8 +447,11 @@ mod tests {
                 feature: vec![1.0, -1.0],
                 ts: Timestamp(7),
                 caused_at: 0,
+                trace: TraceCtx::NONE,
             },
-            SampleMsg::EvictFeature { vertex: VertexId(4) },
+            SampleMsg::EvictFeature {
+                vertex: VertexId(4),
+            },
         ];
         for m in &msgs {
             let back = SampleMsg::decode_from_slice(&m.encode_to_bytes()).unwrap();
@@ -428,13 +466,16 @@ mod tests {
             key: VertexId(10),
             entries: vec![],
             caused_at: 0,
+            trace: TraceCtx::NONE,
         };
         let b = SampleMsg::Evict {
             hop: QueryHopId(1),
             key: VertexId(10),
         };
         assert_eq!(a.routing_key(), b.routing_key());
-        let f = SampleMsg::EvictFeature { vertex: VertexId(11) };
+        let f = SampleMsg::EvictFeature {
+            vertex: VertexId(11),
+        };
         assert_eq!(f.routing_key(), 11);
     }
 

@@ -60,13 +60,9 @@ impl DeploymentReport {
             .enumerate()
             .map(|(i, m)| SamplingReport {
                 saw: i as u32,
-                updates_processed: m
-                    .updates_processed
-                    .load(std::sync::atomic::Ordering::Relaxed),
-                control_processed: m
-                    .control_processed
-                    .load(std::sync::atomic::Ordering::Relaxed),
-                published: m.published.load(std::sync::atomic::Ordering::Relaxed),
+                updates_processed: m.updates_processed.get(),
+                control_processed: m.control_processed.get(),
+                published: m.published.get(),
                 max_shard_busy_secs: m.max_shard_busy_nanos() as f64 / 1e9,
             })
             .collect();

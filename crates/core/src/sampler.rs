@@ -24,6 +24,7 @@ use helios_actor::{Beacon, ShardedPool};
 use helios_mq::Broker;
 use helios_query::{KHopQuery, QueryDag};
 use helios_sampling::{ReservoirOutcome, ReservoirTable, SampleEntry};
+use helios_telemetry::{span, Counter, Registry, TraceCtx};
 use helios_types::{
     hash::route, Decode, EdgeUpdate, Encode, FxHashMap, GraphUpdate, PartitionId, QueryHopId,
     Result, SamplingWorkerId, ServingWorkerId, Timestamp, VertexId, VertexType, VertexUpdate,
@@ -31,7 +32,7 @@ use helios_types::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -47,39 +48,65 @@ pub mod topics {
     }
 }
 
-/// Shared throughput/progress counters of one sampling worker.
-#[derive(Debug, Default)]
+/// Shared throughput/progress counters of one sampling worker, registered
+/// as `sampler.*` instruments in the deployment's telemetry registry so
+/// snapshots and reports see them by name.
+#[derive(Debug)]
 pub struct SamplerMetrics {
     /// Update records dispatched by the polling thread.
-    pub updates_dispatched: AtomicU64,
+    pub updates_dispatched: Arc<Counter>,
     /// Update records fully processed by sampling threads.
-    pub updates_processed: AtomicU64,
+    pub updates_processed: Arc<Counter>,
     /// Control records dispatched by the control polling thread.
-    pub control_dispatched: AtomicU64,
+    pub control_dispatched: Arc<Counter>,
     /// Control records fully processed.
-    pub control_processed: AtomicU64,
+    pub control_processed: Arc<Counter>,
     /// Sample/feature messages published to serving workers.
-    pub published: AtomicU64,
+    pub published: Arc<Counter>,
     /// Per-sampling-thread busy nanoseconds. On a machine with fewer
     /// cores than threads, `max` over these is the critical-path compute
     /// time a truly parallel deployment would take — the scalability
     /// experiments report throughput against it ("simulated-parallel").
-    pub shard_busy_nanos: Vec<AtomicU64>,
+    pub shard_busy_nanos: Vec<Arc<Counter>>,
 }
 
 impl SamplerMetrics {
-    /// Metrics for a worker with `threads` sampling threads.
+    /// Standalone metrics (not in any registry) for a worker with
+    /// `threads` sampling threads; used by unit tests.
     pub fn new(threads: usize) -> Self {
         SamplerMetrics {
-            shard_busy_nanos: (0..threads).map(|_| AtomicU64::new(0)).collect(),
-            ..Default::default()
+            updates_dispatched: Arc::new(Counter::new()),
+            updates_processed: Arc::new(Counter::new()),
+            control_dispatched: Arc::new(Counter::new()),
+            control_processed: Arc::new(Counter::new()),
+            published: Arc::new(Counter::new()),
+            shard_busy_nanos: (0..threads).map(|_| Arc::new(Counter::new())).collect(),
+        }
+    }
+
+    /// Metrics registered under `sampler.*{worker=<id>}` in `registry`.
+    pub fn registered(registry: &Registry, worker: u32, threads: usize) -> Self {
+        let w = worker.to_string();
+        let labels: &[(&str, &str)] = &[("worker", &w)];
+        SamplerMetrics {
+            updates_dispatched: registry.counter("sampler.updates_dispatched", labels),
+            updates_processed: registry.counter("sampler.updates_processed", labels),
+            control_dispatched: registry.counter("sampler.control_dispatched", labels),
+            control_processed: registry.counter("sampler.control_processed", labels),
+            published: registry.counter("sampler.published", labels),
+            shard_busy_nanos: (0..threads)
+                .map(|s| {
+                    let s = s.to_string();
+                    registry.counter("sampler.shard_busy_nanos", &[("worker", &w), ("shard", &s)])
+                })
+                .collect(),
         }
     }
 
     /// Updates processed so far (the paper's pre-sampling records/s
     /// numerator).
     pub fn processed(&self) -> u64 {
-        self.updates_processed.load(Ordering::Relaxed)
+        self.updates_processed.get()
     }
 
     /// The busiest sampling thread's accumulated compute time, in
@@ -87,17 +114,14 @@ impl SamplerMetrics {
     pub fn max_shard_busy_nanos(&self) -> u64 {
         self.shard_busy_nanos
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .map(|b| b.get())
             .max()
             .unwrap_or(0)
     }
 
     /// Total compute nanoseconds across sampling threads.
     pub fn total_busy_nanos(&self) -> u64 {
-        self.shard_busy_nanos
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .sum()
+        self.shard_busy_nanos.iter().map(|b| b.get()).sum()
     }
 }
 
@@ -128,7 +152,7 @@ impl Ctx {
     fn publish_sample_raw(&self, sew: ServingWorkerId, key: u64, payload: bytes::Bytes) {
         let topic = &self.sample_topics[sew.0 as usize];
         let _ = topic.produce(key, payload);
-        self.metrics.published.fetch_add(1, Ordering::Relaxed);
+        self.metrics.published.incr();
     }
 
     fn send_control(&self, msg: &ControlMsg) {
@@ -203,9 +227,8 @@ impl SamplerShard {
 
     // ---- update handling (§5.2) ----
 
-    fn handle_vertex(&mut self, v: &VertexUpdate, caused_at: u64) {
-        self.features
-            .insert(v.id, (v.feature.clone(), v.ts));
+    fn handle_vertex(&mut self, v: &VertexUpdate, caused_at: u64, trace: TraceCtx) {
+        self.features.insert(v.id, (v.feature.clone(), v.ts));
         if v.vtype == self.ctx.seed_type {
             // Seed vertices are implicitly feature-subscribed by their
             // serving worker (it will need the seed feature to answer
@@ -219,6 +242,7 @@ impl SamplerShard {
                 feature: v.feature.clone(),
                 ts: v.ts,
                 caused_at,
+                trace,
             };
             for &sew in subs.keys() {
                 self.ctx.publish_sample(ServingWorkerId(sew), &msg);
@@ -226,7 +250,7 @@ impl SamplerShard {
         }
     }
 
-    fn handle_edge(&mut self, e: &EdgeUpdate, caused_at: u64) {
+    fn handle_edge(&mut self, e: &EdgeUpdate, caused_at: u64, trace: TraceCtx) {
         // An edge can match several one-hop queries (e.g. FIN's two
         // TransferTo hops); each maintains its own reservoir.
         for hop_idx in 0..self.ctx.dag.len() {
@@ -241,15 +265,17 @@ impl SamplerShard {
                 let sew = self.ctx.sew_of(e.src);
                 self.ensure_seed_sub(e.src, sew);
             }
+            let reservoir_span = span("sampler.reservoir", trace);
             let outcome =
                 self.reservoirs[hop_idx].offer(e.src, e.dst, e.ts, e.weight, &mut self.rng);
+            drop(reservoir_span);
             let (added, evicted) = match outcome {
                 ReservoirOutcome::Ignored => (None, None),
                 ReservoirOutcome::Added => (Some(e.dst), None),
                 ReservoirOutcome::Replaced { evicted } => (Some(e.dst), Some(evicted.neighbor)),
             };
             if outcome.changed() {
-                self.on_reservoir_change(hop, e.src, added, evicted, caused_at);
+                self.on_reservoir_change(hop, e.src, added, evicted, caused_at, trace);
             }
         }
     }
@@ -263,6 +289,7 @@ impl SamplerShard {
         added: Option<VertexId>,
         evicted: Option<VertexId>,
         caused_at: u64,
+        trace: TraceCtx,
     ) {
         let entries = Self::lite_entries(self.reservoirs[hop.index()].samples(key));
         let subs: Vec<u32> = self.sample_subs[hop.index()]
@@ -272,23 +299,21 @@ impl SamplerShard {
         if subs.is_empty() {
             return;
         }
-        let downstream: Vec<QueryHopId> = self
-            .ctx
-            .dag
-            .downstream(hop)
-            .map(|d| d.hop)
-            .collect();
+        let _fanout_span = span("sampler.fanout", trace);
+        let downstream: Vec<QueryHopId> = self.ctx.dag.downstream(hop).map(|d| d.hop).collect();
         let msg = SampleMsg::SampleUpdate {
             hop,
             key,
             entries,
             caused_at,
+            trace,
         };
         let payload = msg.encode_to_bytes();
         let routing_key = msg.routing_key();
         for &sew_raw in &subs {
             let sew = ServingWorkerId(sew_raw);
-            self.ctx.publish_sample_raw(sew, routing_key, payload.clone());
+            self.ctx
+                .publish_sample_raw(sew, routing_key, payload.clone());
             if let Some(new_neighbor) = added {
                 self.ctx.send_control(&ControlMsg::SubscribeFeature {
                     vertex: new_neighbor,
@@ -342,6 +367,7 @@ impl SamplerShard {
                             feature: f.clone(),
                             ts: *ts,
                             caused_at: 0,
+                            trace: TraceCtx::NONE,
                         },
                     );
                 }
@@ -370,6 +396,7 @@ impl SamplerShard {
                         key: vertex,
                         entries,
                         caused_at: 0,
+                        trace: TraceCtx::NONE,
                     },
                 );
                 if first {
@@ -442,6 +469,7 @@ impl SamplerShard {
                                 feature: f.clone(),
                                 ts: *ts,
                                 caused_at: 0,
+                                trace: TraceCtx::NONE,
                             },
                         );
                     }
@@ -475,8 +503,7 @@ impl SamplerShard {
         for hop_idx in 0..self.reservoirs.len() {
             let hop = QueryHopId(hop_idx as u16);
             let evicted = self.reservoirs[hop_idx].expire_before(horizon);
-            let downstream: Vec<QueryHopId> =
-                self.ctx.dag.downstream(hop).map(|d| d.hop).collect();
+            let downstream: Vec<QueryHopId> = self.ctx.dag.downstream(hop).map(|d| d.hop).collect();
             let mut touched: FxHashMap<VertexId, Vec<VertexId>> = FxHashMap::default();
             for (key, entry) in evicted {
                 touched.entry(key).or_default().push(entry.neighbor);
@@ -495,6 +522,7 @@ impl SamplerShard {
                     key,
                     entries,
                     caused_at: 0,
+                    trace: TraceCtx::NONE,
                 };
                 for &sew_raw in &subs {
                     let sew = ServingWorkerId(sew_raw);
@@ -530,10 +558,8 @@ impl SamplerShard {
         let mut buf = bytes::BytesMut::new();
         (self.reservoirs.len() as u32).encode(&mut buf);
         for (hop_idx, table) in self.reservoirs.iter().enumerate() {
-            let cells: Vec<(VertexId, helios_sampling::Reservoir)> = table
-                .iter()
-                .map(|(k, r)| (k, r.clone()))
-                .collect();
+            let cells: Vec<(VertexId, helios_sampling::Reservoir)> =
+                table.iter().map(|(k, r)| (k, r.clone())).collect();
             (cells.len() as u32).encode(&mut buf);
             for (k, r) in cells {
                 k.encode(&mut buf);
@@ -612,21 +638,17 @@ impl helios_actor::Actor for SamplerShard {
         let busy_start = std::time::Instant::now();
         match msg {
             ShardMsg::Update(env) => {
+                let shard_span = span("sampler.shard", env.trace);
+                let trace = shard_span.ctx();
                 match &env.update {
-                    GraphUpdate::Vertex(v) => self.handle_vertex(v, env.enqueued_at),
-                    GraphUpdate::Edge(e) => self.handle_edge(e, env.enqueued_at),
+                    GraphUpdate::Vertex(v) => self.handle_vertex(v, env.enqueued_at, trace),
+                    GraphUpdate::Edge(e) => self.handle_edge(e, env.enqueued_at, trace),
                 }
-                self.ctx
-                    .metrics
-                    .updates_processed
-                    .fetch_add(1, Ordering::Relaxed);
+                self.ctx.metrics.updates_processed.incr();
             }
             ShardMsg::Control(c) => {
                 self.handle_control(c);
-                self.ctx
-                    .metrics
-                    .control_processed
-                    .fetch_add(1, Ordering::Relaxed);
+                self.ctx.metrics.control_processed.incr();
             }
             ShardMsg::Expire(h) => self.handle_expire(h),
             ShardMsg::Checkpoint(dir, ack) => {
@@ -637,10 +659,7 @@ impl helios_actor::Actor for SamplerShard {
             }
         }
         if let Some(cell) = self.ctx.metrics.shard_busy_nanos.get(self.shard_idx) {
-            cell.fetch_add(
-                busy_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
-                Ordering::Relaxed,
-            );
+            cell.add(busy_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
         }
     }
 }
@@ -656,16 +675,22 @@ pub struct SamplingWorker {
 
 impl SamplingWorker {
     /// Start sampling worker `id` of `m`, serving `n` serving workers.
+    /// Counters register as `sampler.*{worker=<id>}` in `registry`.
     pub fn start(
         id: SamplingWorkerId,
         config: &HeliosConfig,
         query: &KHopQuery,
         broker: &Arc<Broker>,
         beacon: Beacon,
+        registry: &Registry,
     ) -> Result<SamplingWorker> {
         let m = config.sampling_workers;
         let n = config.serving_workers;
-        let metrics = Arc::new(SamplerMetrics::new(config.sampling_threads));
+        let metrics = Arc::new(SamplerMetrics::registered(
+            registry,
+            id.0,
+            config.sampling_threads,
+        ));
         let sample_topics = (0..n as u32)
             .map(|s| broker.topic(&topics::samples(s)))
             .collect::<Result<Vec<_>>>()?;
@@ -711,22 +736,21 @@ impl SamplingWorker {
                             let recs = consumer.poll(poll_batch, poll_timeout);
                             for rec in recs {
                                 match UpdateEnvelope::decode_from_slice(&rec.payload) {
-                                    Ok(env) => {
+                                    Ok(mut env) => {
                                         let key = env.update.routing_vertex().raw();
-                                        metrics
-                                            .updates_dispatched
-                                            .fetch_add(1, Ordering::Relaxed);
+                                        metrics.updates_dispatched.incr();
+                                        // Nest the shard's work under a
+                                        // dispatch span so the trace shows
+                                        // the poll → shard handoff.
+                                        let poll_span = span("sampler.poll", env.trace);
+                                        env.trace = poll_span.ctx();
                                         shards.send(key, ShardMsg::Update(env));
                                     }
                                     Err(_) => {
                                         // Corrupt record: count it processed so
                                         // drain accounting stays consistent.
-                                        metrics
-                                            .updates_dispatched
-                                            .fetch_add(1, Ordering::Relaxed);
-                                        metrics
-                                            .updates_processed
-                                            .fetch_add(1, Ordering::Relaxed);
+                                        metrics.updates_dispatched.incr();
+                                        metrics.updates_processed.incr();
                                     }
                                 }
                             }
@@ -763,18 +787,12 @@ impl SamplingWorker {
                                 match ControlMsg::decode_from_slice(&rec.payload) {
                                     Ok(msg) => {
                                         let key = msg.target_vertex().raw();
-                                        metrics
-                                            .control_dispatched
-                                            .fetch_add(1, Ordering::Relaxed);
+                                        metrics.control_dispatched.incr();
                                         shards.send(key, ShardMsg::Control(msg));
                                     }
                                     Err(_) => {
-                                        metrics
-                                            .control_dispatched
-                                            .fetch_add(1, Ordering::Relaxed);
-                                        metrics
-                                            .control_processed
-                                            .fetch_add(1, Ordering::Relaxed);
+                                        metrics.control_dispatched.incr();
+                                        metrics.control_processed.incr();
                                     }
                                 }
                             }
@@ -806,6 +824,13 @@ impl SamplingWorker {
     /// Pending messages in the sampling shards' mailboxes.
     pub fn backlog(&self) -> usize {
         self.shards.backlog()
+    }
+
+    /// A detached probe of the shard-mailbox backlog, for reporter
+    /// threads that must not borrow the worker handle.
+    pub fn backlog_probe(&self) -> impl Fn() -> usize + Send + Sync + 'static {
+        let shards = Arc::clone(&self.shards);
+        move || shards.backlog()
     }
 
     /// Trigger TTL expiry on every shard.

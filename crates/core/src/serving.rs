@@ -25,10 +25,11 @@ use helios_kvstore::{KvConfig, KvStats, KvStore};
 use helios_metrics::Histogram;
 use helios_mq::Broker;
 use helios_query::{HopSamples, KHopQuery, SampledSubgraph};
+use helios_telemetry::{span, Counter, Registry, TraceCtx};
 use helios_types::{
     Decode, Encode, PartitionId, QueryHopId, Result, ServingWorkerId, Timestamp, VertexId,
 };
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -43,17 +44,23 @@ fn feature_key(v: VertexId) -> [u8; 8] {
     v.raw().to_be_bytes()
 }
 
-/// A running serving worker.
+/// A running serving worker. Its latency histograms and hit/served
+/// counters live in the deployment's telemetry registry under
+/// `serving.*{worker=<id>,replica=<r>}`.
 pub struct ServingWorker {
     id: ServingWorkerId,
     replica: u32,
     query: KHopQuery,
     samples: KvStore,
     features: KvStore,
-    serve_latency: Histogram,
-    ingestion_latency: Histogram,
-    served: AtomicU64,
-    applied: AtomicU64,
+    serve_latency: Arc<Histogram>,
+    ingestion_latency: Arc<Histogram>,
+    served: Arc<Counter>,
+    applied: Arc<Counter>,
+    sample_hits: Arc<Counter>,
+    sample_misses: Arc<Counter>,
+    feature_hits: Arc<Counter>,
+    feature_misses: Arc<Counter>,
     stop: Arc<AtomicBool>,
     updaters: parking_lot::Mutex<Vec<JoinHandle<()>>>,
     /// Dropped (set to `None`) at shutdown so serving threads exit their
@@ -64,6 +71,7 @@ pub struct ServingWorker {
 
 type ServeRequest = (
     VertexId,
+    TraceCtx,
     crossbeam::channel::Sender<Result<SampledSubgraph>>,
 );
 
@@ -80,6 +88,7 @@ impl ServingWorker {
         query: &KHopQuery,
         broker: &Arc<Broker>,
         beacon: helios_actor::Beacon,
+        registry: &Registry,
     ) -> Result<Arc<ServingWorker>> {
         let kv_config = |suffix: &str| match &config.cache_dir {
             Some(dir) => KvConfig::hybrid(
@@ -89,6 +98,16 @@ impl ServingWorker {
             ),
             None => KvConfig::in_memory(config.cache_shards),
         };
+        let w = id.0.to_string();
+        let r = replica.to_string();
+        let labels: &[(&str, &str)] = &[("worker", &w), ("replica", &r)];
+        let hit_labels = |table: &'static str| {
+            [
+                ("worker", w.as_str()),
+                ("replica", r.as_str()),
+                ("table", table),
+            ]
+        };
         let (serve_tx, serve_rx) = crossbeam::channel::unbounded::<ServeRequest>();
         let worker = Arc::new(ServingWorker {
             id,
@@ -96,10 +115,14 @@ impl ServingWorker {
             query: query.clone(),
             samples: KvStore::open(kv_config("samples"))?,
             features: KvStore::open(kv_config("features"))?,
-            serve_latency: Histogram::new(),
-            ingestion_latency: Histogram::new(),
-            served: AtomicU64::new(0),
-            applied: AtomicU64::new(0),
+            serve_latency: registry.histogram("serving.latency", labels),
+            ingestion_latency: registry.histogram("serving.ingestion_latency", labels),
+            served: registry.counter("serving.served", labels),
+            applied: registry.counter("serving.applied", labels),
+            sample_hits: registry.counter("serving.cache_hit", &hit_labels("samples")),
+            sample_misses: registry.counter("serving.cache_miss", &hit_labels("samples")),
+            feature_hits: registry.counter("serving.cache_hit", &hit_labels("features")),
+            feature_misses: registry.counter("serving.cache_miss", &hit_labels("features")),
             stop: Arc::new(AtomicBool::new(false)),
             updaters: parking_lot::Mutex::new(Vec::new()),
             serve_tx: parking_lot::RwLock::new(Some(serve_tx)),
@@ -117,8 +140,8 @@ impl ServingWorker {
                 std::thread::Builder::new()
                     .name(format!("sew{}r{replica}-serve-{t}", id.0))
                     .spawn(move || {
-                        while let Ok((seed, reply)) = rx.recv() {
-                            let _ = reply.send(w.serve(seed));
+                        while let Ok((seed, trace, reply)) = rx.recv() {
+                            let _ = reply.send(w.serve_traced(seed, trace));
                         }
                     })
                     .expect("spawn serving thread"),
@@ -130,14 +153,16 @@ impl ServingWorker {
 
         // Data-updating threads: split the topic's partitions across them.
         let topic_name = topics::samples(id.0);
-        let partitions: Vec<PartitionId> =
-            (0..config.sample_queue_partitions).map(PartitionId).collect();
+        let partitions: Vec<PartitionId> = (0..config.sample_queue_partitions)
+            .map(PartitionId)
+            .collect();
         let chunks: Vec<Vec<PartitionId>> = split_round_robin(&partitions, config.updater_threads);
         for (t, parts) in chunks.into_iter().enumerate() {
             if parts.is_empty() {
                 continue;
             }
-            let mut consumer = broker.consumer(&format!("sew-{}-r{replica}", id.0), &topic_name, &parts)?;
+            let mut consumer =
+                broker.consumer(&format!("sew-{}-r{replica}", id.0), &topic_name, &parts)?;
             let w = Arc::clone(&worker);
             let stop = Arc::clone(&worker.stop);
             let poll_batch = config.poll_batch;
@@ -154,7 +179,7 @@ impl ServingWorker {
                                 if let Ok(msg) = SampleMsg::decode_from_slice(&rec.payload) {
                                     w.apply(&msg);
                                 }
-                                w.applied.fetch_add(1, Ordering::Relaxed);
+                                w.applied.incr();
                             }
                         }
                     })
@@ -178,19 +203,23 @@ impl ServingWorker {
     /// Apply one cache update (normally called by updater threads; public
     /// for tests and custom pipelines).
     pub fn apply(&self, msg: &SampleMsg) {
+        let _apply_span = span("serving.cache_apply", msg.trace());
         match msg {
             SampleMsg::SampleUpdate {
                 hop,
                 key,
                 entries,
                 caused_at,
+                ..
             } => {
                 let mut buf = BytesMut::with_capacity(8 + entries.len() * 20);
                 entries.encode(&mut buf);
-                let ts = entries.iter().map(|e| e.ts).max().unwrap_or(Timestamp::ZERO);
-                let _ = self
-                    .samples
-                    .put(&sample_key(*hop, *key), buf.freeze(), ts);
+                let ts = entries
+                    .iter()
+                    .map(|e| e.ts)
+                    .max()
+                    .unwrap_or(Timestamp::ZERO);
+                let _ = self.samples.put(&sample_key(*hop, *key), buf.freeze(), ts);
                 self.record_ingestion(*caused_at);
             }
             SampleMsg::Evict { hop, key } => {
@@ -201,6 +230,7 @@ impl ServingWorker {
                 feature,
                 ts,
                 caused_at,
+                ..
             } => {
                 let mut buf = BytesMut::with_capacity(feature.len() * 4 + 8);
                 feature.encode(&mut buf);
@@ -226,19 +256,40 @@ impl ServingWorker {
     /// fixed number of lookups, no traversal, no network (§6's "Serving
     /// Sampling Queries", Fig. 8).
     pub fn serve(&self, seed: VertexId) -> Result<SampledSubgraph> {
+        self.serve_traced(seed, TraceCtx::NONE)
+    }
+
+    /// Like [`ServingWorker::serve`], continuing the caller's trace (the
+    /// deployment router passes its span context here). With no active
+    /// parent and tracing enabled, a fresh trace starts at this request.
+    pub fn serve_traced(&self, seed: VertexId, parent: TraceCtx) -> Result<SampledSubgraph> {
+        let root = if parent.is_active() {
+            parent
+        } else {
+            TraceCtx::root()
+        };
+        let serve_span = span("serving.serve", root);
+        let ctx = serve_span.ctx();
         let start = std::time::Instant::now();
         let mut result = SampledSubgraph::new(seed);
         let mut frontier = vec![seed];
         for hop_idx in 0..self.query.hops() {
+            let _hop_span = span("serving.hop", ctx);
             let hop = QueryHopId(hop_idx as u16);
             let mut hs = HopSamples::default();
             let mut next = Vec::new();
             for &v in &frontier {
                 let children: Vec<VertexId> = match self.samples.get(&sample_key(hop, v))? {
-                    Some(raw) => Vec::<SampleEntryLite>::decode_from_slice(&raw)
-                        .map(|es| es.into_iter().map(|e| e.neighbor).collect())
-                        .unwrap_or_default(),
-                    None => Vec::new(),
+                    Some(raw) => {
+                        self.sample_hits.incr();
+                        Vec::<SampleEntryLite>::decode_from_slice(&raw)
+                            .map(|es| es.into_iter().map(|e| e.neighbor).collect())
+                            .unwrap_or_default()
+                    }
+                    None => {
+                        self.sample_misses.incr();
+                        Vec::new()
+                    }
                 };
                 next.extend(children.iter().copied());
                 hs.groups.push((v, children));
@@ -249,15 +300,21 @@ impl ServingWorker {
                 break;
             }
         }
-        for v in result.all_vertices() {
-            if let Some(raw) = self.features.get(&feature_key(v))? {
-                if let Ok(f) = Vec::<f32>::decode_from_slice(&raw) {
-                    result.features.insert(v, f);
+        {
+            let _feat_span = span("serving.features", ctx);
+            for v in result.all_vertices() {
+                if let Some(raw) = self.features.get(&feature_key(v))? {
+                    self.feature_hits.incr();
+                    if let Ok(f) = Vec::<f32>::decode_from_slice(&raw) {
+                        result.features.insert(v, f);
+                    }
+                } else {
+                    self.feature_misses.incr();
                 }
             }
         }
         self.serve_latency.record_duration(start.elapsed());
-        self.served.fetch_add(1, Ordering::Relaxed);
+        self.served.incr();
         Ok(result)
     }
 
@@ -266,6 +323,19 @@ impl ServingWorker {
     /// measured by the caller then includes queueing delay, which is what
     /// a front-end observes under load.
     pub fn serve_queued(&self, seed: VertexId) -> Result<SampledSubgraph> {
+        self.serve_queued_traced(seed, TraceCtx::NONE)
+    }
+
+    /// Like [`ServingWorker::serve_queued`], continuing the caller's
+    /// trace; the queue wait shows up as the gap between this span's
+    /// start and its `serving.serve` child.
+    pub fn serve_queued_traced(&self, seed: VertexId, parent: TraceCtx) -> Result<SampledSubgraph> {
+        let root = if parent.is_active() {
+            parent
+        } else {
+            TraceCtx::root()
+        };
+        let queue_span = span("serving.queue", root);
         let (tx, rx) = crossbeam::channel::bounded(1);
         {
             let guard = self.serve_tx.read();
@@ -273,7 +343,7 @@ impl ServingWorker {
                 .as_ref()
                 .ok_or(helios_types::HeliosError::ShuttingDown)?;
             sender
-                .send((seed, tx))
+                .send((seed, queue_span.ctx(), tx))
                 .map_err(|_| helios_types::HeliosError::ShuttingDown)?;
         }
         rx.recv()
@@ -282,12 +352,22 @@ impl ServingWorker {
 
     /// Number of requests served.
     pub fn served(&self) -> u64 {
-        self.served.load(Ordering::Relaxed)
+        self.served.get()
     }
 
     /// Number of sample-queue records applied.
     pub fn applied(&self) -> u64 {
-        self.applied.load(Ordering::Relaxed)
+        self.applied.get()
+    }
+
+    /// Sample-table cache lookups: (hits, misses).
+    pub fn sample_lookups(&self) -> (u64, u64) {
+        (self.sample_hits.get(), self.sample_misses.get())
+    }
+
+    /// Feature-table cache lookups: (hits, misses).
+    pub fn feature_lookups(&self) -> (u64, u64) {
+        (self.feature_hits.get(), self.feature_misses.get())
     }
 
     /// Serving latency histogram.

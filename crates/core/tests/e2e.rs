@@ -89,8 +89,8 @@ fn world(users: u64, items_per_user: u64) -> Vec<GraphUpdate> {
 
 #[test]
 fn two_hop_pipeline_end_to_end() {
-    let helios = HeliosDeployment::start(HeliosConfig::with_workers(2, 2), two_hop_topk(2, 2))
-        .unwrap();
+    let helios =
+        HeliosDeployment::start(HeliosConfig::with_workers(2, 2), two_hop_topk(2, 2)).unwrap();
     helios.ingest_and_settle(&world(8, 5), SETTLE).unwrap();
 
     for u in 1..=8u64 {
@@ -126,8 +126,7 @@ fn topk_results_match_oracle() {
 
     let query = two_hop_topk(3, 2);
     let updates = world(6, 6);
-    let helios =
-        HeliosDeployment::start(HeliosConfig::with_workers(3, 2), query.clone()).unwrap();
+    let helios = HeliosDeployment::start(HeliosConfig::with_workers(3, 2), query.clone()).unwrap();
     helios.ingest_and_settle(&updates, SETTLE).unwrap();
     let oracle = OracleSampler::from_events(updates.iter().cloned());
 
@@ -294,15 +293,16 @@ fn checkpoint_and_restore_preserve_serving_state() {
     {
         let helios = HeliosDeployment::start(config.clone(), query.clone()).unwrap();
         helios.ingest_and_settle(&updates, SETTLE).unwrap();
-        baseline = (1..=5u64).map(|u| helios.serve(VertexId(u)).unwrap()).collect();
+        baseline = (1..=5u64)
+            .map(|u| helios.serve(VertexId(u)).unwrap())
+            .collect();
         helios.checkpoint(&dir).unwrap();
         helios.shutdown();
     }
 
     // Restart from the checkpoint; ingest one more click; the reservoirs
     // must continue from the checkpointed state.
-    let helios =
-        HeliosDeployment::start_from_checkpoint(config, query, &dir).unwrap();
+    let helios = HeliosDeployment::start_from_checkpoint(config, query, &dir).unwrap();
     // Without replaying anything, subscriptions were checkpointed on the
     // sampling side but the serving caches start empty; re-subscribing
     // happens as updates flow. Ingest a fresh click per user so every
@@ -408,7 +408,11 @@ fn concurrent_serving_while_ingesting() {
     for round in 0..50u64 {
         let mut batch = Vec::new();
         for u in 1..=10u64 {
-            batch.push(click(u, 1000 + (round * 10 + u) % 40, 10_000 + round * 100 + u));
+            batch.push(click(
+                u,
+                1000 + (round * 10 + u) % 40,
+                10_000 + round * 100 + u,
+            ));
         }
         helios.ingest_batch(&batch).unwrap();
     }
@@ -507,6 +511,148 @@ fn serving_replicas_converge_and_share_load() {
         .collect();
     let min = *served.iter().min().unwrap();
     assert!(min > 0, "every replica must take load: {served:?}");
+    helios.shutdown();
+}
+
+#[test]
+fn pipeline_lag_is_zero_after_drain() {
+    let helios =
+        HeliosDeployment::start(HeliosConfig::with_workers(2, 2), two_hop_topk(2, 2)).unwrap();
+    helios.ingest_and_settle(&world(6, 4), SETTLE).unwrap();
+
+    let report = helios.broker().lag_report();
+    assert!(!report.is_empty(), "workers must have registered consumers");
+    // Every worker consumer group drained its topic completely.
+    for e in &report {
+        assert_eq!(
+            e.lag, 0,
+            "group {} on topic {} still lags after quiesce",
+            e.group, e.topic
+        );
+    }
+    // The update stream was consumed by every sampling worker's group.
+    let groups = helios.broker().consumer_groups();
+    assert!(groups.len() >= 2, "expected worker groups, got {groups:?}");
+    for g in &groups {
+        assert_eq!(helios.broker().group_lag(g, "updates"), 0);
+    }
+    helios.shutdown();
+}
+
+#[test]
+fn telemetry_snapshot_covers_subsystems() {
+    let mut config = HeliosConfig::with_workers(2, 2);
+    config.stats_interval = Some(Duration::from_millis(25));
+    let helios = HeliosDeployment::start(config, two_hop_topk(2, 2)).unwrap();
+    helios.ingest_and_settle(&world(6, 4), SETTLE).unwrap();
+    for u in 1..=6u64 {
+        let _ = helios.serve(VertexId(u)).unwrap();
+    }
+    // Let the stats reporter refresh the pipeline gauges at least once.
+    std::thread::sleep(Duration::from_millis(120));
+
+    let snap = helios.telemetry_snapshot();
+    let subsystems = snap.subsystems();
+    for want in ["sampler", "serving", "mq", "actor", "kvstore"] {
+        assert!(
+            subsystems.iter().any(|s| s == want),
+            "snapshot must cover {want}: {subsystems:?}"
+        );
+    }
+    assert!(snap.counter_total("sampler.updates_processed") > 0);
+    assert!(snap.counter_total("serving.served") >= 6);
+    assert!(snap.counter_total("serving.applied") > 0);
+    let hist = snap
+        .histogram_total("serving.latency")
+        .expect("latency histogram");
+    assert!(hist.count > 0);
+    // Rendered form mentions each subsystem (what --stats prints).
+    let rendered = snap.render();
+    for want in ["sampler.", "serving.", "mq.", "kvstore."] {
+        assert!(
+            rendered.contains(want),
+            "render missing {want}:\n{rendered}"
+        );
+    }
+    helios.shutdown();
+}
+
+#[test]
+fn traces_follow_request_and_update_paths() {
+    use helios_telemetry::{drain_spans, set_tracing, to_chrome_trace, to_jsonl};
+
+    let helios =
+        HeliosDeployment::start(HeliosConfig::with_workers(2, 2), two_hop_topk(2, 2)).unwrap();
+    // Enable tracing only around the traffic we want journaled.
+    set_tracing(true);
+    helios.ingest_and_settle(&world(4, 3), SETTLE).unwrap();
+    let _ = helios.serve(VertexId(1)).unwrap();
+    set_tracing(false);
+    let spans = drain_spans();
+
+    // One inference request: router.serve → serving.serve → serving.hop.
+    let router = spans
+        .iter()
+        .find(|s| s.name == "router.serve")
+        .expect("router root span");
+    let serve = spans
+        .iter()
+        .find(|s| s.name == "serving.serve" && s.trace == router.trace)
+        .expect("serving.serve child");
+    assert_eq!(serve.parent, router.span, "serve nests under the router");
+    let hop = spans
+        .iter()
+        .find(|s| s.name == "serving.hop" && s.trace == router.trace)
+        .expect("serving.hop grandchild");
+    assert_eq!(hop.parent, serve.span);
+
+    // One graph update: sampler.poll → sampler.shard → sampler.reservoir,
+    // then serving.cache_apply on the same trace across threads and
+    // queues. Anchor on an update whose reservoir change reached a
+    // serving cache (vertex updates and sub-less edges don't fan out).
+    let apply = spans
+        .iter()
+        .find(|s| {
+            s.name == "serving.cache_apply"
+                && spans
+                    .iter()
+                    .any(|r| r.name == "sampler.reservoir" && r.trace == s.trace)
+        })
+        .expect("an update's trace reaches the serving cache");
+    let t = apply.trace;
+    let poll = spans
+        .iter()
+        .find(|s| s.name == "sampler.poll" && s.trace == t)
+        .expect("update poll span");
+    let shard = spans
+        .iter()
+        .find(|s| s.name == "sampler.shard" && s.trace == t && s.parent == poll.span)
+        .expect("shard span under the poll span");
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.name == "sampler.reservoir" && s.trace == t && s.parent == shard.span),
+        "reservoir offer nests under the shard actor"
+    );
+    assert_ne!(
+        apply.thread, shard.thread,
+        "apply runs on a serving updater thread, not the sampling shard"
+    );
+
+    // Dumpable as JSONL (one parseable object per line, ids intact) …
+    let jsonl = to_jsonl(&spans);
+    assert_eq!(jsonl.lines().count(), spans.len());
+    let line = jsonl
+        .lines()
+        .find(|l| l.contains(&format!("\"span\":{},", apply.span)))
+        .expect("apply span serialized");
+    assert!(line.contains("\"name\":\"serving.cache_apply\""));
+    assert!(line.contains(&format!("\"trace\":{},", apply.trace)));
+    assert!(line.contains(&format!("\"parent\":{},", apply.parent)));
+    // … and as a chrome://tracing event array.
+    let chrome = to_chrome_trace(&spans);
+    assert!(chrome.starts_with('[') && chrome.trim_end().ends_with(']'));
+    assert!(chrome.contains("\"router.serve\""));
     helios.shutdown();
 }
 

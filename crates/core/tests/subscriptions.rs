@@ -25,7 +25,14 @@ fn vertex(id: u64, vt: VertexType, ts: u64) -> GraphUpdate {
     })
 }
 
-fn edge(etype: EdgeType, st: VertexType, src: u64, dt: VertexType, dst: u64, ts: u64) -> GraphUpdate {
+fn edge(
+    etype: EdgeType,
+    st: VertexType,
+    src: u64,
+    dt: VertexType,
+    dst: u64,
+    ts: u64,
+) -> GraphUpdate {
     GraphUpdate::Edge(EdgeUpdate {
         etype,
         src_type: st,

@@ -90,8 +90,14 @@ impl Preset {
                 name: "BI",
                 feature_dim: 10,
                 vertices: vec![
-                    VertexSpec { name: "Person", count: s(60_000) },
-                    VertexSpec { name: "Comment", count: s(130_000) },
+                    VertexSpec {
+                        name: "Person",
+                        count: s(60_000),
+                    },
+                    VertexSpec {
+                        name: "Comment",
+                        count: s(130_000),
+                    },
                 ],
                 edges: vec![
                     EdgeSpec {
@@ -119,8 +125,14 @@ impl Preset {
                 name: "INTER",
                 feature_dim: 10,
                 vertices: vec![
-                    VertexSpec { name: "Forum", count: s(2_000) },
-                    VertexSpec { name: "Person", count: s(8_000) },
+                    VertexSpec {
+                        name: "Forum",
+                        count: s(2_000),
+                    },
+                    VertexSpec {
+                        name: "Person",
+                        count: s(8_000),
+                    },
                 ],
                 edges: vec![
                     EdgeSpec {
@@ -147,7 +159,10 @@ impl Preset {
             Preset::Fin => DatasetConfig {
                 name: "FIN",
                 feature_dim: 10,
-                vertices: vec![VertexSpec { name: "Account", count: s(2_000) }],
+                vertices: vec![VertexSpec {
+                    name: "Account",
+                    count: s(2_000),
+                }],
                 edges: vec![EdgeSpec {
                     name: "TransferTo",
                     src: "Account",
@@ -164,8 +179,14 @@ impl Preset {
                 name: "Taobao",
                 feature_dim: 128,
                 vertices: vec![
-                    VertexSpec { name: "User", count: s(12_000) },
-                    VertexSpec { name: "Item", count: s(6_000) },
+                    VertexSpec {
+                        name: "User",
+                        count: s(12_000),
+                    },
+                    VertexSpec {
+                        name: "Item",
+                        count: s(6_000),
+                    },
                 ],
                 edges: vec![
                     EdgeSpec {

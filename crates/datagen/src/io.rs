@@ -15,10 +15,7 @@ use std::path::Path;
 const MAGIC: &[u8; 5] = b"HEVT1";
 
 /// Write `events` to `path`; returns the number of events written.
-pub fn write_events(
-    path: &Path,
-    events: impl Iterator<Item = GraphUpdate>,
-) -> Result<u64> {
+pub fn write_events(path: &Path, events: impl Iterator<Item = GraphUpdate>) -> Result<u64> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }

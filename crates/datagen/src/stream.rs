@@ -74,8 +74,7 @@ impl EventStream {
     /// Total number of events this stream will yield.
     pub fn total_events(&self) -> u64 {
         let cfg = self.dataset.config();
-        let feature_updates =
-            (self.total_edge_budget as f64 * cfg.feature_update_ratio) as u64;
+        let feature_updates = (self.total_edge_budget as f64 * cfg.feature_update_ratio) as u64;
         self.dataset.total_vertices() + self.total_edge_budget + feature_updates
     }
 

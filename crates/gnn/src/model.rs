@@ -167,9 +167,7 @@ impl SageModel {
             let feat = self.feature_of(sg, u);
             let child_feats: Vec<Vec<f32>> = hop2_groups
                 .get(i)
-                .map(|(_, children)| {
-                    children.iter().map(|&c| self.feature_of(sg, c)).collect()
-                })
+                .map(|(_, children)| children.iter().map(|&c| self.feature_of(sg, c)).collect())
                 .unwrap_or_default();
             let refs: Vec<&[f32]> = child_feats.iter().map(Vec::as_slice).collect();
             let mean_child_feat = mean_vectors(&refs, self.in_dim);

@@ -48,12 +48,7 @@ impl OracleSampler {
 
     /// Sample a K-hop subgraph seeing *all* writes (the paper's "optimal
     /// case 1").
-    pub fn sample(
-        &self,
-        seed: VertexId,
-        query: &KHopQuery,
-        rng: &mut impl Rng,
-    ) -> SampledSubgraph {
+    pub fn sample(&self, seed: VertexId, query: &KHopQuery, rng: &mut impl Rng) -> SampledSubgraph {
         self.sample_asof(seed, query, Timestamp::MAX, rng)
     }
 

@@ -112,7 +112,8 @@ impl LinkPredictionTrainer {
                 let mut batch_n = 0usize;
                 for &idx in chunk {
                     let (src, dst) = positives[idx];
-                    epoch_loss += self.example_backward(model, oracle, src, dst, 1.0, &mut grads, rng);
+                    epoch_loss +=
+                        self.example_backward(model, oracle, src, dst, 1.0, &mut grads, rng);
                     batch_n += 1;
                     for _ in 0..self.config.negatives_per_positive {
                         let neg = dst_pool[rng.gen_range(0..dst_pool.len())];
@@ -267,7 +268,10 @@ mod tests {
         let mut model = SageModel::new(4, 16, 8, &mut rng);
 
         let final_loss = trainer.train(&mut model, &oracle, &positives, &pool, &mut rng);
-        assert!(final_loss < 0.69, "loss {final_loss} should beat chance (ln 2)");
+        assert!(
+            final_loss < 0.69,
+            "loss {final_loss} should beat chance (ln 2)"
+        );
 
         // In-cluster pairs should score higher than cross-cluster pairs on
         // average.

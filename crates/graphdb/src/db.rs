@@ -6,9 +6,11 @@ use helios_graphstore::{GraphPartition, PartitionPolicy, StoredEdge};
 use helios_netsim::{Network, NetworkConfig};
 use helios_query::{HopSamples, KHopQuery, SampledSubgraph, SamplingStrategy};
 use helios_sampling::adhoc::{adhoc_random, adhoc_topk, adhoc_weighted, NeighborEdge};
+use helios_telemetry::{span, Counter, TraceCtx};
 use helios_types::{hash::route, FxHashMap, GraphUpdate, Result, VertexId};
 use parking_lot::RwLock;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Baseline configuration.
 #[derive(Debug, Clone)]
@@ -72,12 +74,37 @@ pub struct ExecOutcome {
     pub from_cache: bool,
 }
 
+/// Process-global telemetry counters for the baseline database; live in
+/// [`helios_telemetry::global`] so experiment binaries see them in the
+/// same snapshot as the Helios pipeline's instruments.
+struct DbMetrics {
+    queries: Arc<Counter>,
+    updates: Arc<Counter>,
+    traversed: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+}
+
+impl DbMetrics {
+    fn registered() -> Self {
+        let g = helios_telemetry::global();
+        DbMetrics {
+            queries: g.counter("graphdb.queries", &[]),
+            updates: g.counter("graphdb.updates_ingested", &[]),
+            traversed: g.counter("graphdb.neighbors_traversed", &[]),
+            cache_hits: g.counter("graphdb.cache_hit", &[]),
+            cache_misses: g.counter("graphdb.cache_miss", &[]),
+        }
+    }
+}
+
 /// The baseline distributed graph database.
 pub struct GraphDb {
     config: GraphDbConfig,
     nodes: Vec<StorageNode>,
     network: Network,
     cache: QueryCache,
+    metrics: DbMetrics,
 }
 
 impl GraphDb {
@@ -96,6 +123,7 @@ impl GraphDb {
             nodes,
             network,
             cache: QueryCache::new(),
+            metrics: DbMetrics::registered(),
         }
     }
 
@@ -161,6 +189,7 @@ impl GraphDb {
         if self.config.query_cache && !updates.is_empty() {
             self.cache.on_write();
         }
+        self.metrics.updates.add(updates.len() as u64);
         Ok(())
     }
 
@@ -183,7 +212,10 @@ impl GraphDb {
 
     /// Out-degree of a vertex on its owner node (test/inspection helper).
     pub fn out_degree(&self, v: VertexId, etype: helios_types::EdgeType) -> usize {
-        self.nodes[self.owner(v)].partition.read().out_degree(v, etype)
+        self.nodes[self.owner(v)]
+            .partition
+            .read()
+            .out_degree(v, etype)
     }
 
     /// Execute a K-hop sampling query ad hoc (§3): per hop, scan the full
@@ -195,8 +227,11 @@ impl GraphDb {
         query: &KHopQuery,
         rng: &mut impl Rng,
     ) -> Result<ExecOutcome> {
+        let _exec_span = span("graphdb.execute", TraceCtx::root());
+        self.metrics.queries.incr();
         if self.config.query_cache {
             if let Some(sg) = self.cache.get(seed) {
+                self.metrics.cache_hits.incr();
                 return Ok(ExecOutcome {
                     subgraph: sg,
                     traversed: 0,
@@ -204,6 +239,7 @@ impl GraphDb {
                     from_cache: true,
                 });
             }
+            self.metrics.cache_misses.incr();
         }
         let coordinator = self.owner(seed);
         let mut traversed = 0u64;
@@ -290,6 +326,7 @@ impl GraphDb {
         if self.config.query_cache {
             self.cache.put(seed, result.clone());
         }
+        self.metrics.traversed.add(traversed);
         Ok(ExecOutcome {
             subgraph: result,
             traversed,
@@ -538,7 +575,9 @@ mod tests {
     fn missing_seed_returns_empty_result() {
         let db = GraphDb::new(GraphDbConfig::single_node());
         let mut rng = StdRng::seed_from_u64(7);
-        let out = db.execute(VertexId(42), &two_hop_query(), &mut rng).unwrap();
+        let out = db
+            .execute(VertexId(42), &two_hop_query(), &mut rng)
+            .unwrap();
         assert_eq!(out.subgraph.sampled_edge_count(), 0);
         assert_eq!(out.traversed, 0);
     }
@@ -559,6 +598,25 @@ mod tests {
         assert!(dropped > 0);
         let (_, e2) = db.totals();
         assert!(e2 < e);
+    }
+
+    #[test]
+    fn global_telemetry_counters_advance() {
+        let g = helios_telemetry::global();
+        let q0 = g.counter("graphdb.queries", &[]).get();
+        let u0 = g.counter("graphdb.updates_ingested", &[]).get();
+        let t0 = g.counter("graphdb.neighbors_traversed", &[]).get();
+        let db = GraphDb::new(GraphDbConfig::single_node());
+        populate(&db);
+        let mut rng = StdRng::seed_from_u64(9);
+        db.execute(VertexId(1), &two_hop_query(), &mut rng).unwrap();
+        // Deltas, not absolutes: the registry is process-global and other
+        // tests in this binary also bump it.
+        assert!(g.counter("graphdb.queries", &[]).get() > q0);
+        assert!(g.counter("graphdb.updates_ingested", &[]).get() > u0);
+        assert!(g.counter("graphdb.neighbors_traversed", &[]).get() > t0);
+        let snap = g.snapshot();
+        assert!(snap.counter("graphdb.queries") > q0);
     }
 
     #[test]
@@ -709,7 +767,11 @@ mod duplicate_frontier_tests {
         assert_eq!(out.subgraph.hops[1].groups.len(), 2);
         for (parent, children) in &out.subgraph.hops[1].groups {
             assert_eq!(*parent, VertexId(100));
-            assert_eq!(children, &vec![VertexId(200)], "every occurrence keeps its subtree");
+            assert_eq!(
+                children,
+                &vec![VertexId(200)],
+                "every occurrence keeps its subtree"
+            );
         }
     }
 }

@@ -212,7 +212,10 @@ mod tests {
         assert_eq!(p.out_degree(VertexId(1), EdgeType(0)), 2);
         assert_eq!(p.out_degree(VertexId(1), EdgeType(1)), 1);
         assert_eq!(p.total_out_degree(VertexId(1)), 3);
-        assert_eq!(p.out_neighbors(VertexId(1), EdgeType(0))[0].dst, VertexId(2));
+        assert_eq!(
+            p.out_neighbors(VertexId(1), EdgeType(0))[0].dst,
+            VertexId(2)
+        );
         assert_eq!(p.feature(VertexId(1)).unwrap(), &[1.0; 4]);
         assert_eq!(p.feature_ts(VertexId(1)), Some(Timestamp(10)));
         assert_eq!(p.vertex_type(VertexId(1)), Some(VertexType(0)));

@@ -136,10 +136,7 @@ impl Sst {
             reader.read_exact(&mut ts8)?;
             reader.read_exact(&mut len4)?;
             let vlen = u32::from_le_bytes(len4) as usize;
-            std::io::copy(
-                &mut reader.by_ref().take(vlen as u64),
-                &mut std::io::sink(),
-            )?;
+            std::io::copy(&mut reader.by_ref().take(vlen as u64), &mut std::io::sink())?;
             offset = entry_offset + 4 + klen as u64 + 1 + 8 + 4 + vlen as u64;
             if (i as usize).is_multiple_of(INDEX_EVERY) {
                 index.push((key.clone(), entry_offset));
@@ -176,12 +173,7 @@ impl Sst {
 
     /// In-memory metadata footprint (bloom + index).
     pub fn meta_bytes(&self) -> usize {
-        self.bloom.byte_size()
-            + self
-                .index
-                .iter()
-                .map(|(k, _)| k.len() + 8)
-                .sum::<usize>()
+        self.bloom.byte_size() + self.index.iter().map(|(k, _)| k.len() + 8).sum::<usize>()
     }
 
     /// File path.
@@ -196,7 +188,8 @@ impl Sst {
         let mut key = vec![0u8; klen];
         self.file.read_exact_at(&mut key, offset + 4)?;
         let mut flag = [0u8; 1];
-        self.file.read_exact_at(&mut flag, offset + 4 + klen as u64)?;
+        self.file
+            .read_exact_at(&mut flag, offset + 4 + klen as u64)?;
         let mut ts8 = [0u8; 8];
         self.file
             .read_exact_at(&mut ts8, offset + 4 + klen as u64 + 1)?;
@@ -302,7 +295,10 @@ mod tests {
     fn tombstones_roundtrip() {
         let path = tmpfile("tomb");
         let mut map = sample_map(10);
-        map.insert(b"key-000003".to_vec(), StoredValue::tombstone(Timestamp(99)));
+        map.insert(
+            b"key-000003".to_vec(),
+            StoredValue::tombstone(Timestamp(99)),
+        );
         write_sst(&path, map.iter().map(|(k, v)| (k.as_slice(), v))).unwrap();
         let sst = Sst::open(&path).unwrap();
         let v = sst.get(b"key-000003").unwrap().unwrap();

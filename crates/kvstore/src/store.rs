@@ -61,6 +61,10 @@ pub struct KvStats {
     pub sst_files: usize,
     /// Bytes on disk across SSTs.
     pub disk_bytes: u64,
+    /// Memtable flushes performed since open (SST files written).
+    pub flushes: u64,
+    /// Compaction passes performed since open.
+    pub compactions: u64,
 }
 
 impl KvStats {
@@ -93,6 +97,8 @@ pub struct KvStore {
     config: KvConfig,
     shards: Vec<RwLock<Shard>>,
     next_sst_id: AtomicU64,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
 }
 
 impl KvStore {
@@ -102,11 +108,15 @@ impl KvStore {
         if let Some(dir) = &config.dir {
             std::fs::create_dir_all(dir)?;
         }
-        let shards = (0..config.shards).map(|_| RwLock::new(Shard::new())).collect();
+        let shards = (0..config.shards)
+            .map(|_| RwLock::new(Shard::new()))
+            .collect();
         Ok(KvStore {
             config,
             shards,
             next_sst_id: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
         })
     }
 
@@ -166,11 +176,7 @@ impl KvStore {
         }
         for sst in &shard.ssts {
             if let Some(sv) = sst.get(key)? {
-                return Ok(if sv.tombstone {
-                    None
-                } else {
-                    Some(sv.data)
-                });
+                return Ok(if sv.tombstone { None } else { Some(sv.data) });
             }
         }
         Ok(None)
@@ -197,6 +203,7 @@ impl KvStore {
         shard.ssts.insert(0, sst);
         shard.memtable.clear();
         shard.mem_bytes = 0;
+        self.flushes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -211,6 +218,7 @@ impl KvStore {
     /// Merge each shard's SSTs into one, dropping tombstones and entries
     /// older than `expire_before` (TTL horizon), then delete the old files.
     pub fn compact(&self, expire_before: Option<Timestamp>) -> Result<()> {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
         let dir = match &self.config.dir {
             Some(d) => d.clone(),
             None => {
@@ -257,9 +265,7 @@ impl KvStore {
                     merged.insert(k, v);
                 }
             }
-            merged.retain(|_, v| {
-                !v.tombstone && expire_before.is_none_or(|h| v.ts >= h)
-            });
+            merged.retain(|_, v| !v.tombstone && expire_before.is_none_or(|h| v.ts >= h));
             let old: Vec<Arc<Sst>> = std::mem::take(&mut shard.ssts);
             if !merged.is_empty() {
                 let id = self.next_sst_id.fetch_add(1, Ordering::Relaxed);
@@ -277,7 +283,11 @@ impl KvStore {
 
     /// Aggregate size statistics.
     pub fn stats(&self) -> KvStats {
-        let mut st = KvStats::default();
+        let mut st = KvStats {
+            flushes: self.flushes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            ..KvStats::default()
+        };
         for s in &self.shards {
             let shard = s.read();
             st.mem_entries += shard.memtable.len();
@@ -306,8 +316,12 @@ mod tests {
     #[test]
     fn put_get_delete_in_memory() {
         let kv = KvStore::open(KvConfig::in_memory(4)).unwrap();
-        kv.put(&key(1), Bytes::from_static(b"one"), Timestamp(1)).unwrap();
-        assert_eq!(kv.get(&key(1)).unwrap().unwrap(), Bytes::from_static(b"one"));
+        kv.put(&key(1), Bytes::from_static(b"one"), Timestamp(1))
+            .unwrap();
+        assert_eq!(
+            kv.get(&key(1)).unwrap().unwrap(),
+            Bytes::from_static(b"one")
+        );
         assert!(kv.contains(&key(1)).unwrap());
         kv.delete(&key(1), Timestamp(2)).unwrap();
         assert!(kv.get(&key(1)).unwrap().is_none());
@@ -318,8 +332,10 @@ mod tests {
     #[test]
     fn overwrite_returns_latest() {
         let kv = KvStore::open(KvConfig::in_memory(2)).unwrap();
-        kv.put(&key(7), Bytes::from_static(b"v1"), Timestamp(1)).unwrap();
-        kv.put(&key(7), Bytes::from_static(b"v2"), Timestamp(2)).unwrap();
+        kv.put(&key(7), Bytes::from_static(b"v1"), Timestamp(1))
+            .unwrap();
+        kv.put(&key(7), Bytes::from_static(b"v2"), Timestamp(2))
+            .unwrap();
         assert_eq!(kv.get(&key(7)).unwrap().unwrap(), Bytes::from_static(b"v2"));
     }
 
@@ -328,13 +344,16 @@ mod tests {
         let dir = tmpdir("flush");
         let kv = KvStore::open(KvConfig::hybrid(2, 1 << 30, dir.clone())).unwrap();
         for i in 0..500u64 {
-            kv.put(&key(i), Bytes::from(format!("v{i}")), Timestamp(i)).unwrap();
+            kv.put(&key(i), Bytes::from(format!("v{i}")), Timestamp(i))
+                .unwrap();
         }
         kv.flush().unwrap();
         let st = kv.stats();
         assert_eq!(st.mem_entries, 0);
         assert!(st.sst_files >= 1);
         assert!(st.disk_bytes > 0);
+        assert_eq!(st.flushes as usize, st.sst_files);
+        assert_eq!(st.compactions, 0);
         for i in (0..500).step_by(13) {
             assert_eq!(
                 kv.get(&key(i)).unwrap().unwrap(),
@@ -349,7 +368,8 @@ mod tests {
         let dir = tmpdir("auto");
         let kv = KvStore::open(KvConfig::hybrid(1, 4096, dir.clone())).unwrap();
         for i in 0..2000u64 {
-            kv.put(&key(i), Bytes::from(vec![0u8; 64]), Timestamp(i)).unwrap();
+            kv.put(&key(i), Bytes::from(vec![0u8; 64]), Timestamp(i))
+                .unwrap();
         }
         let st = kv.stats();
         assert!(st.sst_files > 0, "budget overflow must trigger flushes");
@@ -364,13 +384,21 @@ mod tests {
     fn newest_value_wins_across_memtable_and_ssts() {
         let dir = tmpdir("newest");
         let kv = KvStore::open(KvConfig::hybrid(1, 1 << 30, dir.clone())).unwrap();
-        kv.put(&key(1), Bytes::from_static(b"old"), Timestamp(1)).unwrap();
+        kv.put(&key(1), Bytes::from_static(b"old"), Timestamp(1))
+            .unwrap();
         kv.flush().unwrap();
-        kv.put(&key(1), Bytes::from_static(b"new"), Timestamp(2)).unwrap();
-        assert_eq!(kv.get(&key(1)).unwrap().unwrap(), Bytes::from_static(b"new"));
+        kv.put(&key(1), Bytes::from_static(b"new"), Timestamp(2))
+            .unwrap();
+        assert_eq!(
+            kv.get(&key(1)).unwrap().unwrap(),
+            Bytes::from_static(b"new")
+        );
         // And across two SST runs:
         kv.flush().unwrap();
-        assert_eq!(kv.get(&key(1)).unwrap().unwrap(), Bytes::from_static(b"new"));
+        assert_eq!(
+            kv.get(&key(1)).unwrap().unwrap(),
+            Bytes::from_static(b"new")
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -378,7 +406,8 @@ mod tests {
     fn tombstone_shadows_older_sst_value() {
         let dir = tmpdir("tomb");
         let kv = KvStore::open(KvConfig::hybrid(1, 1 << 30, dir.clone())).unwrap();
-        kv.put(&key(5), Bytes::from_static(b"x"), Timestamp(1)).unwrap();
+        kv.put(&key(5), Bytes::from_static(b"x"), Timestamp(1))
+            .unwrap();
         kv.flush().unwrap();
         kv.delete(&key(5), Timestamp(2)).unwrap();
         assert!(kv.get(&key(5)).unwrap().is_none());
@@ -392,7 +421,8 @@ mod tests {
         let dir = tmpdir("compact");
         let kv = KvStore::open(KvConfig::hybrid(1, 1 << 30, dir.clone())).unwrap();
         for i in 0..300u64 {
-            kv.put(&key(i), Bytes::from(vec![1u8; 32]), Timestamp(i)).unwrap();
+            kv.put(&key(i), Bytes::from(vec![1u8; 32]), Timestamp(i))
+                .unwrap();
         }
         kv.flush().unwrap();
         for i in 0..200u64 {
@@ -404,6 +434,7 @@ mod tests {
         let after = kv.stats();
         assert!(after.disk_bytes < before);
         assert_eq!(after.sst_files, 1);
+        assert_eq!(after.compactions, 1);
         for i in 0..200u64 {
             assert!(kv.get(&key(i)).unwrap().is_none());
         }
@@ -418,7 +449,8 @@ mod tests {
         let dir = tmpdir("ttl");
         let kv = KvStore::open(KvConfig::hybrid(1, 1 << 30, dir.clone())).unwrap();
         for i in 0..100u64 {
-            kv.put(&key(i), Bytes::from_static(b"v"), Timestamp(i)).unwrap();
+            kv.put(&key(i), Bytes::from_static(b"v"), Timestamp(i))
+                .unwrap();
         }
         kv.flush().unwrap();
         kv.compact(Some(Timestamp(50))).unwrap();
@@ -435,7 +467,8 @@ mod tests {
     fn ttl_expiry_in_memory_mode() {
         let kv = KvStore::open(KvConfig::in_memory(2)).unwrap();
         for i in 0..100u64 {
-            kv.put(&key(i), Bytes::from_static(b"v"), Timestamp(i)).unwrap();
+            kv.put(&key(i), Bytes::from_static(b"v"), Timestamp(i))
+                .unwrap();
         }
         kv.compact(Some(Timestamp(80))).unwrap();
         assert!(kv.get(&key(10)).unwrap().is_none());
@@ -454,7 +487,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..5000u64 {
                     let k = key(t * 5000 + i);
-                    kv.put(&k, Bytes::from(vec![t as u8; 16]), Timestamp(i)).unwrap();
+                    kv.put(&k, Bytes::from(vec![t as u8; 16]), Timestamp(i))
+                        .unwrap();
                     assert!(kv.get(&k).unwrap().is_some());
                 }
             }));
@@ -468,7 +502,8 @@ mod tests {
     #[test]
     fn stats_total() {
         let kv = KvStore::open(KvConfig::in_memory(1)).unwrap();
-        kv.put(b"a", Bytes::from_static(b"1"), Timestamp(0)).unwrap();
+        kv.put(b"a", Bytes::from_static(b"1"), Timestamp(0))
+            .unwrap();
         let st = kv.stats();
         assert_eq!(st.total_bytes(), st.mem_bytes as u64);
         assert_eq!(st.mem_entries, 1);

@@ -125,6 +125,31 @@ impl Histogram {
         }
     }
 
+    /// Merge another live histogram into this one bucket-wise, so
+    /// per-worker histograms can be folded into a deployment-wide one
+    /// without first snapshotting. Concurrent recording on either side
+    /// may skew the result by a handful of in-flight samples, same as
+    /// [`Histogram::snapshot`].
+    pub fn merge(&self, other: &Histogram) {
+        for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                a.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let other_count = other.count.load(Ordering::Relaxed);
+        if other_count == 0 {
+            return;
+        }
+        self.count.fetch_add(other_count, Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Convenience: percentile in milliseconds straight off a live histogram.
     pub fn percentile_ms(&self, p: f64) -> f64 {
         self.snapshot().percentile(p) as f64 / 1e6
@@ -246,7 +271,10 @@ mod tests {
             let expected = p / 100.0 * 100_000.0;
             let got = s.percentile(p) as f64;
             let rel = (got - expected).abs() / expected;
-            assert!(rel < 0.05, "p{p}: got {got}, expected ~{expected} (rel {rel:.3})");
+            assert!(
+                rel < 0.05,
+                "p{p}: got {got}, expected ~{expected} (rel {rel:.3})"
+            );
         }
     }
 
@@ -258,6 +286,65 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.max, 123_456_789);
         assert!(s.percentile(100.0) <= s.max);
+    }
+
+    #[test]
+    fn live_merge_matches_snapshot_merge() {
+        let h1 = Histogram::new();
+        let h2 = Histogram::new();
+        for v in 0..1000u64 {
+            h1.record(v * 100);
+            h2.record(v * 1_000 + 5_000_000);
+        }
+        let mut expect = h1.snapshot();
+        expect.merge(&h2.snapshot());
+        h1.merge(&h2);
+        let got = h1.snapshot();
+        assert_eq!(got.count, expect.count);
+        assert_eq!(got.sum, expect.sum);
+        assert_eq!(got.max, expect.max);
+        assert_eq!(got.min, expect.min);
+        for &p in &[1.0, 25.0, 50.0, 75.0, 99.0, 99.9] {
+            assert_eq!(got.percentile(p), expect.percentile(p), "p{p} diverged");
+        }
+    }
+
+    #[test]
+    fn live_merge_of_empty_is_noop() {
+        let h = Histogram::new();
+        h.record(42);
+        h.merge(&Histogram::new());
+        let s = h.snapshot();
+        assert_eq!((s.count, s.min, s.max), (1, 42, 42));
+        // Merging into an empty histogram adopts the other's min.
+        let e = Histogram::new();
+        e.merge(&h);
+        assert_eq!(e.snapshot().min, 42);
+    }
+
+    #[test]
+    fn merged_percentiles_split_across_workers() {
+        // Three "workers" each record a disjoint latency band; the merged
+        // view must place p50 in the middle band and p99 in the top band.
+        let workers: Vec<Histogram> = (0..3).map(|_| Histogram::new()).collect();
+        for (i, w) in workers.iter().enumerate() {
+            for v in 0..10_000u64 {
+                w.record((i as u64 + 1) * 1_000_000 + v);
+            }
+        }
+        let total = Histogram::new();
+        for w in &workers {
+            total.merge(w);
+        }
+        let s = total.snapshot();
+        assert_eq!(s.count, 30_000);
+        let p50 = s.percentile(50.0);
+        assert!(
+            (2_000_000..2_100_000).contains(&p50),
+            "p50 {p50} not in middle band"
+        );
+        let p99 = s.percentile(99.0);
+        assert!(p99 >= 3_000_000, "p99 {p99} not in top band");
     }
 
     #[test]
@@ -332,5 +419,73 @@ mod tests {
         assert_eq!(s.count, 1);
         assert_eq!(s.max, u64::MAX);
         let _ = s.percentile(99.0); // must not panic
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 96, ..Default::default() })]
+
+            /// The documented guarantee: every reported percentile is an
+            /// upper bound on the true empirical percentile, within the
+            /// bucket's relative width (`1/SUB_BUCKETS`, with a +1 slack
+            /// for the exact sub-64 range).
+            fn prop_percentile_relative_error_bounded(
+                values in proptest::collection::vec(0u64..(1u64 << 40), 1..200),
+                p_tenths in 0u32..1001,
+            ) {
+                let h = Histogram::new();
+                for &v in &values {
+                    h.record(v);
+                }
+                let s = h.snapshot();
+                let p = f64::from(p_tenths) / 10.0;
+                let mut sorted = values.clone();
+                sorted.sort_unstable();
+                let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+                let truth = sorted[rank - 1];
+                let got = s.percentile(p);
+                prop_assert!(
+                    got >= truth,
+                    "p{p}: reported {got} below true percentile {truth}"
+                );
+                let bound = truth + truth / (SUB_BUCKETS as u64 / 2) + 1;
+                prop_assert!(
+                    got <= bound,
+                    "p{p}: reported {got} exceeds error bound {bound} (true {truth})"
+                );
+            }
+
+            /// Merging per-worker histograms must agree with recording the
+            /// concatenated stream into one histogram, at every percentile.
+            fn prop_merge_equals_concatenation(
+                a in proptest::collection::vec(0u64..(1u64 << 30), 0..100),
+                b in proptest::collection::vec(0u64..(1u64 << 30), 0..100),
+            ) {
+                let ha = Histogram::new();
+                let hb = Histogram::new();
+                let hall = Histogram::new();
+                for &v in &a {
+                    ha.record(v);
+                    hall.record(v);
+                }
+                for &v in &b {
+                    hb.record(v);
+                    hall.record(v);
+                }
+                ha.merge(&hb);
+                let merged = ha.snapshot();
+                let direct = hall.snapshot();
+                prop_assert_eq!(merged.count, direct.count);
+                prop_assert_eq!(merged.sum, direct.sum);
+                prop_assert_eq!(merged.max, direct.max);
+                prop_assert_eq!(merged.min, direct.min);
+                for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+                    prop_assert_eq!(merged.percentile(p), direct.percentile(p));
+                }
+            }
+        }
     }
 }

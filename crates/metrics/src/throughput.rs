@@ -10,6 +10,10 @@ use std::time::Instant;
 pub struct ThroughputMeter {
     start: Instant,
     ops: AtomicU64,
+    /// Ops total at the end of the previous reporting window.
+    window_ops: AtomicU64,
+    /// Nanoseconds since `start` at the end of the previous window.
+    window_nanos: AtomicU64,
 }
 
 impl Default for ThroughputMeter {
@@ -24,6 +28,8 @@ impl ThroughputMeter {
         ThroughputMeter {
             start: Instant::now(),
             ops: AtomicU64::new(0),
+            window_ops: AtomicU64::new(0),
+            window_nanos: AtomicU64::new(0),
         }
     }
 
@@ -64,6 +70,23 @@ impl ThroughputMeter {
     pub fn rate_millions(&self) -> f64 {
         self.rate() / 1e6
     }
+
+    /// Operations per second since the previous `window_rate` call (or
+    /// since creation for the first call), then reset the window. This is
+    /// what a periodic reporter wants: current throughput, not the
+    /// lifetime average. Concurrent callers race benignly — each op is
+    /// attributed to exactly one window, but which one is unspecified.
+    pub fn window_rate(&self) -> f64 {
+        let now = self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let total = self.total();
+        let prev_nanos = self.window_nanos.swap(now, Ordering::Relaxed);
+        let prev_ops = self.window_ops.swap(total, Ordering::Relaxed);
+        let dt = now.saturating_sub(prev_nanos);
+        if dt == 0 {
+            return 0.0;
+        }
+        total.saturating_sub(prev_ops) as f64 / (dt as f64 / 1e9)
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +105,53 @@ mod tests {
         let r = m.rate();
         assert!(r > 0.0 && r < 501.0 / 0.01 * 1.5);
         assert!(m.rate_millions() > 0.0 && m.rate_millions() < r / 1e6 * 1.5);
+    }
+
+    #[test]
+    fn window_rate_tracks_recent_not_lifetime() {
+        let m = ThroughputMeter::new();
+        m.add(1000);
+        std::thread::sleep(Duration::from_millis(20));
+        let w1 = m.window_rate();
+        assert!(w1 > 0.0, "first window covers everything so far");
+        // A quiet window: no ops recorded.
+        std::thread::sleep(Duration::from_millis(20));
+        let w2 = m.window_rate();
+        assert_eq!(w2, 0.0, "no ops in the second window, got {w2}");
+        // A busy window again.
+        m.add(500);
+        std::thread::sleep(Duration::from_millis(20));
+        let w3 = m.window_rate();
+        assert!(w3 > 0.0);
+        // Lifetime rate still accounts for all 1500 ops.
+        assert!(m.rate() > 0.0);
+        assert_eq!(m.total(), 1500);
+    }
+
+    #[test]
+    fn window_rate_attributes_each_op_once() {
+        let m = ThroughputMeter::new();
+        let mut windows = Vec::new();
+        for i in 0..5u64 {
+            m.add(i * 10);
+            std::thread::sleep(Duration::from_millis(5));
+            let now = m.elapsed_secs();
+            windows.push((m.window_rate(), now));
+        }
+        // Sum of (rate * window length) recovers total ops (approximately:
+        // timing jitter only affects the denominator, counts are exact).
+        let mut last_t = 0.0;
+        let mut recovered = 0.0;
+        for (rate, t) in windows {
+            recovered += rate * (t - last_t);
+            last_t = t;
+        }
+        let err = (recovered - m.total() as f64).abs();
+        assert!(
+            err < m.total() as f64 * 0.2 + 1.0,
+            "recovered {recovered} vs total {}",
+            m.total()
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::broker::Broker;
 use crate::record::Record;
 use crate::topic::Topic;
 use helios_types::{FxHashMap, PartitionId};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -11,12 +12,16 @@ use std::time::{Duration, Instant};
 /// consumer group. Positions start at the group's committed offsets and
 /// advance as records are polled; [`Consumer::commit`] persists them back
 /// to the broker.
+///
+/// Positions live in cells shared with the broker, so
+/// [`Broker::group_lag`](crate::Broker::group_lag) sees polls as they
+/// happen without the reporter having to reach into every consumer.
 pub struct Consumer {
     broker: Arc<Broker>,
     group: String,
     topic: Arc<Topic>,
     partitions: Vec<PartitionId>,
-    positions: FxHashMap<PartitionId, u64>,
+    positions: FxHashMap<PartitionId, Arc<AtomicU64>>,
     /// Round-robin cursor so one hot partition cannot starve the others.
     next_partition: usize,
 }
@@ -30,7 +35,7 @@ impl Consumer {
     ) -> Self {
         let positions = partitions
             .iter()
-            .map(|&p| (p, broker.committed(&group, topic.name(), p)))
+            .map(|&p| (p, broker.register_position(&group, topic.name(), p)))
             .collect();
         Consumer {
             broker,
@@ -65,13 +70,13 @@ impl Consumer {
                 break;
             }
             let pid = self.partitions[(self.next_partition + step) % n];
-            let pos = self.positions[&pid];
+            let pos = self.positions[&pid].load(Ordering::Relaxed);
             let (recs, next) = match self.topic.partition(pid) {
                 Ok(p) => p.fetch(pos, max - out.len()),
                 Err(_) => continue,
             };
             if !recs.is_empty() {
-                self.positions.insert(pid, next);
+                self.positions[&pid].store(next, Ordering::Relaxed);
                 out.extend(recs);
             }
         }
@@ -99,7 +104,7 @@ impl Consumer {
 
     /// Current position (next offset to read) of a partition.
     pub fn position(&self, pid: PartitionId) -> Option<u64> {
-        self.positions.get(&pid).copied()
+        self.positions.get(&pid).map(|c| c.load(Ordering::Relaxed))
     }
 
     /// How many records remain unread across assigned partitions.
@@ -112,7 +117,7 @@ impl Consumer {
                     .partition(pid)
                     .map(|p| p.end_offset())
                     .unwrap_or(0);
-                end.saturating_sub(self.positions[&pid])
+                end.saturating_sub(self.positions[&pid].load(Ordering::Relaxed))
             })
             .sum()
     }
@@ -120,16 +125,21 @@ impl Consumer {
     /// Commit current positions to the broker so a future consumer in the
     /// same group resumes here.
     pub fn commit(&self) {
-        for (&pid, &pos) in &self.positions {
-            self.broker.commit(&self.group, self.topic.name(), pid, pos);
+        for (&pid, cell) in &self.positions {
+            self.broker.commit(
+                &self.group,
+                self.topic.name(),
+                pid,
+                cell.load(Ordering::Relaxed),
+            );
         }
     }
 
     /// Jump all positions to the current log end (skip the backlog).
     pub fn seek_to_end(&mut self) {
-        for &pid in &self.partitions.clone() {
+        for &pid in &self.partitions {
             if let Ok(p) = self.topic.partition(pid) {
-                self.positions.insert(pid, p.end_offset());
+                self.positions[&pid].store(p.end_offset(), Ordering::Relaxed);
             }
         }
     }

@@ -31,7 +31,7 @@ pub mod record;
 pub mod segment;
 pub mod topic;
 
-pub use broker::Broker;
+pub use broker::{Broker, LagEntry};
 pub use consumer::Consumer;
 pub use record::Record;
 pub use topic::{Topic, TopicConfig};

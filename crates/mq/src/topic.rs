@@ -123,11 +123,7 @@ impl Topic {
         let deadline = Instant::now() + timeout;
         let mut seq = self.produce_seq.lock();
         while *seq == last_seq {
-            if self
-                .produced
-                .wait_until(&mut seq, deadline)
-                .timed_out()
-            {
+            if self.produced.wait_until(&mut seq, deadline).timed_out() {
                 break;
             }
         }

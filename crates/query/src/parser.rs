@@ -322,13 +322,13 @@ mod tests {
         let mut s = Schema::new();
         for bad in [
             "",
-            "V('User')",                                          // zero hops
+            "V('User')",                                             // zero hops
             "V('User').outV('Click','Item').sample(0).by('Random')", // zero fan-out
             "V('User').outV('Click','Item').sample(2).by('Bogus')",  // bad strategy
             "V('User').outV('Click').sample(2).by('Random')",        // missing dst label
-            "V(User)",                                             // unquoted label
+            "V(User)",                                               // unquoted label
             "V('User').outV('Click','Item').sample(2).by('Random') trailing",
-            "V('User').fooV('Click','Item')",                      // unknown step
+            "V('User').fooV('Click','Item')", // unknown step
             "V('Unterminated",
             "V('User').outV('Click','Item').sample(99999999999999999999).by('Random')",
         ] {
@@ -350,8 +350,16 @@ mod tests {
     #[test]
     fn labels_shared_across_queries_via_schema() {
         let mut s = Schema::new();
-        let q1 = parse_query("V('User').outV('Click','Item').sample(2).by('Random')", &mut s).unwrap();
-        let q2 = parse_query("V('User').outV('View','Item').sample(2).by('Random')", &mut s).unwrap();
+        let q1 = parse_query(
+            "V('User').outV('Click','Item').sample(2).by('Random')",
+            &mut s,
+        )
+        .unwrap();
+        let q2 = parse_query(
+            "V('User').outV('View','Item').sample(2).by('Random')",
+            &mut s,
+        )
+        .unwrap();
         assert_eq!(q1.seed_type(), q2.seed_type());
         assert_ne!(q1.decompose()[0].etype, q2.decompose()[0].etype);
     }

@@ -190,7 +190,12 @@ impl OneHopQuery {
     /// Does an edge `(src_type --etype--> dst_type)` match this one-hop
     /// query (i.e. should it be offered to the reservoir of `src`)?
     #[inline]
-    pub fn matches_edge(&self, src_type: VertexType, etype: EdgeType, dst_type: VertexType) -> bool {
+    pub fn matches_edge(
+        &self,
+        src_type: VertexType,
+        etype: EdgeType,
+        dst_type: VertexType,
+    ) -> bool {
         self.key_type == src_type && self.etype == etype && self.neighbor_type == dst_type
     }
 }

@@ -221,7 +221,10 @@ mod tests {
         for v in 0..n as usize {
             for (name, c) in [("reservoir", res_counts[v]), ("adhoc", adhoc_counts[v])] {
                 let dev = (f64::from(c) - expected).abs() / expected;
-                assert!(dev < 0.40, "{name} neighbor {v}: {c} vs expected {expected}");
+                assert!(
+                    dev < 0.40,
+                    "{name} neighbor {v}: {c} vs expected {expected}"
+                );
             }
         }
     }
@@ -276,8 +279,14 @@ mod weighted_equivalence {
             );
         }
         // And the heaviest class is sampled more than the lightest.
-        let heavy: u32 = (0..n as usize).filter(|v| v % 4 == 3).map(|v| res_counts[v]).sum();
-        let light: u32 = (0..n as usize).filter(|v| v % 4 == 0).map(|v| res_counts[v]).sum();
+        let heavy: u32 = (0..n as usize)
+            .filter(|v| v % 4 == 3)
+            .map(|v| res_counts[v])
+            .sum();
+        let light: u32 = (0..n as usize)
+            .filter(|v| v % 4 == 0)
+            .map(|v| res_counts[v])
+            .sum();
         assert!(heavy > light * 2, "heavy {heavy} vs light {light}");
     }
 }

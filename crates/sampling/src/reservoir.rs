@@ -394,7 +394,9 @@ mod tests {
         let mut r = Reservoir::new(SamplingStrategy::TopK, 4);
         let mut g = rng(2);
         // Shuffled timestamps 0..20
-        let order = [13u64, 2, 19, 7, 0, 15, 4, 11, 8, 17, 3, 9, 1, 14, 6, 18, 5, 12, 10, 16];
+        let order = [
+            13u64, 2, 19, 7, 0, 15, 4, 11, 8, 17, 3, 9, 1, 14, 6, 18, 5, 12, 10, 16,
+        ];
         for &t in &order {
             r.offer(VertexId(t), Timestamp(t), 1.0, &mut g);
         }
@@ -464,7 +466,10 @@ mod tests {
             }
         }
         let frac = f64::from(heavy_in) / f64::from(trials);
-        assert!(frac > 0.55, "heavy neighbor included only {frac:.2} of runs");
+        assert!(
+            frac > 0.55,
+            "heavy neighbor included only {frac:.2} of runs"
+        );
     }
 
     #[test]

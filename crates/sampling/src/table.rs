@@ -164,7 +164,13 @@ mod tests {
         let mut t = ReservoirTable::new(SamplingStrategy::Random, 3);
         let mut g = StdRng::seed_from_u64(4);
         for v in 0..20u64 {
-            t.offer(VertexId(v % 4), VertexId(100 + v), Timestamp(v), 1.0, &mut g);
+            t.offer(
+                VertexId(v % 4),
+                VertexId(100 + v),
+                Timestamp(v),
+                1.0,
+                &mut g,
+            );
         }
         let mut t2 = ReservoirTable::new(SamplingStrategy::Random, 3);
         for (k, cell) in t.iter() {

@@ -1,0 +1,109 @@
+//! Periodic stats reporting thread.
+//!
+//! [`StatsReporter`] runs a caller-supplied closure at a fixed interval on
+//! a named background thread. The deployment uses it to refresh pipeline
+//! gauges (mq lag, actor mailbox depth, kvstore sizes) and optionally
+//! print the registry table; anything else that needs a heartbeat (cache
+//! resize loops, watchdogs) can reuse it. The thread wakes every few
+//! milliseconds to check the stop flag so shutdown is prompt even with
+//! long intervals.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Handle to a periodic reporting thread; stops and joins on drop.
+pub struct StatsReporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl StatsReporter {
+    /// Spawn a thread named `name` that runs `tick` every `interval`.
+    /// The first tick fires after one interval, not immediately.
+    pub fn start<F>(name: &str, interval: Duration, mut tick: F) -> StatsReporter
+    where
+        F: FnMut() + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                let mut next = Instant::now() + interval;
+                while !stop2.load(Ordering::Relaxed) {
+                    if Instant::now() >= next {
+                        tick();
+                        next = Instant::now() + interval;
+                    }
+                    let nap = next
+                        .saturating_duration_since(Instant::now())
+                        .min(Duration::from_millis(10));
+                    std::thread::sleep(nap.max(Duration::from_millis(1)));
+                }
+            })
+            .expect("spawn stats reporter");
+        StatsReporter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Run one final tick (on the caller's thread) after stopping the
+    /// reporter, so the last interval's data is not lost. Consumes the
+    /// reporter.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StatsReporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn ticks_periodically_and_stops() {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let r = StatsReporter::start("test-reporter", Duration::from_millis(5), move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        r.stop();
+        let ticks = n.load(Ordering::Relaxed);
+        assert!(ticks >= 3, "expected several ticks, got {ticks}");
+        let after = n.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(n.load(Ordering::Relaxed), after, "stopped means stopped");
+    }
+
+    #[test]
+    fn drop_joins_thread() {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        {
+            let _r = StatsReporter::start("drop-reporter", Duration::from_millis(2), move || {
+                n2.fetch_add(1, Ordering::Relaxed);
+            });
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let after = n.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(n.load(Ordering::Relaxed), after);
+    }
+}

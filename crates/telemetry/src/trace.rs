@@ -1,0 +1,465 @@
+//! Flag-gated span tracing with per-thread ring-buffer journals.
+//!
+//! Tracing answers "where did *this one* request/update go", not "what is
+//! the aggregate latency" (that is the registry's job). Each traced
+//! operation gets a [`TraceCtx`] — a trace id plus the parent span id —
+//! that rides along with the message across queue boundaries. Every stage
+//! opens a [`span`], which allocates a span id, and forwards
+//! `guard.ctx()` so downstream stages become children.
+//!
+//! Recording is disabled by default. When disabled, [`span`] is two
+//! relaxed atomic loads and no allocation; enabling it
+//! ([`set_tracing`]) turns on journal writes. Finished spans land in a
+//! per-thread ring buffer (no cross-thread contention on the record path);
+//! [`drain_spans`] collects and clears all journals, and the result can be
+//! serialised as JSONL ([`to_jsonl`]) or chrome://tracing JSON
+//! ([`to_chrome_trace`]).
+
+use bytes::{Buf, BufMut, BytesMut};
+use helios_types::{Decode, Encode, HeliosError, Result};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Per-thread journal capacity. Oldest spans are overwritten first; a
+/// single request/update trace is a handful of spans, so 16Ki per thread
+/// comfortably holds the recent history of a busy worker.
+const JOURNAL_CAP: usize = 16 * 1024;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Turn span recording on or off process-wide.
+pub fn set_tracing(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span recording is currently enabled.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_since_epoch_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Trace context carried across queue/thread boundaries: which trace this
+/// message belongs to and which span caused it. `trace == 0` means "not
+/// traced" and makes every downstream [`span`] free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// Trace id; 0 = untraced.
+    pub trace: u64,
+    /// Span id of the causing span; 0 = root.
+    pub parent: u64,
+}
+
+impl TraceCtx {
+    /// The untraced context.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace: 0,
+        parent: 0,
+    };
+
+    /// Whether this context belongs to an active trace.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.trace != 0
+    }
+
+    /// Start a new trace — an active root context when tracing is
+    /// enabled, [`TraceCtx::NONE`] otherwise (so callers can stamp
+    /// unconditionally).
+    #[inline]
+    pub fn root() -> TraceCtx {
+        if tracing_enabled() {
+            TraceCtx {
+                trace: next_id(),
+                parent: 0,
+            }
+        } else {
+            TraceCtx::NONE
+        }
+    }
+}
+
+impl Encode for TraceCtx {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.trace);
+        buf.put_u64_le(self.parent);
+    }
+}
+
+impl Decode for TraceCtx {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        if buf.remaining() < 16 {
+            return Err(HeliosError::Codec(format!(
+                "truncated input: need 16 bytes for TraceCtx, have {}",
+                buf.remaining()
+            )));
+        }
+        Ok(TraceCtx {
+            trace: buf.get_u64_le(),
+            parent: buf.get_u64_le(),
+        })
+    }
+}
+
+/// A finished span as recorded in a journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Trace this span belongs to.
+    pub trace: u64,
+    /// This span's id (unique within the process).
+    pub span: u64,
+    /// Parent span id; 0 for a trace root.
+    pub parent: u64,
+    /// Stage name, e.g. `serve.router` or `sampler.shard`.
+    pub name: &'static str,
+    /// Start, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the process trace epoch.
+    pub end_ns: u64,
+    /// Name of the thread the span ran on.
+    pub thread: String,
+}
+
+type Journal = Arc<Mutex<VecDeque<SpanRecord>>>;
+
+fn journals() -> &'static Mutex<Vec<Journal>> {
+    static JOURNALS: OnceLock<Mutex<Vec<Journal>>> = OnceLock::new();
+    JOURNALS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL_JOURNAL: Journal = {
+        let j: Journal = Arc::new(Mutex::new(VecDeque::new()));
+        journals().lock().push(Arc::clone(&j));
+        j
+    };
+}
+
+fn record(rec: SpanRecord) {
+    LOCAL_JOURNAL.with(|j| {
+        let mut j = j.lock();
+        if j.len() >= JOURNAL_CAP {
+            j.pop_front();
+        }
+        j.push_back(rec);
+    });
+}
+
+/// Open a span named `name` under `ctx`. Returns an inert guard (no id,
+/// no recording) when tracing is disabled or the context is untraced —
+/// the disabled path is two relaxed loads.
+#[inline]
+pub fn span(name: &'static str, ctx: TraceCtx) -> SpanGuard {
+    if !tracing_enabled() || !ctx.is_active() {
+        return SpanGuard { active: None };
+    }
+    SpanGuard {
+        active: Some(ActiveSpan {
+            trace: ctx.trace,
+            span: next_id(),
+            parent: ctx.parent,
+            name,
+            start_ns: now_since_epoch_ns(),
+        }),
+    }
+}
+
+struct ActiveSpan {
+    trace: u64,
+    span: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+}
+
+/// RAII span: records itself into the thread journal on drop.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// This span's id (0 when inert).
+    pub fn id(&self) -> u64 {
+        self.active.as_ref().map_or(0, |a| a.span)
+    }
+
+    /// Context to forward downstream: same trace, this span as parent.
+    /// [`TraceCtx::NONE`] when inert, so propagation is unconditional.
+    pub fn ctx(&self) -> TraceCtx {
+        match &self.active {
+            Some(a) => TraceCtx {
+                trace: a.trace,
+                parent: a.span,
+            },
+            None => TraceCtx::NONE,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            record(SpanRecord {
+                trace: a.trace,
+                span: a.span,
+                parent: a.parent,
+                name: a.name,
+                start_ns: a.start_ns,
+                end_ns: now_since_epoch_ns(),
+                thread: std::thread::current().name().unwrap_or("?").to_string(),
+            });
+        }
+    }
+}
+
+/// Collect and clear every thread journal, sorted by start time.
+pub fn drain_spans() -> Vec<SpanRecord> {
+    let mut out = Vec::new();
+    for j in journals().lock().iter() {
+        out.extend(j.lock().drain(..));
+    }
+    out.sort_by_key(|s| (s.trace, s.start_ns, s.span));
+    out
+}
+
+/// Clear every thread journal without collecting.
+pub fn clear_spans() {
+    for j in journals().lock().iter() {
+        j.lock().clear();
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One JSON object per line, one line per span.
+pub fn to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        let _ = writeln!(
+            out,
+            "{{\"trace\":{},\"span\":{},\"parent\":{},\"name\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"dur_ns\":{},\"thread\":\"{}\"}}",
+            s.trace,
+            s.span,
+            s.parent,
+            json_escape(s.name),
+            s.start_ns,
+            s.end_ns,
+            s.end_ns.saturating_sub(s.start_ns),
+            json_escape(&s.thread),
+        );
+    }
+    out
+}
+
+/// chrome://tracing / Perfetto "trace event" JSON: one complete (`"X"`)
+/// event per span, grouped by thread name, microsecond timestamps.
+pub fn to_chrome_trace(spans: &[SpanRecord]) -> String {
+    // Stable small integers for thread ids.
+    let mut tids: Vec<&str> = Vec::new();
+    let mut out = String::from("[");
+    for (i, s) in spans.iter().enumerate() {
+        let tid = match tids.iter().position(|t| *t == s.thread) {
+            Some(p) => p,
+            None => {
+                tids.push(&s.thread);
+                tids.len() - 1
+            }
+        };
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"trace{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"trace\":{},\"span\":{},\"parent\":{}}}}}",
+            json_escape(s.name),
+            s.trace,
+            s.start_ns as f64 / 1e3,
+            s.end_ns.saturating_sub(s.start_ns) as f64 / 1e3,
+            tid,
+            s.trace,
+            s.span,
+            s.parent,
+        );
+    }
+    // Thread-name metadata so the viewer shows real names.
+    for (tid, t) in tids.iter().enumerate() {
+        if !out.ends_with('[') {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            tid,
+            json_escape(t),
+        );
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tracing state is process-global; serialise the tests that toggle it.
+    fn lock() -> parking_lot::MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(())).lock()
+    }
+
+    #[test]
+    fn disabled_tracing_is_inert() {
+        let _g = lock();
+        set_tracing(false);
+        clear_spans();
+        let root = TraceCtx::root();
+        assert!(!root.is_active());
+        let s = span("x", root);
+        assert_eq!(s.id(), 0);
+        assert_eq!(s.ctx(), TraceCtx::NONE);
+        drop(s);
+        assert!(drain_spans().is_empty());
+    }
+
+    #[test]
+    fn parent_child_links_recorded() {
+        let _g = lock();
+        set_tracing(true);
+        clear_spans();
+        let root_ctx = TraceCtx::root();
+        let parent = span("parent", root_ctx);
+        let pid = parent.id();
+        let child = span("child", parent.ctx());
+        let cid = child.id();
+        drop(child);
+        drop(parent);
+        set_tracing(false);
+        let spans = drain_spans();
+        assert_eq!(spans.len(), 2);
+        let p = spans.iter().find(|s| s.name == "parent").unwrap();
+        let c = spans.iter().find(|s| s.name == "child").unwrap();
+        assert_eq!(p.span, pid);
+        assert_eq!(p.parent, 0);
+        assert_eq!(c.span, cid);
+        assert_eq!(c.parent, pid);
+        assert_eq!(c.trace, p.trace);
+        assert!(c.start_ns >= p.start_ns);
+        assert!(c.end_ns <= p.end_ns);
+    }
+
+    #[test]
+    fn spans_cross_threads_and_drain_clears() {
+        let _g = lock();
+        set_tracing(true);
+        clear_spans();
+        let ctx = TraceCtx::root();
+        let parent = span("main", ctx);
+        let fwd = parent.ctx();
+        std::thread::Builder::new()
+            .name("worker-7".into())
+            .spawn(move || {
+                let _s = span("worker", fwd);
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        drop(parent);
+        set_tracing(false);
+        let spans = drain_spans();
+        assert_eq!(spans.len(), 2);
+        let w = spans.iter().find(|s| s.name == "worker").unwrap();
+        assert_eq!(w.thread, "worker-7");
+        assert!(drain_spans().is_empty(), "drain clears journals");
+    }
+
+    #[test]
+    fn journal_is_bounded() {
+        let _g = lock();
+        set_tracing(true);
+        clear_spans();
+        let ctx = TraceCtx::root();
+        for _ in 0..(JOURNAL_CAP + 100) {
+            let _s = span("tick", ctx);
+        }
+        set_tracing(false);
+        let spans = drain_spans();
+        assert_eq!(spans.len(), JOURNAL_CAP);
+    }
+
+    #[test]
+    fn jsonl_and_chrome_formats() {
+        let spans = vec![
+            SpanRecord {
+                trace: 9,
+                span: 2,
+                parent: 1,
+                name: "serve.hop",
+                start_ns: 1_000,
+                end_ns: 3_500,
+                thread: "sew0-serve-0".into(),
+            },
+            SpanRecord {
+                trace: 9,
+                span: 3,
+                parent: 2,
+                name: "kv.get",
+                start_ns: 1_200,
+                end_ns: 2_000,
+                thread: "sew0-serve-0".into(),
+            },
+        ];
+        let jsonl = to_jsonl(&spans);
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"trace\":9"));
+        assert!(jsonl.contains("\"parent\":2"));
+        assert!(jsonl.contains("\"dur_ns\":2500"));
+        let chrome = to_chrome_trace(&spans);
+        assert!(chrome.starts_with('[') && chrome.ends_with(']'));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.contains("\"ph\":\"M\""));
+        assert!(chrome.contains("sew0-serve-0"));
+    }
+
+    #[test]
+    fn trace_ctx_roundtrips_encode() {
+        let ctx = TraceCtx {
+            trace: 77,
+            parent: 12,
+        };
+        let bytes = ctx.encode_to_bytes();
+        assert_eq!(bytes.len(), 16);
+        let back = TraceCtx::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, ctx);
+        assert!(TraceCtx::decode_from_slice(&bytes[..7]).is_err());
+    }
+}

@@ -9,7 +9,9 @@
 
 use crate::error::{HeliosError, Result};
 use crate::event::{EdgeUpdate, GraphUpdate, VertexUpdate};
-use crate::ids::{EdgeType, PartitionId, QueryHopId, SamplingWorkerId, ServingWorkerId, VertexId, VertexType};
+use crate::ids::{
+    EdgeType, PartitionId, QueryHopId, SamplingWorkerId, ServingWorkerId, VertexId, VertexType,
+};
 use crate::time::Timestamp;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 

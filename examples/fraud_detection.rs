@@ -35,6 +35,10 @@ fn risk_score(sg: &SampledSubgraph) -> f64 {
 }
 
 fn main() {
+    let show_stats = helios::telemetry::stats_env();
+    if helios::telemetry::trace_env() {
+        helios::telemetry::set_tracing(true);
+    }
     let dataset = Preset::Fin.dataset(0.02);
     let query = dataset.table2_query(SamplingStrategy::TopK, false);
     println!(
@@ -62,7 +66,10 @@ fn main() {
         let sg = helios.serve(a).unwrap();
         let r = risk_score(&sg);
         baseline.insert(a, r);
-        println!("  account {a}: {r:.3} ({} sampled transfers)", sg.sampled_edge_count());
+        println!(
+            "  account {a}: {r:.3} ({} sampled transfers)",
+            sg.sampled_edge_count()
+        );
     }
 
     // A fraud ring appears: account 0 suddenly funnels transfers through
@@ -98,13 +105,17 @@ fn main() {
     }
     helios.ingest_batch(&burst).unwrap();
     assert!(helios.quiesce(Duration::from_secs(30)));
-    println!("\ninjected a {}-transfer fraud burst through mule {mule}", burst.len() - 1);
+    println!(
+        "\ninjected a {}-transfer fraud burst through mule {mule}",
+        burst.len() - 1
+    );
 
     let sg = helios.serve(VertexId(0)).unwrap();
     let after = risk_score(&sg);
     println!(
         "account V0 risk after burst: {:.3} (was {:.3})",
-        after, baseline[&VertexId(0)]
+        after,
+        baseline[&VertexId(0)]
     );
     let hop1: Vec<VertexId> = sg.hops[0].flat().collect();
     let mule_sampled = hop1.contains(&mule);
@@ -112,5 +123,9 @@ fn main() {
     assert!(mule_sampled, "the newest transfers must be sampled");
     assert!(after > baseline[&VertexId(0)]);
     println!("\n=> the burst is visible to inference immediately, not at the next retrain");
+    if show_stats {
+        println!("\n--- telemetry snapshot (HELIOS_STATS=1) ---");
+        print!("{}", helios.telemetry_snapshot().render());
+    }
     helios.shutdown();
 }

@@ -15,6 +15,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn main() {
+    let show_stats = helios::telemetry::stats_env();
+    if helios::telemetry::trace_env() {
+        helios::telemetry::set_tracing(true);
+    }
     let dataset = Preset::Inter.dataset(0.02);
     let query = dataset.table2_query(SamplingStrategy::Random, false);
     println!(
@@ -25,9 +29,8 @@ fn main() {
     );
 
     // Deploy Helios (2 sampling + 2 serving) plus a model server.
-    let helios = Arc::new(
-        HeliosDeployment::start(HeliosConfig::with_workers(2, 2), query).unwrap(),
-    );
+    let helios =
+        Arc::new(HeliosDeployment::start(HeliosConfig::with_workers(2, 2), query).unwrap());
     let events: Vec<GraphUpdate> = dataset.events().collect();
     let (replay, live) = events.split_at(events.len() * 9 / 10);
     helios.ingest_batch(replay).unwrap();
@@ -74,7 +77,10 @@ fn main() {
     let total: u64 = clients.into_iter().map(|h| h.join().unwrap()).sum();
 
     let elapsed = ingest_start.elapsed().as_secs_f64();
-    println!("\n--- online inference, 4 clients, live ingestion of {} events ---", live.len());
+    println!(
+        "\n--- online inference, 4 clients, live ingestion of {} events ---",
+        live.len()
+    );
     println!("inference throughput: {:.0} QPS", total as f64 / elapsed);
     println!(
         "end-to-end latency: avg {:.2} ms, P99 {:.2} ms",
@@ -92,6 +98,10 @@ fn main() {
     }
     assert!(helios.quiesce(Duration::from_secs(60)));
     print!("\n{}", helios::core::DeploymentReport::capture(&helios));
+    if show_stats {
+        println!("\n--- telemetry snapshot (HELIOS_STATS=1) ---");
+        print!("{}", helios.telemetry_snapshot().render());
+    }
     match Arc::try_unwrap(helios) {
         Ok(h) => h.shutdown(),
         Err(_) => unreachable!("clients joined"),

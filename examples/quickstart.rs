@@ -7,6 +7,12 @@ use helios::prelude::*;
 use std::time::Duration;
 
 fn main() {
+    // Observability flags: HELIOS_STATS=1 prints a telemetry snapshot on
+    // exit; HELIOS_TRACE=1 records request/update spans from startup.
+    let show_stats = helios::telemetry::stats_env();
+    if helios::telemetry::trace_env() {
+        helios::telemetry::set_tracing(true);
+    }
     // 1. Describe the sampling query exactly as the paper writes it
     //    (Fig. 1): 2 random Click neighbors, then 2 most-recent
     //    CoPurchase neighbors of each.
@@ -104,7 +110,21 @@ fn main() {
         );
     }
 
-    let p99 = helios.serving_workers()[0].serve_latency().percentile_ms(99.0);
+    let p99 = helios.serving_workers()[0]
+        .serve_latency()
+        .percentile_ms(99.0);
     println!("\nserving P99 latency: {p99:.3} ms");
+
+    if show_stats {
+        println!("\n--- telemetry snapshot (HELIOS_STATS=1) ---");
+        print!("{}", helios.telemetry_snapshot().render());
+    }
+    if helios::telemetry::tracing_enabled() {
+        println!("\n--- request/update spans (HELIOS_TRACE=1) ---");
+        print!(
+            "{}",
+            helios::telemetry::to_jsonl(&helios::telemetry::drain_spans())
+        );
+    }
     helios.shutdown();
 }

@@ -12,12 +12,26 @@ use rand::SeedableRng;
 use std::time::Duration;
 
 fn main() {
+    let show_stats = helios::telemetry::stats_env();
+    if helios::telemetry::trace_env() {
+        helios::telemetry::set_tracing(true);
+    }
     let dataset = Preset::Taobao.dataset(0.05);
     let user_query = dataset.table2_query(SamplingStrategy::Random, false);
     // Item tower: co-purchase neighborhood of the candidate item.
     let item_query = KHopQuery::builder(dataset.vt("Item"))
-        .hop(dataset.et("CoPurchase"), dataset.vt("Item"), 5, SamplingStrategy::Random)
-        .hop(dataset.et("CoPurchase"), dataset.vt("Item"), 3, SamplingStrategy::Random)
+        .hop(
+            dataset.et("CoPurchase"),
+            dataset.vt("Item"),
+            5,
+            SamplingStrategy::Random,
+        )
+        .hop(
+            dataset.et("CoPurchase"),
+            dataset.vt("Item"),
+            3,
+            SamplingStrategy::Random,
+        )
         .build()
         .unwrap();
 
@@ -41,12 +55,18 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let mut model = SageModel::new(dataset.config().feature_dim, 32, 16, &mut rng);
     let trainer = LinkPredictionTrainer::new(
-        TrainConfig { epochs: 4, ..Default::default() },
+        TrainConfig {
+            epochs: 4,
+            ..Default::default()
+        },
         user_query.clone(),
         item_query.clone(),
     );
     let loss = trainer.train(&mut model, &oracle, &positives, &item_pool, &mut rng);
-    println!("trained on {} positive clicks, final loss {loss:.3}", positives.len());
+    println!(
+        "trained on {} positive clicks, final loss {loss:.3}",
+        positives.len()
+    );
 
     // ---- online stage: Helios serves the fresh neighborhoods ----
     let helios = HeliosDeployment::start(HeliosConfig::with_workers(2, 2), user_query).unwrap();
@@ -99,7 +119,10 @@ fn main() {
     assert!(helios.quiesce(Duration::from_secs(30)));
 
     let after = recommend("after 10 fresh clicks —");
-    let moved = before.iter().position(|(i, _)| *i == candidates[0]).unwrap();
+    let moved = before
+        .iter()
+        .position(|(i, _)| *i == candidates[0])
+        .unwrap();
     let now = after.iter().position(|(i, _)| *i == candidates[0]).unwrap();
     println!(
         "\ncandidate {} moved from rank {} to rank {} after the click burst",
@@ -107,6 +130,13 @@ fn main() {
         moved + 1,
         now + 1
     );
-    println!("requests served by the model server: {}", server.request_count());
+    println!(
+        "requests served by the model server: {}",
+        server.request_count()
+    );
+    if show_stats {
+        println!("\n--- telemetry snapshot (HELIOS_STATS=1) ---");
+        print!("{}", helios.telemetry_snapshot().render());
+    }
     helios.shutdown();
 }

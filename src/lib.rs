@@ -28,7 +28,9 @@
 //! * [`graphdb`] — the distributed graph-database baseline;
 //! * [`datagen`] — synthetic datasets with Table 1 shapes;
 //! * [`gnn`] — GraphSAGE training/inference + model serving;
-//! * [`metrics`] — histograms, throughput meters, table printing.
+//! * [`metrics`] — histograms, throughput meters, table printing;
+//! * [`telemetry`] — metrics registry, request/update tracing, and
+//!   pipeline lag monitoring (`HELIOS_STATS=1` / `HELIOS_TRACE=1`).
 //!
 //! ## Quickstart
 //!
@@ -62,6 +64,7 @@ pub use helios_mq as mq;
 pub use helios_netsim as netsim;
 pub use helios_query as query;
 pub use helios_sampling as sampling;
+pub use helios_telemetry as telemetry;
 pub use helios_types as types;
 
 /// The most common imports for application code.
@@ -69,9 +72,7 @@ pub mod prelude {
     pub use helios_core::{HeliosConfig, HeliosDeployment};
     pub use helios_datagen::{Dataset, Preset};
     pub use helios_gnn::{ModelServer, OracleSampler, SageModel};
-    pub use helios_query::{
-        parse_query, KHopQuery, SampledSubgraph, SamplingStrategy, Schema,
-    };
+    pub use helios_query::{parse_query, KHopQuery, SampledSubgraph, SamplingStrategy, Schema};
     pub use helios_types::{
         EdgeType, EdgeUpdate, GraphUpdate, Timestamp, VertexId, VertexType, VertexUpdate,
     };

@@ -226,7 +226,12 @@ fn facade_ml_pipeline_smoke() {
     let pool: Vec<VertexId> = (ilo..ihi).map(VertexId).collect();
     let q = dataset.table2_query(SamplingStrategy::Random, false);
     let iq = KHopQuery::builder(dataset.vt("Item"))
-        .hop(dataset.et("CoPurchase"), dataset.vt("Item"), 3, SamplingStrategy::Random)
+        .hop(
+            dataset.et("CoPurchase"),
+            dataset.vt("Item"),
+            3,
+            SamplingStrategy::Random,
+        )
         .build()
         .unwrap();
     let mut rng = StdRng::seed_from_u64(11);
