@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use helios_kvstore::{KvConfig, KvStore};
+use helios_kvstore::{KvConfig, KvStore, WriteOp};
 use helios_mq::{Broker, TopicConfig};
 use helios_query::{KHopQuery, SamplingStrategy as QS};
 use helios_sampling::{Reservoir, SamplingStrategy};
@@ -64,6 +64,60 @@ fn bench_kvstore(c: &mut Criterion) {
             )
         });
     });
+    // The tentpole comparison: N point gets vs one N-key multi_get over
+    // the same keys (all hits, strided across the keyspace and shards).
+    for n in [16usize, 64, 256] {
+        let keys: Vec<[u8; 8]> = (0..n as u64)
+            .map(|i| (i * 389 % 100_000).to_be_bytes())
+            .collect();
+        g.bench_function(&format!("sequential_get_{n}"), |b| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for k in &keys {
+                    if kv.get(k).unwrap().is_some() {
+                        found += 1;
+                    }
+                }
+                found
+            });
+        });
+        g.bench_function(&format!("multi_get_{n}"), |b| {
+            b.iter(|| kv.multi_get(&keys).unwrap().iter().flatten().count());
+        });
+    }
+    // Same comparison for the write path: N puts vs one N-op write_batch.
+    for n in [64usize, 256] {
+        g.bench_function(&format!("sequential_put_{n}"), |b| {
+            let mut i = 300_000u64;
+            b.iter(|| {
+                for _ in 0..n {
+                    i += 1;
+                    kv.put(
+                        &i.to_be_bytes(),
+                        Bytes::from_static(&[0u8; 64]),
+                        Timestamp(i),
+                    )
+                    .unwrap();
+                }
+            });
+        });
+        g.bench_function(&format!("write_batch_{n}"), |b| {
+            let mut i = 600_000u64;
+            b.iter(|| {
+                let ops: Vec<WriteOp> = (0..n)
+                    .map(|_| {
+                        i += 1;
+                        WriteOp::put(
+                            i.to_be_bytes(),
+                            Bytes::from_static(&[0u8; 64]),
+                            Timestamp(i),
+                        )
+                    })
+                    .collect();
+                kv.write_batch(ops).unwrap()
+            });
+        });
+    }
     g.finish();
 }
 

@@ -415,7 +415,13 @@ impl HeliosDeployment {
                 control_done += m.control_processed.get();
                 backlog += w.backlog();
             }
-            let applied: u64 = self.serving.iter().map(|s| s.applied()).sum();
+            // Malformed records are counted (as decode errors), never
+            // applied — both tallies drain the queue.
+            let applied: u64 = self
+                .serving
+                .iter()
+                .map(|s| s.applied() + s.decode_errors())
+                .sum();
             // Every replica consumes the full queue of its logical worker.
             let samples_expected = samples_end * self.config.serving_replicas as u64;
 

@@ -98,6 +98,32 @@ impl Decode for SampleEntryLite {
     }
 }
 
+impl SampleEntryLite {
+    /// Encoded size of one entry: neighbor (8) + ts (8) + weight (4).
+    pub const WIRE_BYTES: usize = 20;
+
+    /// Decode only the neighbor ids out of an encoded
+    /// `Vec<SampleEntryLite>`, skipping timestamps and weights. The serve
+    /// hot path expands hops with this: it never materializes the
+    /// intermediate `Vec<SampleEntryLite>`.
+    pub fn decode_neighbors(raw: &[u8]) -> Result<Vec<VertexId>> {
+        let mut buf = raw;
+        let n = u32::decode(&mut buf)? as usize;
+        if buf.remaining() < n * Self::WIRE_BYTES {
+            return Err(HeliosError::Codec(format!(
+                "sample list truncated: {n} entries, {} bytes left",
+                buf.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(VertexId::decode(&mut buf)?);
+            buf.advance(Self::WIRE_BYTES - 8);
+        }
+        Ok(out)
+    }
+}
+
 /// Subscription-management messages between sampling workers (§5.3).
 ///
 /// Routed on the `control` topic by the *target* vertex, so the vertex's
@@ -477,6 +503,32 @@ mod tests {
             vertex: VertexId(11),
         };
         assert_eq!(f.routing_key(), 11);
+    }
+
+    #[test]
+    fn decode_neighbors_matches_full_decode() {
+        let entries: Vec<SampleEntryLite> = (0..17u64)
+            .map(|i| SampleEntryLite {
+                neighbor: VertexId(i * 3),
+                ts: Timestamp(i),
+                weight: i as f32 * 0.5,
+            })
+            .collect();
+        let raw = entries.encode_to_bytes();
+        let fast = SampleEntryLite::decode_neighbors(&raw).unwrap();
+        let full: Vec<VertexId> = Vec::<SampleEntryLite>::decode_from_slice(&raw)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.neighbor)
+            .collect();
+        assert_eq!(fast, full);
+        // Empty list.
+        let empty = Vec::<SampleEntryLite>::new().encode_to_bytes();
+        assert!(SampleEntryLite::decode_neighbors(&empty)
+            .unwrap()
+            .is_empty());
+        // Truncated payload is rejected, not mis-read.
+        assert!(SampleEntryLite::decode_neighbors(&raw[..raw.len() - 1]).is_err());
     }
 
     #[test]

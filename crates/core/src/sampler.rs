@@ -155,12 +155,17 @@ impl Ctx {
         self.metrics.published.incr();
     }
 
-    fn send_control(&self, msg: &ControlMsg) {
-        let v = msg.target_vertex();
-        let partition = PartitionId(route(v.raw(), self.m) as u32);
+    /// Send a batch of control messages, waking control consumers once
+    /// for the whole batch ([`helios_mq::Topic::produce_many_to`])
+    /// instead of once per message. Per-vertex order is preserved.
+    fn send_controls(&self, msgs: impl IntoIterator<Item = ControlMsg>) {
         let _ = self
             .control_topic
-            .produce_to(partition, v.raw(), msg.encode_to_bytes());
+            .produce_many_to(msgs.into_iter().map(|msg| {
+                let v = msg.target_vertex();
+                let partition = PartitionId(route(v.raw(), self.m) as u32);
+                (partition, v.raw(), msg.encode_to_bytes())
+            }));
     }
 }
 
@@ -310,17 +315,18 @@ impl SamplerShard {
         };
         let payload = msg.encode_to_bytes();
         let routing_key = msg.routing_key();
+        let mut controls: Vec<ControlMsg> = Vec::new();
         for &sew_raw in &subs {
             let sew = ServingWorkerId(sew_raw);
             self.ctx
                 .publish_sample_raw(sew, routing_key, payload.clone());
             if let Some(new_neighbor) = added {
-                self.ctx.send_control(&ControlMsg::SubscribeFeature {
+                controls.push(ControlMsg::SubscribeFeature {
                     vertex: new_neighbor,
                     sew,
                 });
                 for &d in &downstream {
-                    self.ctx.send_control(&ControlMsg::SubscribeSamples {
+                    controls.push(ControlMsg::SubscribeSamples {
                         hop: d,
                         vertex: new_neighbor,
                         sew,
@@ -328,12 +334,12 @@ impl SamplerShard {
                 }
             }
             if let Some(old_neighbor) = evicted {
-                self.ctx.send_control(&ControlMsg::UnsubscribeFeature {
+                controls.push(ControlMsg::UnsubscribeFeature {
                     vertex: old_neighbor,
                     sew,
                 });
                 for &d in &downstream {
-                    self.ctx.send_control(&ControlMsg::UnsubscribeSamples {
+                    controls.push(ControlMsg::UnsubscribeSamples {
                         hop: d,
                         vertex: old_neighbor,
                         sew,
@@ -341,6 +347,7 @@ impl SamplerShard {
                 }
             }
         }
+        self.ctx.send_controls(controls);
     }
 
     // ---- subscription handling (§5.3) ----
@@ -402,17 +409,18 @@ impl SamplerShard {
                 if first {
                     let downstream: Vec<QueryHopId> =
                         self.ctx.dag.downstream(hop).map(|d| d.hop).collect();
+                    let mut controls: Vec<ControlMsg> = Vec::new();
                     for w in neighbors {
-                        self.ctx
-                            .send_control(&ControlMsg::SubscribeFeature { vertex: w, sew });
+                        controls.push(ControlMsg::SubscribeFeature { vertex: w, sew });
                         for &d in &downstream {
-                            self.ctx.send_control(&ControlMsg::SubscribeSamples {
+                            controls.push(ControlMsg::SubscribeSamples {
                                 hop: d,
                                 vertex: w,
                                 sew,
                             });
                         }
                     }
+                    self.ctx.send_controls(controls);
                 }
             }
             ControlMsg::UnsubscribeSamples { hop, vertex, sew } => {
@@ -439,17 +447,18 @@ impl SamplerShard {
                         .collect();
                     let downstream: Vec<QueryHopId> =
                         self.ctx.dag.downstream(hop).map(|d| d.hop).collect();
+                    let mut controls: Vec<ControlMsg> = Vec::new();
                     for w in neighbors {
-                        self.ctx
-                            .send_control(&ControlMsg::UnsubscribeFeature { vertex: w, sew });
+                        controls.push(ControlMsg::UnsubscribeFeature { vertex: w, sew });
                         for &d in &downstream {
-                            self.ctx.send_control(&ControlMsg::UnsubscribeSamples {
+                            controls.push(ControlMsg::UnsubscribeSamples {
                                 hop: d,
                                 vertex: w,
                                 sew,
                             });
                         }
                     }
+                    self.ctx.send_controls(controls);
                 }
             }
             ControlMsg::SubscribeFeature { vertex, sew } => {
@@ -524,14 +533,14 @@ impl SamplerShard {
                     caused_at: 0,
                     trace: TraceCtx::NONE,
                 };
+                let mut controls: Vec<ControlMsg> = Vec::new();
                 for &sew_raw in &subs {
                     let sew = ServingWorkerId(sew_raw);
                     self.ctx.publish_sample(sew, &msg);
                     for &w in &lost {
-                        self.ctx
-                            .send_control(&ControlMsg::UnsubscribeFeature { vertex: w, sew });
+                        controls.push(ControlMsg::UnsubscribeFeature { vertex: w, sew });
                         for &d in &downstream {
-                            self.ctx.send_control(&ControlMsg::UnsubscribeSamples {
+                            controls.push(ControlMsg::UnsubscribeSamples {
                                 hop: d,
                                 vertex: w,
                                 sew,
@@ -539,6 +548,7 @@ impl SamplerShard {
                         }
                     }
                 }
+                self.ctx.send_controls(controls);
             }
         }
         self.features.retain(|_, (_, ts)| *ts >= horizon);

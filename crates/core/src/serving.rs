@@ -21,7 +21,7 @@ use crate::config::HeliosConfig;
 use crate::messages::{now_nanos, SampleEntryLite, SampleMsg};
 use crate::sampler::topics;
 use bytes::BytesMut;
-use helios_kvstore::{KvConfig, KvStats, KvStore};
+use helios_kvstore::{KvConfig, KvStats, KvStore, WriteOp};
 use helios_metrics::Histogram;
 use helios_mq::Broker;
 use helios_query::{HopSamples, KHopQuery, SampledSubgraph};
@@ -57,6 +57,7 @@ pub struct ServingWorker {
     ingestion_latency: Arc<Histogram>,
     served: Arc<Counter>,
     applied: Arc<Counter>,
+    decode_errors: Arc<Counter>,
     sample_hits: Arc<Counter>,
     sample_misses: Arc<Counter>,
     feature_hits: Arc<Counter>,
@@ -119,6 +120,7 @@ impl ServingWorker {
             ingestion_latency: registry.histogram("serving.ingestion_latency", labels),
             served: registry.counter("serving.served", labels),
             applied: registry.counter("serving.applied", labels),
+            decode_errors: registry.counter("serving.decode_errors", labels),
             sample_hits: registry.counter("serving.cache_hit", &hit_labels("samples")),
             sample_misses: registry.counter("serving.cache_miss", &hit_labels("samples")),
             feature_hits: registry.counter("serving.cache_hit", &hit_labels("features")),
@@ -172,14 +174,27 @@ impl ServingWorker {
                 std::thread::Builder::new()
                     .name(format!("sew{}r{replica}-updater-{t}", id.0))
                     .spawn(move || {
+                        let mut batch: Vec<SampleMsg> = Vec::with_capacity(poll_batch);
                         while !stop.load(Ordering::Relaxed) {
                             beacon.beat();
                             let recs = consumer.poll(poll_batch, poll_timeout);
-                            for rec in recs {
-                                if let Ok(msg) = SampleMsg::decode_from_slice(&rec.payload) {
-                                    w.apply(&msg);
+                            if recs.is_empty() {
+                                continue;
+                            }
+                            batch.clear();
+                            let mut errors = 0u64;
+                            for rec in &recs {
+                                match SampleMsg::decode_from_slice(&rec.payload) {
+                                    Ok(msg) => batch.push(msg),
+                                    Err(_) => errors += 1,
                                 }
-                                w.applied.incr();
+                            }
+                            // The whole poll batch lands in the cache with
+                            // one write-lock acquisition per kvstore shard.
+                            w.apply_batch(&batch);
+                            w.applied.add(batch.len() as u64);
+                            if errors > 0 {
+                                w.decode_errors.add(errors);
                             }
                         }
                     })
@@ -203,43 +218,72 @@ impl ServingWorker {
     /// Apply one cache update (normally called by updater threads; public
     /// for tests and custom pipelines).
     pub fn apply(&self, msg: &SampleMsg) {
-        let _apply_span = span("serving.cache_apply", msg.trace());
-        match msg {
-            SampleMsg::SampleUpdate {
-                hop,
-                key,
-                entries,
-                caused_at,
-                ..
-            } => {
-                let mut buf = BytesMut::with_capacity(8 + entries.len() * 20);
-                entries.encode(&mut buf);
-                let ts = entries
-                    .iter()
-                    .map(|e| e.ts)
-                    .max()
-                    .unwrap_or(Timestamp::ZERO);
-                let _ = self.samples.put(&sample_key(*hop, *key), buf.freeze(), ts);
-                self.record_ingestion(*caused_at);
+        self.apply_batch(std::slice::from_ref(msg));
+    }
+
+    /// Apply a batch of cache updates, writing each table through one
+    /// [`KvStore::write_batch`] — one write-lock acquisition per touched
+    /// kvstore shard for the whole batch instead of one per message.
+    /// Per-key input order is preserved, so the result is identical to
+    /// applying the messages one by one.
+    pub fn apply_batch(&self, msgs: &[SampleMsg]) {
+        let mut sample_ops: Vec<WriteOp> = Vec::new();
+        let mut feature_ops: Vec<WriteOp> = Vec::new();
+        let mut caused: Vec<u64> = Vec::new();
+        for msg in msgs {
+            let _apply_span = span("serving.cache_apply", msg.trace());
+            match msg {
+                SampleMsg::SampleUpdate {
+                    hop,
+                    key,
+                    entries,
+                    caused_at,
+                    ..
+                } => {
+                    let mut buf = BytesMut::with_capacity(8 + entries.len() * 20);
+                    entries.encode(&mut buf);
+                    let ts = entries
+                        .iter()
+                        .map(|e| e.ts)
+                        .max()
+                        .unwrap_or(Timestamp::ZERO);
+                    sample_ops.push(WriteOp::put(sample_key(*hop, *key), buf.freeze(), ts));
+                    if *caused_at > 0 {
+                        caused.push(*caused_at);
+                    }
+                }
+                SampleMsg::Evict { hop, key } => {
+                    sample_ops.push(WriteOp::delete(sample_key(*hop, *key), Timestamp::MAX));
+                }
+                SampleMsg::FeatureUpdate {
+                    vertex,
+                    feature,
+                    ts,
+                    caused_at,
+                    ..
+                } => {
+                    let mut buf = BytesMut::with_capacity(feature.len() * 4 + 8);
+                    feature.encode(&mut buf);
+                    feature_ops.push(WriteOp::put(feature_key(*vertex), buf.freeze(), *ts));
+                    if *caused_at > 0 {
+                        caused.push(*caused_at);
+                    }
+                }
+                SampleMsg::EvictFeature { vertex } => {
+                    feature_ops.push(WriteOp::delete(feature_key(*vertex), Timestamp::MAX));
+                }
             }
-            SampleMsg::Evict { hop, key } => {
-                let _ = self.samples.delete(&sample_key(*hop, *key), Timestamp::MAX);
-            }
-            SampleMsg::FeatureUpdate {
-                vertex,
-                feature,
-                ts,
-                caused_at,
-                ..
-            } => {
-                let mut buf = BytesMut::with_capacity(feature.len() * 4 + 8);
-                feature.encode(&mut buf);
-                let _ = self.features.put(&feature_key(*vertex), buf.freeze(), *ts);
-                self.record_ingestion(*caused_at);
-            }
-            SampleMsg::EvictFeature { vertex } => {
-                let _ = self.features.delete(&feature_key(*vertex), Timestamp::MAX);
-            }
+        }
+        if !sample_ops.is_empty() {
+            let _ = self.samples.write_batch(sample_ops);
+        }
+        if !feature_ops.is_empty() {
+            let _ = self.features.write_batch(feature_ops);
+        }
+        // Ingestion latency is "enqueue → visible in cache", so the stamps
+        // are recorded only after the batch has landed.
+        for at in caused {
+            self.record_ingestion(at);
         }
     }
 
@@ -276,24 +320,33 @@ impl ServingWorker {
         for hop_idx in 0..self.query.hops() {
             let _hop_span = span("serving.hop", ctx);
             let hop = QueryHopId(hop_idx as u16);
+            // One shard-grouped multi_get over the whole frontier: the
+            // sample table's shard locks are taken once per hop, not once
+            // per vertex.
+            let keys: Vec<[u8; 10]> = frontier.iter().map(|&v| sample_key(hop, v)).collect();
+            let values = self.samples.multi_get(&keys)?;
             let mut hs = HopSamples::default();
+            hs.groups.reserve(frontier.len());
             let mut next = Vec::new();
-            for &v in &frontier {
-                let children: Vec<VertexId> = match self.samples.get(&sample_key(hop, v))? {
+            let (mut hits, mut misses) = (0u64, 0u64);
+            for (&v, value) in frontier.iter().zip(values) {
+                let children: Vec<VertexId> = match value {
                     Some(raw) => {
-                        self.sample_hits.incr();
-                        Vec::<SampleEntryLite>::decode_from_slice(&raw)
-                            .map(|es| es.into_iter().map(|e| e.neighbor).collect())
-                            .unwrap_or_default()
+                        hits += 1;
+                        // Neighbors only — timestamps/weights are skipped
+                        // without materializing `Vec<SampleEntryLite>`.
+                        SampleEntryLite::decode_neighbors(&raw).unwrap_or_default()
                     }
                     None => {
-                        self.sample_misses.incr();
+                        misses += 1;
                         Vec::new()
                     }
                 };
                 next.extend(children.iter().copied());
                 hs.groups.push((v, children));
             }
+            self.sample_hits.add(hits);
+            self.sample_misses.add(misses);
             result.hops.push(hs);
             frontier = next;
             if frontier.is_empty() {
@@ -302,16 +355,26 @@ impl ServingWorker {
         }
         {
             let _feat_span = span("serving.features", ctx);
-            for v in result.all_vertices() {
-                if let Some(raw) = self.features.get(&feature_key(v))? {
-                    self.feature_hits.incr();
-                    if let Ok(f) = Vec::<f32>::decode_from_slice(&raw) {
-                        result.features.insert(v, f);
+            // `all_vertices` deduplicates, so a vertex sampled under many
+            // parents costs one feature lookup; the whole set is fetched
+            // with a single multi_get.
+            let vertices: Vec<VertexId> = result.all_vertices().into_iter().collect();
+            let keys: Vec<[u8; 8]> = vertices.iter().map(|&v| feature_key(v)).collect();
+            let values = self.features.multi_get(&keys)?;
+            let (mut hits, mut misses) = (0u64, 0u64);
+            for (v, value) in vertices.into_iter().zip(values) {
+                match value {
+                    Some(raw) => {
+                        hits += 1;
+                        if let Ok(f) = Vec::<f32>::decode_from_slice(&raw) {
+                            result.features.insert(v, f);
+                        }
                     }
-                } else {
-                    self.feature_misses.incr();
+                    None => misses += 1,
                 }
             }
+            self.feature_hits.add(hits);
+            self.feature_misses.add(misses);
         }
         self.serve_latency.record_duration(start.elapsed());
         self.served.incr();
@@ -330,24 +393,39 @@ impl ServingWorker {
     /// trace; the queue wait shows up as the gap between this span's
     /// start and its `serving.serve` child.
     pub fn serve_queued_traced(&self, seed: VertexId, parent: TraceCtx) -> Result<SampledSubgraph> {
+        // Per-caller reply channel, reused across requests from the same
+        // front-end thread so the queued-serve path allocates nothing per
+        // request. Safe because (a) the serve queue is drained even after
+        // `serve_tx` is dropped at shutdown (buffered messages survive
+        // sender disconnect), so every successfully-enqueued request gets
+        // exactly one reply, and (b) we receive that reply before the
+        // channel can be reused, so it is empty between requests.
+        thread_local! {
+            #[allow(clippy::type_complexity)]
+            static REPLY: (
+                crossbeam::channel::Sender<Result<SampledSubgraph>>,
+                crossbeam::channel::Receiver<Result<SampledSubgraph>>,
+            ) = crossbeam::channel::bounded(1);
+        }
         let root = if parent.is_active() {
             parent
         } else {
             TraceCtx::root()
         };
         let queue_span = span("serving.queue", root);
-        let (tx, rx) = crossbeam::channel::bounded(1);
-        {
-            let guard = self.serve_tx.read();
-            let sender = guard
-                .as_ref()
-                .ok_or(helios_types::HeliosError::ShuttingDown)?;
-            sender
-                .send((seed, queue_span.ctx(), tx))
-                .map_err(|_| helios_types::HeliosError::ShuttingDown)?;
-        }
-        rx.recv()
-            .map_err(|_| helios_types::HeliosError::Disconnected("serving thread".into()))?
+        REPLY.with(|(tx, rx)| {
+            {
+                let guard = self.serve_tx.read();
+                let sender = guard
+                    .as_ref()
+                    .ok_or(helios_types::HeliosError::ShuttingDown)?;
+                sender
+                    .send((seed, queue_span.ctx(), tx.clone()))
+                    .map_err(|_| helios_types::HeliosError::ShuttingDown)?;
+            }
+            rx.recv()
+                .map_err(|_| helios_types::HeliosError::Disconnected("serving thread".into()))?
+        })
     }
 
     /// Number of requests served.
@@ -358,6 +436,12 @@ impl ServingWorker {
     /// Number of sample-queue records applied.
     pub fn applied(&self) -> u64 {
         self.applied.get()
+    }
+
+    /// Number of sample-queue records that failed to decode (and were
+    /// therefore *not* applied).
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.get()
     }
 
     /// Sample-table cache lookups: (hits, misses).

@@ -16,7 +16,10 @@ pub struct BloomFilter {
     nbits: u64,
 }
 
-fn hash_pair(key: &[u8]) -> (u64, u64) {
+/// The two base hashes of `key` used for probing. Public so batched
+/// lookups can hash a key once and probe many filters (every SST of a
+/// shard shares the same key hashes).
+pub fn hash_pair(key: &[u8]) -> (u64, u64) {
     // Hash the key bytes in 8-byte words with two different seeds.
     let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
     let mut h2: u64 = 0x9e37_79b9_7f4a_7c15;
@@ -56,7 +59,13 @@ impl BloomFilter {
     /// Might the filter contain `key`? False positives possible, false
     /// negatives never.
     pub fn may_contain(&self, key: &[u8]) -> bool {
-        let (h1, h2) = hash_pair(key);
+        self.may_contain_hashed(hash_pair(key))
+    }
+
+    /// [`BloomFilter::may_contain`] with the base hashes precomputed via
+    /// [`hash_pair`] — the batched-lookup path hashes each key once and
+    /// probes every run's filter with the same pair.
+    pub fn may_contain_hashed(&self, (h1, h2): (u64, u64)) -> bool {
         for i in 0..NUM_PROBES {
             let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.nbits;
             if self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) == 0 {
@@ -140,6 +149,16 @@ mod tests {
     fn from_empty_words_rejects_without_panicking() {
         let f = BloomFilter::from_words(Vec::new());
         assert!(!f.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn hashed_probe_matches_keyed_probe() {
+        let keys: Vec<Vec<u8>> = (0..1000u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let f = BloomFilter::build(keys.iter().map(|k| k.as_slice()));
+        for i in 0..2000u64 {
+            let k = i.to_le_bytes();
+            assert_eq!(f.may_contain(&k), f.may_contain_hashed(hash_pair(&k)));
+        }
     }
 
     #[test]

@@ -30,4 +30,4 @@ pub mod sst;
 pub mod store;
 
 pub use bloom::BloomFilter;
-pub use store::{KvConfig, KvStats, KvStore};
+pub use store::{KvConfig, KvStats, KvStore, WriteOp};

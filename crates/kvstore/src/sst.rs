@@ -213,7 +213,14 @@ impl Sst {
 
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Result<Option<StoredValue>> {
-        if self.entries == 0 || !self.bloom.may_contain(key) {
+        self.get_hashed(key, crate::bloom::hash_pair(key))
+    }
+
+    /// Point lookup with the key's bloom hashes precomputed — the batched
+    /// read path hashes each key once and probes every run of the shard
+    /// with the same pair (bloom-first, so absent keys cost no I/O).
+    pub fn get_hashed(&self, key: &[u8], hashes: (u64, u64)) -> Result<Option<StoredValue>> {
+        if self.entries == 0 || !self.bloom.may_contain_hashed(hashes) {
             return Ok(None);
         }
         // Find the last indexed key <= target.

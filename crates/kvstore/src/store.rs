@@ -89,6 +89,95 @@ impl Shard {
             ssts: Vec::new(),
         }
     }
+
+    /// Memtable-then-SSTs point lookup; the caller holds the shard lock.
+    fn lookup(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        if let Some(sv) = self.memtable.get(key) {
+            return Ok(if sv.tombstone {
+                None
+            } else {
+                Some(sv.data.clone())
+            });
+        }
+        if self.ssts.is_empty() {
+            return Ok(None);
+        }
+        // Hash once, probe every run bloom-first (newest → oldest).
+        let hashes = crate::bloom::hash_pair(key);
+        for sst in &self.ssts {
+            if let Some(sv) = sst.get_hashed(key, hashes)? {
+                return Ok(if sv.tombstone { None } else { Some(sv.data) });
+            }
+        }
+        Ok(None)
+    }
+
+    /// Insert one entry, maintaining the byte accounting. Takes the key by
+    /// value so batched writers hand ownership straight to the memtable.
+    fn insert(&mut self, key: Vec<u8>, sv: StoredValue) {
+        let klen = key.len();
+        let add = klen + sv.footprint();
+        if let Some(old) = self.memtable.insert(key, sv) {
+            self.mem_bytes = self.mem_bytes.saturating_sub(old.footprint());
+            self.mem_bytes += add - klen;
+        } else {
+            self.mem_bytes += add;
+        }
+    }
+}
+
+/// One operation of a [`KvStore::write_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteOp {
+    /// Insert or overwrite a key.
+    Put {
+        /// Key bytes (owned: the memtable takes them without re-copying).
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Bytes,
+        /// Write timestamp (drives TTL expiry).
+        ts: Timestamp,
+    },
+    /// Delete a key (tombstone).
+    Delete {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Tombstone timestamp.
+        ts: Timestamp,
+    },
+}
+
+impl WriteOp {
+    /// A put operation.
+    pub fn put(key: impl Into<Vec<u8>>, value: Bytes, ts: Timestamp) -> Self {
+        WriteOp::Put {
+            key: key.into(),
+            value,
+            ts,
+        }
+    }
+
+    /// A delete (tombstone) operation.
+    pub fn delete(key: impl Into<Vec<u8>>, ts: Timestamp) -> Self {
+        WriteOp::Delete {
+            key: key.into(),
+            ts,
+        }
+    }
+
+    /// The key this operation touches.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            WriteOp::Put { key, .. } | WriteOp::Delete { key, .. } => key,
+        }
+    }
+
+    fn into_parts(self) -> (Vec<u8>, StoredValue) {
+        match self {
+            WriteOp::Put { key, value, ts } => (key, StoredValue::live(value, ts)),
+            WriteOp::Delete { key, ts } => (key, StoredValue::tombstone(ts)),
+        }
+    }
 }
 
 /// Sharded LSM-style KV store. All operations are `&self`; internal
@@ -121,14 +210,19 @@ impl KvStore {
     }
 
     #[inline]
-    fn shard_of(&self, key: &[u8]) -> &RwLock<Shard> {
+    fn shard_index(&self, key: &[u8]) -> usize {
         let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
         for chunk in key.chunks(8) {
             let mut w = [0u8; 8];
             w[..chunk.len()].copy_from_slice(chunk);
             h = fx_hash_u64(h ^ u64::from_le_bytes(w));
         }
-        &self.shards[(h % self.shards.len() as u64) as usize]
+        (h % self.shards.len() as u64) as usize
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &[u8]) -> &RwLock<Shard> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Insert or overwrite a key.
@@ -147,13 +241,7 @@ impl KvStore {
         let mut flush_needed = false;
         {
             let mut shard = shard_lock.write();
-            let add = key.len() + sv.footprint();
-            if let Some(old) = shard.memtable.insert(key.to_vec(), sv) {
-                shard.mem_bytes = shard.mem_bytes.saturating_sub(old.footprint());
-                shard.mem_bytes += add - key.len();
-            } else {
-                shard.mem_bytes += add;
-            }
+            shard.insert(key.to_vec(), sv);
             if self.config.dir.is_some() && shard.mem_bytes > self.config.memtable_budget {
                 flush_needed = true;
             }
@@ -164,22 +252,94 @@ impl KvStore {
         Ok(())
     }
 
-    /// Point lookup: memtable, then SSTs newest → oldest.
-    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
-        let shard = self.shard_of(key).read();
-        if let Some(sv) = shard.memtable.get(key) {
-            return Ok(if sv.tombstone {
-                None
-            } else {
-                Some(sv.data.clone())
-            });
+    /// Apply a batch of puts/deletes, taking each touched shard's write
+    /// lock exactly once. Operations on the same key apply in input order
+    /// (last write wins), matching a sequence of individual
+    /// [`KvStore::put`]/[`KvStore::delete`] calls.
+    pub fn write_batch(&self, ops: impl IntoIterator<Item = WriteOp>) -> Result<()> {
+        // Group by shard, preserving input order within each group.
+        let mut groups: Vec<Vec<WriteOp>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut any = false;
+        for op in ops {
+            groups[self.shard_index(op.key())].push(op);
+            any = true;
         }
-        for sst in &shard.ssts {
-            if let Some(sv) = sst.get(key)? {
-                return Ok(if sv.tombstone { None } else { Some(sv.data) });
+        if !any {
+            return Ok(());
+        }
+        for (idx, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard_lock = &self.shards[idx];
+            let mut flush_needed = false;
+            {
+                let mut shard = shard_lock.write();
+                for op in group {
+                    let (key, sv) = op.into_parts();
+                    shard.insert(key, sv);
+                }
+                if self.config.dir.is_some() && shard.mem_bytes > self.config.memtable_budget {
+                    flush_needed = true;
+                }
+            }
+            if flush_needed {
+                self.flush_shard(shard_lock)?;
             }
         }
-        Ok(None)
+        Ok(())
+    }
+
+    /// Point lookup: memtable, then SSTs newest → oldest.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        self.shard_of(key).read().lookup(key)
+    }
+
+    /// Batched point lookup: values come back in input order (duplicates
+    /// allowed), with keys grouped by shard so each shard's read lock is
+    /// taken at most once for the whole batch. Equivalent to — but much
+    /// cheaper than — `keys.map(|k| store.get(k))`; the equivalence is
+    /// property-tested in `tests/model.rs`.
+    pub fn multi_get<K: AsRef<[u8]>>(&self, keys: &[K]) -> Result<Vec<Option<Bytes>>> {
+        let mut out: Vec<Option<Bytes>> = vec![None; keys.len()];
+        if keys.is_empty() {
+            return Ok(out);
+        }
+        if self.shards.len() == 1 || keys.len() == 1 {
+            let shard = self.shard_of(keys[0].as_ref()).read();
+            // Single-shard fast path (also the keys.len() == 1 case:
+            // whatever shard the one key routes to).
+            if self.shards.len() == 1 {
+                for (slot, key) in out.iter_mut().zip(keys) {
+                    *slot = shard.lookup(key.as_ref())?;
+                }
+            } else {
+                out[0] = shard.lookup(keys[0].as_ref())?;
+            }
+            return Ok(out);
+        }
+        // (shard, input position), sorted so each shard forms one run.
+        let mut order: Vec<(u32, u32)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (self.shard_index(k.as_ref()) as u32, i as u32))
+            .collect();
+        order.sort_unstable();
+        let mut start = 0usize;
+        while start < order.len() {
+            let shard_idx = order[start].0;
+            let mut end = start + 1;
+            while end < order.len() && order[end].0 == shard_idx {
+                end += 1;
+            }
+            let shard = self.shards[shard_idx as usize].read();
+            for &(_, pos) in &order[start..end] {
+                out[pos as usize] = shard.lookup(keys[pos as usize].as_ref())?;
+            }
+            drop(shard);
+            start = end;
+        }
+        Ok(out)
     }
 
     /// Does the key exist (live)?
@@ -497,6 +657,106 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(kv.stats().mem_entries, 20_000);
+    }
+
+    #[test]
+    fn multi_get_orders_duplicates_and_cross_shard_keys() {
+        let kv = KvStore::open(KvConfig::in_memory(4)).unwrap();
+        for i in 0..64u64 {
+            kv.put(&key(i), Bytes::from(format!("v{i}")), Timestamp(i))
+                .unwrap();
+        }
+        // Duplicates, misses, and keys spread across all shards, out of order.
+        let keys: Vec<Vec<u8>> = vec![
+            key(9),
+            key(1),
+            key(999), // miss
+            key(9),   // duplicate
+            key(63),
+            key(0),
+            key(9), // duplicate again
+        ];
+        let got = kv.multi_get(&keys).unwrap();
+        let want: Vec<Option<Bytes>> = keys.iter().map(|k| kv.get(k).unwrap()).collect();
+        assert_eq!(got, want);
+        assert_eq!(got[0], Some(Bytes::from("v9")));
+        assert_eq!(got[2], None);
+        assert_eq!(got[0], got[3]);
+        assert_eq!(got[0], got[6]);
+    }
+
+    #[test]
+    fn multi_get_empty_and_single() {
+        let kv = KvStore::open(KvConfig::in_memory(4)).unwrap();
+        kv.put(&key(1), Bytes::from_static(b"one"), Timestamp(1))
+            .unwrap();
+        assert!(kv.multi_get::<Vec<u8>>(&[]).unwrap().is_empty());
+        let got = kv.multi_get(&[key(1)]).unwrap();
+        assert_eq!(got, vec![Some(Bytes::from_static(b"one"))]);
+    }
+
+    #[test]
+    fn multi_get_memtable_shadows_sst_and_sees_tombstones() {
+        let dir = tmpdir("mg-shadow");
+        let kv = KvStore::open(KvConfig::hybrid(2, 1 << 30, dir.clone())).unwrap();
+        kv.put(&key(1), Bytes::from_static(b"old1"), Timestamp(1))
+            .unwrap();
+        kv.put(&key(2), Bytes::from_static(b"old2"), Timestamp(1))
+            .unwrap();
+        kv.put(&key(3), Bytes::from_static(b"v3"), Timestamp(1))
+            .unwrap();
+        kv.flush().unwrap();
+        // key(1): newer memtable value shadows the SST; key(2): tombstone
+        // in the memtable shadows the SST; key(3): only in the SST.
+        kv.put(&key(1), Bytes::from_static(b"new1"), Timestamp(2))
+            .unwrap();
+        kv.delete(&key(2), Timestamp(2)).unwrap();
+        let got = kv.multi_get(&[key(1), key(2), key(3)]).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                Some(Bytes::from_static(b"new1")),
+                None,
+                Some(Bytes::from_static(b"v3")),
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_batch_applies_in_input_order() {
+        let kv = KvStore::open(KvConfig::in_memory(4)).unwrap();
+        kv.write_batch(vec![
+            WriteOp::put(key(1), Bytes::from_static(b"a"), Timestamp(1)),
+            WriteOp::put(key(2), Bytes::from_static(b"b"), Timestamp(1)),
+            WriteOp::delete(key(1), Timestamp(2)),
+            WriteOp::put(key(3), Bytes::from_static(b"c"), Timestamp(1)),
+            WriteOp::put(key(2), Bytes::from_static(b"b2"), Timestamp(2)),
+        ])
+        .unwrap();
+        // Last write wins per key, exactly like sequential put/delete.
+        assert!(kv.get(&key(1)).unwrap().is_none());
+        assert_eq!(kv.get(&key(2)).unwrap().unwrap(), Bytes::from_static(b"b2"));
+        assert_eq!(kv.get(&key(3)).unwrap().unwrap(), Bytes::from_static(b"c"));
+        // Empty batch is a no-op.
+        kv.write_batch(Vec::new()).unwrap();
+        assert_eq!(kv.stats().mem_entries, 3);
+    }
+
+    #[test]
+    fn write_batch_triggers_flush_over_budget() {
+        let dir = tmpdir("wb-flush");
+        let kv = KvStore::open(KvConfig::hybrid(2, 4096, dir.clone())).unwrap();
+        let ops: Vec<WriteOp> = (0..500u64)
+            .map(|i| WriteOp::put(key(i), Bytes::from(vec![0u8; 64]), Timestamp(i)))
+            .collect();
+        kv.write_batch(ops).unwrap();
+        let st = kv.stats();
+        assert!(st.sst_files > 0, "budget overflow must trigger flushes");
+        for i in (0..500).step_by(37) {
+            assert!(kv.get(&key(i)).unwrap().is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

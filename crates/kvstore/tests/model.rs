@@ -3,7 +3,7 @@
 //! delete, flush and compact — in memory mode and hybrid (disk) mode.
 
 use bytes::Bytes;
-use helios_kvstore::{KvConfig, KvStore};
+use helios_kvstore::{KvConfig, KvStore, WriteOp};
 use helios_types::Timestamp;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -13,6 +13,12 @@ enum Op {
     Put(u16, Vec<u8>),
     Delete(u16),
     Get(u16),
+    /// Batched lookup over possibly-duplicate, cross-shard keys; must
+    /// agree with per-key `get` in input order.
+    MultiGet(Vec<u16>),
+    /// Batched writes; `None` value = delete. Must apply in input order
+    /// (last write per key wins), exactly like sequential put/delete.
+    WriteBatch(Vec<(u16, Option<Vec<u8>>)>),
     Flush,
     Compact,
 }
@@ -22,6 +28,20 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         4 => (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..24)).prop_map(|(k, v)| Op::Put(k % 64, v)),
         2 => any::<u16>().prop_map(|k| Op::Delete(k % 64)),
         3 => any::<u16>().prop_map(|k| Op::Get(k % 64)),
+        2 => proptest::collection::vec(any::<u16>().prop_map(|k| k % 64), 0..20)
+            .prop_map(Op::MultiGet),
+        2 => proptest::collection::vec(
+            (any::<u16>().prop_map(|k| k % 64),
+             any::<bool>(),
+             proptest::collection::vec(any::<u8>(), 0..16)),
+            0..16,
+        )
+        .prop_map(|entries| Op::WriteBatch(
+            entries
+                .into_iter()
+                .map(|(k, is_put, v)| (k, is_put.then_some(v)))
+                .collect(),
+        )),
         1 => Just(Op::Flush),
         1 => Just(Op::Compact),
     ]
@@ -46,6 +66,39 @@ fn run_model(kv: &KvStore, ops: &[Op], allow_compact: bool) {
                 let got = kv.get(&k.to_be_bytes()).unwrap();
                 let want = model.get(k).map(|v| Bytes::from(v.clone()));
                 assert_eq!(got, want, "get({k}) diverged after {ts} ops");
+            }
+            Op::MultiGet(ks) => {
+                let keys: Vec<[u8; 2]> = ks.iter().map(|k| k.to_be_bytes()).collect();
+                let got = kv.multi_get(&keys).unwrap();
+                // multi_get(keys) ≡ keys.map(get), in input order.
+                let want: Vec<Option<Bytes>> = keys.iter().map(|k| kv.get(k).unwrap()).collect();
+                assert_eq!(got, want, "multi_get({ks:?}) diverged after {ts} ops");
+                let model_want: Vec<Option<Bytes>> = ks
+                    .iter()
+                    .map(|k| model.get(k).map(|v| Bytes::from(v.clone())))
+                    .collect();
+                assert_eq!(got, model_want, "multi_get({ks:?}) diverged from model");
+            }
+            Op::WriteBatch(entries) => {
+                let mut ops = Vec::with_capacity(entries.len());
+                for (k, v) in entries {
+                    ts += 1;
+                    match v {
+                        Some(v) => {
+                            ops.push(WriteOp::put(
+                                k.to_be_bytes().to_vec(),
+                                Bytes::from(v.clone()),
+                                Timestamp(ts),
+                            ));
+                            model.insert(*k, v.clone());
+                        }
+                        None => {
+                            ops.push(WriteOp::delete(k.to_be_bytes().to_vec(), Timestamp(ts)));
+                            model.remove(k);
+                        }
+                    }
+                }
+                kv.write_batch(ops).unwrap();
             }
             Op::Flush => kv.flush().unwrap(),
             Op::Compact => {
@@ -84,6 +137,23 @@ proptest! {
         let kv = KvStore::open(KvConfig::hybrid(2, 256, dir.clone())).unwrap();
         run_model(&kv, &ops, true);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The batched read path must be observationally identical to the
+    /// point-lookup path: `multi_get(keys) ≡ keys.map(get)` over a random
+    /// workload of puts, deletes, flushes, and duplicate query keys.
+    #[test]
+    fn multi_get_equals_sequential_gets(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        query in proptest::collection::vec(any::<u16>().prop_map(|k| k % 64), 0..64),
+    ) {
+        let kv = KvStore::open(KvConfig::in_memory(4)).unwrap();
+        run_model(&kv, &ops, true);
+        let keys: Vec<[u8; 2]> = query.iter().map(|k| k.to_be_bytes()).collect();
+        let batched = kv.multi_get(&keys).unwrap();
+        let sequential: Vec<Option<Bytes>> =
+            keys.iter().map(|k| kv.get(k).unwrap()).collect();
+        prop_assert_eq!(batched, sequential);
     }
 }
 
