@@ -86,8 +86,13 @@ impl HeliosBench {
     /// last owner.
     pub fn shutdown(self) {
         if helios_telemetry::stats_env() {
+            let snap = self.deployment.telemetry_snapshot();
             println!("--- telemetry snapshot (HELIOS_STATS=1) ---");
-            print!("{}", self.deployment.telemetry_snapshot().render());
+            print!("{}", snap.render());
+            println!(
+                "serving.decode_errors total: {}",
+                snap.counter_total("serving.decode_errors")
+            );
         }
         if let Ok(d) = Arc::try_unwrap(self.deployment) {
             d.shutdown();
@@ -102,12 +107,20 @@ pub fn setup_helios(
     scale: f64,
     strategy: SamplingStrategy,
     three_hop: bool,
-    config: HeliosConfig,
+    mut config: HeliosConfig,
 ) -> HeliosBench {
     let dataset = preset.dataset(scale);
     let query = dataset.table2_query(strategy, three_hop);
+    // `HELIOS_OPS_ADDR=127.0.0.1:9100` exposes /metrics etc. for the
+    // duration of the experiment (unless the caller already set one).
+    if config.ops_addr.is_none() {
+        config.ops_addr = helios_telemetry::ops_addr_env();
+    }
     let deployment =
         Arc::new(HeliosDeployment::start(config, query.clone()).expect("start helios"));
+    if let Some(addr) = deployment.ops_addr() {
+        println!("ops server listening on http://{addr}");
+    }
     let events: Vec<GraphUpdate> = dataset.events().collect();
     let t0 = Instant::now();
     deployment.ingest_batch(&events).expect("ingest");

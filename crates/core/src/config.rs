@@ -1,8 +1,37 @@
 //! Deployment configuration.
 
 use helios_graphstore::PartitionPolicy;
+use helios_telemetry::SloConfig;
 use std::path::PathBuf;
 use std::time::Duration;
+
+/// Configuration of the end-to-end freshness probe (see
+/// `HeliosDeployment`): the coordinator periodically injects a marker
+/// vertex update at ingestion and measures how long until it is visible
+/// from the owning serving worker's cache.
+#[derive(Debug, Clone)]
+pub struct FreshnessConfig {
+    /// How often a marker is injected.
+    pub interval: Duration,
+    /// How long one probe waits for its marker before counting a timeout.
+    pub probe_timeout: Duration,
+    /// Reserved vertex id used for markers. Pick an id outside the
+    /// workload's vertex space so probes never collide with real data.
+    pub marker_vertex: u64,
+    /// Freshness SLO (objective + burn-rate windows) fed by the probes.
+    pub slo: SloConfig,
+}
+
+impl Default for FreshnessConfig {
+    fn default() -> Self {
+        FreshnessConfig {
+            interval: Duration::from_millis(100),
+            probe_timeout: Duration::from_secs(2),
+            marker_vertex: u64::MAX - 1,
+            slo: SloConfig::default(),
+        }
+    }
+}
 
 /// Configuration for a [`crate::HeliosDeployment`].
 #[derive(Debug, Clone)]
@@ -47,6 +76,28 @@ pub struct HeliosConfig {
     /// consumer lag, shard mailbox depth, cache sizes); `None` disables
     /// the stats reporter thread.
     pub stats_interval: Option<Duration>,
+    /// Bind address for the deployment's embedded ops HTTP server
+    /// (`/metrics`, `/healthz`, `/vars`, `/trace/*`, `/recorder`); `None`
+    /// (the default) disables it. Use port `0` for an ephemeral port.
+    /// The `HELIOS_OPS_ADDR` env var feeds this in the examples/bench.
+    pub ops_addr: Option<String>,
+    /// End-to-end freshness probing; `None` (the default) disables it.
+    /// Probes continuously inject marker updates, so quiesce-based tests
+    /// should leave this off.
+    pub freshness: Option<FreshnessConfig>,
+    /// Capacity of the flight-recorder event ring (always on; a few KB).
+    pub flight_recorder_capacity: usize,
+    /// Directory anomaly flight dumps are written to; `None` keeps the
+    /// ring in memory only (still visible via the ops server).
+    pub flight_dump_dir: Option<PathBuf>,
+    /// `/healthz`: max per-(group, topic) consumer lag considered healthy.
+    pub health_max_lag: u64,
+    /// `/healthz`: max total sampling-shard mailbox backlog considered
+    /// healthy.
+    pub health_max_backlog: usize,
+    /// Decode errors per stats tick that count as a spike and trigger a
+    /// flight-recorder anomaly dump.
+    pub decode_error_spike: u64,
 }
 
 impl Default for HeliosConfig {
@@ -67,6 +118,13 @@ impl Default for HeliosConfig {
             cache_shards: 4,
             cache_memtable_budget: 16 << 20,
             stats_interval: Some(Duration::from_millis(500)),
+            ops_addr: None,
+            freshness: None,
+            flight_recorder_capacity: 4096,
+            flight_dump_dir: None,
+            health_max_lag: 100_000,
+            health_max_backlog: 100_000,
+            decode_error_spike: 100,
         }
     }
 }
@@ -110,6 +168,23 @@ impl HeliosConfig {
                 "stats interval must be positive (or None to disable)".into(),
             ));
         }
+        if let Some(f) = &self.freshness {
+            if f.interval.is_zero() || f.probe_timeout.is_zero() {
+                return Err(InvalidConfig(
+                    "freshness interval and probe timeout must be positive".into(),
+                ));
+            }
+        }
+        if self.flight_recorder_capacity == 0 {
+            return Err(InvalidConfig(
+                "flight recorder needs a positive capacity".into(),
+            ));
+        }
+        if self.decode_error_spike == 0 {
+            return Err(InvalidConfig(
+                "decode-error spike threshold must be positive".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -143,6 +218,14 @@ mod tests {
             |c: &mut HeliosConfig| c.sample_queue_partitions = 0,
             |c: &mut HeliosConfig| c.poll_batch = 0,
             |c: &mut HeliosConfig| c.stats_interval = Some(Duration::ZERO),
+            |c: &mut HeliosConfig| {
+                c.freshness = Some(FreshnessConfig {
+                    interval: Duration::ZERO,
+                    ..Default::default()
+                })
+            },
+            |c: &mut HeliosConfig| c.flight_recorder_capacity = 0,
+            |c: &mut HeliosConfig| c.decode_error_spike = 0,
         ] {
             let mut c = HeliosConfig::default();
             f(&mut c);

@@ -1,7 +1,7 @@
 //! Wiring a full Helios deployment (Fig. 5) in one process, with threads
 //! standing in for machines.
 
-use crate::config::HeliosConfig;
+use crate::config::{FreshnessConfig, HeliosConfig};
 use crate::coordinator::Coordinator;
 use crate::messages::UpdateEnvelope;
 use crate::sampler::{topics, SamplerMetrics, SamplingWorker};
@@ -9,14 +9,32 @@ use crate::serving::ServingWorker;
 use helios_graphstore::PartitionPolicy;
 use helios_mq::{Broker, TopicConfig};
 use helios_query::{KHopQuery, SampledSubgraph};
-use helios_telemetry::{span, Registry, RegistrySnapshot, StatsReporter, TraceCtx};
+use helios_telemetry::{
+    span, EventKind, FlightRecorder, HealthReport, OpsServer, OpsState, Registry,
+    RegistrySnapshot, SloTracker, StatsReporter, TraceCtx,
+};
 use helios_types::{
     hash::route, Encode, GraphUpdate, HeliosError, PartitionId, Result, SamplingWorkerId,
-    ServingWorkerId, Timestamp, VertexId,
+    ServingWorkerId, Timestamp, VertexId, VertexUpdate,
 };
 use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Stops the freshness-probe thread on drop.
+struct FreshnessProber {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for FreshnessProber {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
 
 /// Stops the periodic checkpoint trigger on drop.
 pub struct CheckpointGuard {
@@ -50,6 +68,15 @@ pub struct HeliosDeployment {
     telemetry: Arc<Registry>,
     /// Periodic pipeline-lag monitor; `None` when disabled by config.
     reporter: Option<StatsReporter>,
+    /// Always-on ring of recent pipeline events, dumped on anomalies.
+    recorder: Arc<FlightRecorder>,
+    /// End-to-end freshness SLO fed by the prober (empty when probing is
+    /// disabled; burn rates read 0 with no samples).
+    slo: Arc<SloTracker>,
+    /// Marker-injection thread; `None` when freshness probing is off.
+    prober: Option<FreshnessProber>,
+    /// Embedded ops HTTP server; `None` unless `config.ops_addr` is set.
+    ops: Option<OpsServer>,
 }
 
 impl HeliosDeployment {
@@ -91,6 +118,15 @@ impl HeliosDeployment {
 
         // Serving workers first so sample topics have consumers early.
         let telemetry = Arc::new(Registry::new());
+        let recorder = FlightRecorder::new(config.flight_recorder_capacity);
+        recorder.set_dump_dir(config.flight_dump_dir.clone());
+        let slo = Arc::new(SloTracker::new(
+            config
+                .freshness
+                .as_ref()
+                .map(|f| f.slo.clone())
+                .unwrap_or_default(),
+        ));
         let replicas = config.serving_replicas as u32;
         let mut serving = Vec::with_capacity((n * replicas) as usize);
         for s in 0..n {
@@ -104,6 +140,7 @@ impl HeliosDeployment {
                     &broker,
                     beacon,
                     &telemetry,
+                    &recorder,
                 )?);
             }
         }
@@ -118,6 +155,7 @@ impl HeliosDeployment {
                 &broker,
                 beacon,
                 &telemetry,
+                &recorder,
             )?;
             if let Some(dir) = restore_dir {
                 worker.restore(dir)?;
@@ -126,8 +164,40 @@ impl HeliosDeployment {
         }
 
         let reporter = config.stats_interval.map(|interval| {
-            Self::start_stats_reporter(interval, &telemetry, &broker, &sampling, &serving)
+            Self::start_stats_reporter(
+                interval,
+                &config,
+                &telemetry,
+                &broker,
+                &sampling,
+                &serving,
+                &recorder,
+                &slo,
+            )
         });
+
+        let prober = config.freshness.clone().map(|fc| {
+            Self::start_prober(
+                fc,
+                &query,
+                &config,
+                &updates_topic,
+                &serving,
+                &telemetry,
+                &slo,
+                &recorder,
+            )
+        });
+
+        let ops = match &config.ops_addr {
+            Some(addr) => Some(
+                Self::start_ops_server(
+                    addr, &config, &telemetry, &broker, &sampling, &serving, &recorder,
+                )
+                .map_err(HeliosError::Io)?,
+            ),
+            None => None,
+        };
 
         Ok(HeliosDeployment {
             config,
@@ -139,7 +209,212 @@ impl HeliosDeployment {
             replica_rr: std::sync::atomic::AtomicU64::new(0),
             telemetry,
             reporter,
+            recorder,
+            slo,
+            prober,
+            ops,
         })
+    }
+
+    /// Spawn the freshness prober: every `interval` it injects a marker
+    /// vertex update at the front of the pipeline (a seed-typed vertex
+    /// whose feature encodes the probe sequence number) and then polls
+    /// the owning serving worker until the marker's feature is visible
+    /// from its cache. The measured update-to-visible latency feeds the
+    /// `e2e.freshness` histogram and the deployment's SLO tracker.
+    #[allow(clippy::too_many_arguments)]
+    fn start_prober(
+        fc: FreshnessConfig,
+        query: &KHopQuery,
+        config: &HeliosConfig,
+        updates_topic: &Arc<helios_mq::Topic>,
+        serving: &[Arc<ServingWorker>],
+        telemetry: &Arc<Registry>,
+        slo: &Arc<SloTracker>,
+        recorder: &Arc<FlightRecorder>,
+    ) -> FreshnessProber {
+        let seed_type = query.seed_type();
+        let m = config.sampling_workers;
+        let replicas = config.serving_replicas;
+        let n_logical = serving.len() / replicas;
+        let marker = VertexId(fc.marker_vertex);
+        // Markers route like any seed: probe the replica-0 worker of the
+        // owning logical serving worker.
+        let target = Arc::clone(&serving[route(marker.raw(), n_logical) * replicas]);
+        let updates_topic = Arc::clone(updates_topic);
+        let freshness = telemetry.histogram("e2e.freshness", &[]);
+        let timeouts = telemetry.counter("e2e.freshness_timeouts", &[]);
+        let probes = telemetry.counter("e2e.freshness_probes", &[]);
+        let slo = Arc::clone(slo);
+        let recorder = Arc::clone(recorder);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("helios-freshness-probe".into())
+            .spawn(move || {
+                let mut seq: u64 = 0;
+                while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                    seq += 1;
+                    // Feature value = sequence number, so visibility of
+                    // *this* probe (not an older one) is checkable. f32
+                    // is exact below 2^24 — far beyond any probe count.
+                    let expect = seq as f32;
+                    let update = GraphUpdate::Vertex(VertexUpdate {
+                        vtype: seed_type,
+                        id: marker,
+                        feature: vec![expect],
+                        ts: Timestamp(seq),
+                    });
+                    let env = UpdateEnvelope::stamp(update);
+                    let partition = PartitionId(route(marker.raw(), m) as u32);
+                    let injected = Instant::now();
+                    if updates_topic
+                        .produce_to(partition, marker.raw(), env.encode_to_bytes())
+                        .is_err()
+                    {
+                        break; // broker shutting down
+                    }
+                    probes.incr();
+                    let deadline = injected + fc.probe_timeout;
+                    let mut visible = false;
+                    while Instant::now() < deadline
+                        && !stop2.load(std::sync::atomic::Ordering::Relaxed)
+                    {
+                        let seen = target.serve(marker).ok().and_then(|g| {
+                            g.features.get(&marker).and_then(|f| f.first().copied())
+                        });
+                        if seen == Some(expect) {
+                            visible = true;
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    let elapsed = injected.elapsed();
+                    let latency_ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+                    if visible {
+                        freshness.record(latency_ns);
+                        slo.record(latency_ns);
+                        recorder.record(EventKind::FreshnessProbe, u32::MAX, seq, latency_ns, 0);
+                    } else if !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                        timeouts.incr();
+                        // Timeouts burn the SLO budget at the timeout bound.
+                        slo.record(latency_ns.max(1));
+                        recorder.record(EventKind::FreshnessProbe, u32::MAX, seq, 0, 1);
+                    }
+                    let wake = injected + fc.interval;
+                    while Instant::now() < wake
+                        && !stop2.load(std::sync::atomic::Ordering::Relaxed)
+                    {
+                        std::thread::sleep(Duration::from_millis(1).min(fc.interval));
+                    }
+                }
+            })
+            .expect("spawn freshness prober");
+        FreshnessProber {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Bind the embedded ops HTTP server: `/metrics` (Prometheus text),
+    /// `/healthz` (component probes below), `/vars`, `/trace/start|stop`
+    /// and `/recorder`. Health probes: per-(group, topic) mq consumer lag
+    /// bounded, total sampling-shard mailbox backlog bounded, kvstore
+    /// memtables within flush bounds, and the pipeline drain deficit
+    /// (produced − consumed over all stages, the quiesce equation)
+    /// bounded.
+    fn start_ops_server(
+        addr: &str,
+        config: &HeliosConfig,
+        telemetry: &Arc<Registry>,
+        broker: &Arc<Broker>,
+        sampling: &[SamplingWorker],
+        serving: &[Arc<ServingWorker>],
+        recorder: &Arc<FlightRecorder>,
+    ) -> std::io::Result<OpsServer> {
+        let registry = Arc::clone(telemetry);
+        let mut state = OpsState::new(move || registry.snapshot()).recorder(Arc::clone(recorder));
+
+        let max_lag = config.health_max_lag;
+        let lag_broker = Arc::clone(broker);
+        state = state.probe(move || {
+            let report = lag_broker.lag_report();
+            let worst = report.iter().max_by_key(|e| e.lag);
+            match worst {
+                Some(e) if e.lag > max_lag => HealthReport::new(
+                    "mq",
+                    false,
+                    format!("lag {} on {}/{} (bound {max_lag})", e.lag, e.group, e.topic),
+                ),
+                Some(e) => HealthReport::new(
+                    "mq",
+                    true,
+                    format!("max lag {} (bound {max_lag})", e.lag),
+                ),
+                None => HealthReport::new("mq", true, "no consumers"),
+            }
+        });
+
+        let max_backlog = config.health_max_backlog;
+        let backlogs: Vec<_> = sampling.iter().map(|w| w.backlog_probe()).collect();
+        state = state.probe(move || {
+            let total: usize = backlogs.iter().map(|p| p()).sum();
+            HealthReport::new(
+                "sampler",
+                total <= max_backlog,
+                format!("mailbox backlog {total} (bound {max_backlog})"),
+            )
+        });
+
+        // Memtables persistently far above budget mean flushes are not
+        // keeping up. Purely in-memory caches have no flush stage, so the
+        // probe only reports their size.
+        let flush_bounded = config.cache_dir.is_some();
+        let mem_bound = (config.cache_memtable_budget * config.cache_shards * 4) as u64;
+        let kv_serving: Vec<Arc<ServingWorker>> = serving.iter().map(Arc::clone).collect();
+        state = state.probe(move || {
+            let mem: u64 = kv_serving
+                .iter()
+                .map(|w| {
+                    let (s, f) = w.cache_stats();
+                    s.mem_bytes as u64 + f.mem_bytes as u64
+                })
+                .sum();
+            if flush_bounded {
+                HealthReport::new(
+                    "kvstore",
+                    mem <= mem_bound * kv_serving.len() as u64,
+                    format!("memtable bytes {mem} (flush backlog bound {mem_bound}/worker)"),
+                )
+            } else {
+                HealthReport::new("kvstore", true, format!("in-memory, {mem} bytes"))
+            }
+        });
+
+        let drain_broker = Arc::clone(broker);
+        let drain_sampling: Vec<(Arc<SamplerMetrics>, Box<dyn Fn() -> usize + Send + Sync>)> =
+            sampling
+                .iter()
+                .map(|w| (Arc::clone(w.metrics()), Box::new(w.backlog_probe()) as _))
+                .collect();
+        let drain_serving: Vec<Arc<ServingWorker>> = serving.iter().map(Arc::clone).collect();
+        let drain_replicas = config.serving_replicas as u64;
+        let drain_bound = config.health_max_backlog as u64;
+        state = state.probe(move || {
+            let deficit = drain_deficit(
+                &drain_broker,
+                &drain_sampling,
+                &drain_serving,
+                drain_replicas,
+            );
+            HealthReport::new(
+                "pipeline",
+                deficit <= drain_bound,
+                format!("drain deficit {deficit} (bound {drain_bound})"),
+            )
+        });
+
+        OpsServer::start(addr, state)
     }
 
     /// Spawn the periodic pipeline-lag monitor: every `interval` it
@@ -147,13 +422,19 @@ impl HeliosDeployment {
     /// `actor.mailbox_depth{worker}` (sampling-shard backlog) and
     /// `kvstore.*{worker,replica,table}` (cache memtable/SST sizes) in
     /// the telemetry registry, so a snapshot at any moment shows where
-    /// the update pipeline is backed up.
+    /// the update pipeline is backed up. The tick also feeds the flight
+    /// recorder (lag samples, flush observations) and raises anomalies —
+    /// decode-error spikes and SLO fast-burn — that dump the ring.
+    #[allow(clippy::too_many_arguments)]
     fn start_stats_reporter(
         interval: Duration,
+        config: &HeliosConfig,
         telemetry: &Arc<Registry>,
         broker: &Arc<Broker>,
         sampling: &[SamplingWorker],
         serving: &[Arc<ServingWorker>],
+        recorder: &Arc<FlightRecorder>,
+        slo: &Arc<SloTracker>,
     ) -> StatsReporter {
         let registry = Arc::clone(telemetry);
         let broker = Arc::clone(broker);
@@ -162,22 +443,36 @@ impl HeliosDeployment {
             .map(|w| (w.id().0.to_string(), Box::new(w.backlog_probe()) as _))
             .collect();
         let serving: Vec<Arc<ServingWorker>> = serving.iter().map(Arc::clone).collect();
+        let recorder = Arc::clone(recorder);
+        let slo = Arc::clone(slo);
+        let spike = config.decode_error_spike;
+        let mut last_flushes = 0u64;
+        let mut last_decode = 0u64;
+        let mut burning = false;
         StatsReporter::start("helios-stats", interval, move || {
+            let (mut total_lag, mut max_lag) = (0u64, 0u64);
             for e in broker.lag_report() {
                 registry
                     .gauge("mq.lag", &[("group", &e.group), ("topic", &e.topic)])
                     .set(e.lag as i64);
+                total_lag += e.lag;
+                max_lag = max_lag.max(e.lag);
             }
+            recorder.record(EventKind::LagSample, u32::MAX, total_lag, max_lag, 0);
             for (worker, probe) in &probes {
                 registry
                     .gauge("actor.mailbox_depth", &[("worker", worker)])
                     .set(probe() as i64);
             }
+            let mut flushes = 0u64;
+            let mut decode = 0u64;
             for w in &serving {
+                decode += w.decode_errors();
                 let sw = w.id().0.to_string();
                 let r = w.replica().to_string();
                 let (s, f) = w.cache_stats();
                 for (table, st) in [("samples", s), ("features", f)] {
+                    flushes += st.flushes as u64;
                     let labels: &[(&str, &str)] =
                         &[("worker", &sw), ("replica", &r), ("table", table)];
                     registry
@@ -200,6 +495,42 @@ impl HeliosDeployment {
                         .set(st.compactions as i64);
                 }
             }
+            if flushes > last_flushes {
+                recorder.record(EventKind::Flush, u32::MAX, flushes - last_flushes, flushes, 0);
+            }
+            last_flushes = flushes;
+            // A burst of decode errors within one tick is an anomaly
+            // worth a ring dump: something upstream is emitting garbage.
+            if decode.saturating_sub(last_decode) >= spike {
+                recorder.anomaly(
+                    EventKind::DecodeError,
+                    u32::MAX,
+                    decode - last_decode,
+                    decode,
+                    0,
+                );
+            }
+            last_decode = decode;
+            // Freshness SLO burn rates as gauges (×1000: gauges are
+            // integers); anomaly on the rising edge of a fast burn.
+            let short = slo.short_burn();
+            let long = slo.long_burn();
+            registry
+                .gauge("e2e.slo_burn_short", &[])
+                .set((short * 1000.0) as i64);
+            registry
+                .gauge("e2e.slo_burn_long", &[])
+                .set((long * 1000.0) as i64);
+            if short > 1.0 && !burning {
+                recorder.anomaly(
+                    EventKind::SloBurn,
+                    u32::MAX,
+                    (short * 1000.0) as u64,
+                    (long * 1000.0) as u64,
+                    0,
+                );
+            }
+            burning = short > 1.0;
         })
     }
 
@@ -227,6 +558,24 @@ impl HeliosDeployment {
     /// A merged snapshot of every instrument in the deployment.
     pub fn telemetry_snapshot(&self) -> RegistrySnapshot {
         self.telemetry.snapshot()
+    }
+
+    /// The deployment's flight recorder (always on).
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// The end-to-end freshness SLO tracker. Only fed while freshness
+    /// probing is configured; otherwise empty (burn rates read 0).
+    pub fn freshness_slo(&self) -> &Arc<SloTracker> {
+        &self.slo
+    }
+
+    /// Bound address of the embedded ops HTTP server, when one is
+    /// running (`config.ops_addr`). With port `0`, this is where the
+    /// ephemeral port shows up.
+    pub fn ops_addr(&self) -> Option<std::net::SocketAddr> {
+        self.ops.as_ref().map(OpsServer::addr)
     }
 
     /// Serving worker handles.
@@ -443,6 +792,21 @@ impl HeliosDeployment {
             last_fingerprint = fingerprint;
             std::thread::sleep(Duration::from_millis(2));
         }
+        // Failed to drain: dump the flight ring with the remaining
+        // deficit so the stuck stage is identifiable post-hoc.
+        let sampling: Vec<(Arc<SamplerMetrics>, Box<dyn Fn() -> usize + Send + Sync>)> = self
+            .sampling
+            .iter()
+            .map(|w| (Arc::clone(w.metrics()), Box::new(w.backlog_probe()) as _))
+            .collect();
+        let deficit = drain_deficit(
+            &self.broker,
+            &sampling,
+            &self.serving,
+            self.config.serving_replicas as u64,
+        );
+        self.recorder
+            .anomaly(EventKind::QuiesceFailed, u32::MAX, deficit, 0, 0);
         false
     }
 
@@ -453,8 +817,14 @@ impl HeliosDeployment {
 
     /// Stop all workers. Serving caches stay readable until drop.
     pub fn shutdown(mut self) {
-        // Stop the lag monitor before the workers it observes.
-        drop(self.reporter.take());
+        // Stop the prober and ops server, then the lag monitor — all
+        // before the workers they observe. Stopping the reporter flushes
+        // one final tick so the last interval's gauges are current.
+        drop(self.prober.take());
+        drop(self.ops.take());
+        if let Some(r) = self.reporter.take() {
+            r.stop();
+        }
         for w in self.sampling.drain(..) {
             w.shutdown();
         }
@@ -476,4 +846,47 @@ impl HeliosDeployment {
         }
         Ok(())
     }
+}
+
+/// The quiesce drain equation as a single number: messages produced but
+/// not yet consumed across all pipeline stages (updates, control, sample
+/// queues × replicas) plus the sampling-shard mailbox backlog. Zero means
+/// fully drained; a live pipeline under load sits at a small positive
+/// value.
+fn drain_deficit(
+    broker: &Broker,
+    sampling: &[(Arc<SamplerMetrics>, Box<dyn Fn() -> usize + Send + Sync>)],
+    serving: &[Arc<ServingWorker>],
+    replicas: u64,
+) -> u64 {
+    let updates_end = broker
+        .topic(topics::UPDATES)
+        .map(|t| t.total_end_offset())
+        .unwrap_or(0);
+    let control_end = broker
+        .topic(topics::CONTROL)
+        .map(|t| t.total_end_offset())
+        .unwrap_or(0);
+    let n_logical = serving.len() as u64 / replicas.max(1);
+    let samples_end: u64 = (0..n_logical as u32)
+        .map(|s| {
+            broker
+                .topic(&topics::samples(s))
+                .map(|t| t.total_end_offset())
+                .unwrap_or(0)
+        })
+        .sum();
+    let mut updates_done = 0u64;
+    let mut control_done = 0u64;
+    let mut backlog = 0u64;
+    for (m, probe) in sampling {
+        updates_done += m.updates_processed.get();
+        control_done += m.control_processed.get();
+        backlog += probe() as u64;
+    }
+    let applied: u64 = serving.iter().map(|s| s.applied() + s.decode_errors()).sum();
+    updates_end.saturating_sub(updates_done)
+        + control_end.saturating_sub(control_done)
+        + (samples_end * replicas).saturating_sub(applied)
+        + backlog
 }

@@ -50,7 +50,7 @@ pub mod report;
 pub mod sampler;
 pub mod serving;
 
-pub use config::HeliosConfig;
+pub use config::{FreshnessConfig, HeliosConfig};
 pub use coordinator::Coordinator;
 pub use deployment::HeliosDeployment;
 pub use messages::{ControlMsg, SampleEntryLite, SampleMsg, UpdateEnvelope};

@@ -15,6 +15,8 @@ pub struct ServingReport {
     pub served: u64,
     /// Sample-queue records applied to the cache.
     pub applied: u64,
+    /// Sample-queue records that failed to decode (not applied).
+    pub decode_errors: u64,
     /// Serving latency, milliseconds.
     pub serve_avg_ms: f64,
     /// Serving P99 latency, milliseconds.
@@ -74,6 +76,7 @@ impl DeploymentReport {
                 replica: w.replica(),
                 served: w.served(),
                 applied: w.applied(),
+                decode_errors: w.decode_errors(),
                 serve_avg_ms: w.serve_latency().mean_ms(),
                 serve_p99_ms: w.serve_latency().percentile_ms(99.0),
                 ingestion_p99_ms: w.ingestion_latency().percentile_ms(99.0),
@@ -113,13 +116,14 @@ impl fmt::Display for DeploymentReport {
         for s in &self.serving {
             writeln!(
                 f,
-                "  SEW{}r{}: {} served (avg {:.3} ms / p99 {:.3} ms), {} applied, cache {} KB",
+                "  SEW{}r{}: {} served (avg {:.3} ms / p99 {:.3} ms), {} applied, {} decode errors, cache {} KB",
                 s.sew,
                 s.replica,
                 s.served,
                 s.serve_avg_ms,
                 s.serve_p99_ms,
                 s.applied,
+                s.decode_errors,
                 s.cache_bytes / 1024
             )?;
         }

@@ -24,7 +24,7 @@ use helios_actor::{Beacon, ShardedPool};
 use helios_mq::Broker;
 use helios_query::{KHopQuery, QueryDag};
 use helios_sampling::{ReservoirOutcome, ReservoirTable, SampleEntry};
-use helios_telemetry::{span, Counter, Registry, TraceCtx};
+use helios_telemetry::{span, Counter, EventKind, FlightRecorder, Registry, TraceCtx};
 use helios_types::{
     hash::route, Decode, EdgeUpdate, Encode, FxHashMap, GraphUpdate, PartitionId, QueryHopId,
     Result, SamplingWorkerId, ServingWorkerId, Timestamp, VertexId, VertexType, VertexUpdate,
@@ -135,6 +135,7 @@ struct Ctx {
     sample_topics: Vec<Arc<helios_mq::Topic>>,
     control_topic: Arc<helios_mq::Topic>,
     metrics: Arc<SamplerMetrics>,
+    recorder: Arc<FlightRecorder>,
 }
 
 impl Ctx {
@@ -305,6 +306,13 @@ impl SamplerShard {
             return;
         }
         let _fanout_span = span("sampler.fanout", trace);
+        self.ctx.recorder.record(
+            EventKind::HopExpanded,
+            self.ctx.worker.0,
+            u64::from(hop.0),
+            key.raw(),
+            subs.len() as u64,
+        );
         let downstream: Vec<QueryHopId> = self.ctx.dag.downstream(hop).map(|d| d.hop).collect();
         let msg = SampleMsg::SampleUpdate {
             hop,
@@ -693,6 +701,7 @@ impl SamplingWorker {
         broker: &Arc<Broker>,
         beacon: Beacon,
         registry: &Registry,
+        recorder: &Arc<FlightRecorder>,
     ) -> Result<SamplingWorker> {
         let m = config.sampling_workers;
         let n = config.serving_workers;
@@ -713,6 +722,7 @@ impl SamplingWorker {
             sample_topics,
             control_topic: broker.topic(topics::CONTROL)?,
             metrics: Arc::clone(&metrics),
+            recorder: Arc::clone(recorder),
         });
         let pool_ctx = Arc::clone(&ctx);
         let shards = Arc::new(ShardedPool::new(

@@ -25,7 +25,7 @@ use helios_kvstore::{KvConfig, KvStats, KvStore, WriteOp};
 use helios_metrics::Histogram;
 use helios_mq::Broker;
 use helios_query::{HopSamples, KHopQuery, SampledSubgraph};
-use helios_telemetry::{span, Counter, Registry, TraceCtx};
+use helios_telemetry::{span, Counter, EventKind, FlightRecorder, Registry, TraceCtx};
 use helios_types::{
     Decode, Encode, PartitionId, QueryHopId, Result, ServingWorkerId, Timestamp, VertexId,
 };
@@ -90,6 +90,7 @@ impl ServingWorker {
         broker: &Arc<Broker>,
         beacon: helios_actor::Beacon,
         registry: &Registry,
+        recorder: &Arc<FlightRecorder>,
     ) -> Result<Arc<ServingWorker>> {
         let kv_config = |suffix: &str| match &config.cache_dir {
             Some(dir) => KvConfig::hybrid(
@@ -170,6 +171,7 @@ impl ServingWorker {
             let poll_batch = config.poll_batch;
             let poll_timeout = config.poll_timeout;
             let beacon = beacon.clone();
+            let recorder = Arc::clone(recorder);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("sew{}r{replica}-updater-{t}", id.0))
@@ -195,7 +197,15 @@ impl ServingWorker {
                             w.applied.add(batch.len() as u64);
                             if errors > 0 {
                                 w.decode_errors.add(errors);
+                                recorder.record(EventKind::DecodeError, id.0, errors, 0, 0);
                             }
+                            recorder.record(
+                                EventKind::UpdateApplied,
+                                id.0,
+                                batch.len() as u64,
+                                errors,
+                                u64::from(replica),
+                            );
                         }
                     })
                     .expect("spawn updater thread"),

@@ -195,6 +195,23 @@ impl Snapshot {
         self.max
     }
 
+    /// Cumulative `(upper_bound, cumulative_count)` pairs over every
+    /// occupied bucket, in increasing bound order. The last entry's count
+    /// equals [`Snapshot::count`]. Empty buckets are skipped (the log
+    /// layout has thousands of them), which keeps exposition formats like
+    /// Prometheus text small; cumulative counts stay monotone regardless.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                out.push((bucket_upper_bound(i), cum));
+            }
+        }
+        out
+    }
+
     /// Arithmetic mean of recorded values (exact, from the running sum).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -362,6 +379,24 @@ mod tests {
         assert_eq!(s.min, 0);
         // p99+ must land in h2's territory
         assert!(s.percentile(99.9) >= 1_000_000);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_complete() {
+        let h = Histogram::new();
+        assert!(h.snapshot().cumulative_buckets().is_empty());
+        for v in [5u64, 5, 1_000, 1_000_000, 1_000_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let buckets = s.cumulative_buckets();
+        assert_eq!(buckets.last().unwrap().1, s.count);
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0, "bounds strictly increasing");
+            assert!(w[0].1 < w[1].1, "cumulative counts increasing");
+        }
+        // The first occupied bucket contains both 5s.
+        assert_eq!(buckets[0].1, 2);
     }
 
     #[test]

@@ -10,23 +10,44 @@
 //!   JSONL or chrome://tracing JSON;
 //! - a periodic [`StatsReporter`] thread that refreshes pipeline gauges
 //!   (mq consumer lag, actor mailbox depth, kvstore sizes) and prints
-//!   snapshot tables.
+//!   snapshot tables;
+//! - an **ops plane**: Prometheus text [`exposition`], an embedded
+//!   dependency-free HTTP [`ops`] server (`/metrics`, `/healthz`,
+//!   `/vars`, `/trace/start|stop`, `/recorder`), a sliding-window
+//!   freshness [`slo`] tracker, and an always-on flight [`recorder`]
+//!   ring that dumps JSONL on anomalies.
 //!
 //! [`helios_metrics`] is re-exported as [`metrics`]: it remains the
 //! instrument layer (histogram buckets, throughput meters, table
 //! rendering) while this crate adds naming, aggregation, tracing, and
 //! reporting on top.
+//!
+//! ## Environment variables
+//!
+//! | Variable          | Effect                                                        |
+//! |-------------------|---------------------------------------------------------------|
+//! | `HELIOS_STATS`    | `1`/`true`/`yes`: print a stats snapshot on exit              |
+//! | `HELIOS_TRACE`    | `1`/`true`/`yes`: enable span tracing from startup            |
+//! | `HELIOS_OPS_ADDR` | bind address for the embedded ops HTTP server (e.g. `127.0.0.1:9100`; port `0` for ephemeral) |
 
+pub mod exposition;
+pub mod ops;
+pub mod recorder;
 pub mod registry;
 pub mod reporter;
+pub mod slo;
 pub mod trace;
 
 /// The instrument layer this crate builds on.
 pub use helios_metrics as metrics;
 
+pub use exposition::render_prometheus;
 pub use helios_metrics::{Histogram, Snapshot, StopwatchGuard, Table, ThroughputMeter};
+pub use ops::{HealthReport, OpsServer, OpsState};
+pub use recorder::{EventKind, FlightEvent, FlightRecorder};
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
 pub use reporter::StatsReporter;
+pub use slo::{SloConfig, SloTracker};
 pub use trace::{
     clear_spans, drain_spans, set_tracing, span, to_chrome_trace, to_jsonl, tracing_enabled,
     SpanGuard, SpanRecord, TraceCtx,
@@ -42,27 +63,35 @@ pub fn global() -> &'static Arc<Registry> {
     GLOBAL.get_or_init(|| Arc::new(Registry::new()))
 }
 
+/// Whether the boolean environment variable `name` is set to an enabling
+/// value: `1`, `true`, or `yes`, case-insensitive. Unset or anything else
+/// is `false`.
+pub fn env_flag(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "yes"),
+        Err(_) => false,
+    }
+}
+
 /// Whether the `HELIOS_STATS` environment variable asks for a stats
 /// snapshot on exit (`1`/`true`/`yes`, case-insensitive).
 pub fn stats_env() -> bool {
-    match std::env::var("HELIOS_STATS") {
-        Ok(v) => {
-            let v = v.to_ascii_lowercase();
-            v == "1" || v == "true" || v == "yes"
-        }
-        Err(_) => false,
-    }
+    env_flag("HELIOS_STATS")
 }
 
 /// Whether the `HELIOS_TRACE` environment variable asks for tracing to be
 /// enabled from startup (`1`/`true`/`yes`, case-insensitive).
 pub fn trace_env() -> bool {
-    match std::env::var("HELIOS_TRACE") {
-        Ok(v) => {
-            let v = v.to_ascii_lowercase();
-            v == "1" || v == "true" || v == "yes"
-        }
-        Err(_) => false,
+    env_flag("HELIOS_TRACE")
+}
+
+/// The `HELIOS_OPS_ADDR` environment variable: bind address for the
+/// embedded ops HTTP server (e.g. `127.0.0.1:9100`; use port `0` for an
+/// ephemeral port). Unset or empty means no ops server.
+pub fn ops_addr_env() -> Option<String> {
+    match std::env::var("HELIOS_OPS_ADDR") {
+        Ok(v) if !v.trim().is_empty() => Some(v.trim().to_string()),
+        _ => None,
     }
 }
 
@@ -84,5 +113,7 @@ mod tests {
         // parallel tests, so just call them.
         let _ = stats_env();
         let _ = trace_env();
+        let _ = ops_addr_env();
+        assert!(!env_flag("HELIOS_TEST_FLAG_THAT_IS_NEVER_SET"));
     }
 }

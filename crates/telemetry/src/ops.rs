@@ -1,0 +1,402 @@
+//! Embedded operational HTTP server.
+//!
+//! A deliberately tiny, dependency-free HTTP/1.1 server (std
+//! `TcpListener`, one handler thread) exposing the observability surface
+//! of one deployment:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the registry
+//!   ([`crate::exposition::render_prometheus`]);
+//! * `GET /healthz` — runs the registered component probes; `200` when
+//!   all healthy, `503` otherwise, JSON body either way;
+//! * `GET /vars` — JSON snapshot of every counter/gauge plus histogram
+//!   summaries (count, p50/p99/max in ms);
+//! * `GET|POST /trace/start`, `/trace/stop` — toggle span tracing at
+//!   runtime; `/trace/stop` returns the drained spans as JSONL;
+//! * `GET /recorder` — the flight recorder's ring as JSONL.
+//!
+//! The server exists for scrape-and-poke traffic (one Prometheus scraper,
+//! an operator's `curl`), not for serving-path load: connections are
+//! handled sequentially with short read timeouts.
+
+use crate::exposition::render_prometheus;
+use crate::recorder::FlightRecorder;
+use crate::registry::RegistrySnapshot;
+use crate::trace;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Result of one component health probe.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Component name, e.g. `mq`, `sampler`, `kvstore`, `pipeline`.
+    pub component: String,
+    /// Whether the component is within its healthy bounds.
+    pub healthy: bool,
+    /// Human-readable detail (current value vs bound).
+    pub detail: String,
+}
+
+impl HealthReport {
+    /// Convenience constructor.
+    pub fn new(component: impl Into<String>, healthy: bool, detail: impl Into<String>) -> Self {
+        HealthReport {
+            component: component.into(),
+            healthy,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// A named health probe, run on every `/healthz` request.
+pub type HealthProbe = Box<dyn Fn() -> HealthReport + Send + Sync>;
+
+/// Everything the ops server serves from. Build one, then
+/// [`OpsServer::start`] it.
+pub struct OpsState {
+    snapshot: Box<dyn Fn() -> RegistrySnapshot + Send + Sync>,
+    probes: Vec<HealthProbe>,
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
+impl OpsState {
+    /// State serving snapshots from `snapshot` (typically a clone of the
+    /// deployment registry behind a closure).
+    pub fn new(snapshot: impl Fn() -> RegistrySnapshot + Send + Sync + 'static) -> OpsState {
+        OpsState {
+            snapshot: Box::new(snapshot),
+            probes: Vec::new(),
+            recorder: None,
+        }
+    }
+
+    /// Add a component health probe.
+    pub fn probe(mut self, probe: impl Fn() -> HealthReport + Send + Sync + 'static) -> OpsState {
+        self.probes.push(Box::new(probe));
+        self
+    }
+
+    /// Attach a flight recorder for `/recorder`.
+    pub fn recorder(mut self, recorder: Arc<FlightRecorder>) -> OpsState {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Run all probes.
+    pub fn health(&self) -> Vec<HealthReport> {
+        self.probes.iter().map(|p| p()).collect()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `/vars`: the snapshot as one JSON object.
+fn render_vars(snap: &RegistrySnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (k, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(k), v);
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (k, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(k), v);
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (k, s)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"mean_ms\":{:.6},\"p50_ms\":{:.6},\"p99_ms\":{:.6},\"max_ms\":{:.6}}}",
+            json_escape(k),
+            s.count,
+            s.mean_ms(),
+            s.percentile_ms(50.0),
+            s.percentile_ms(99.0),
+            s.max as f64 / 1e6,
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+fn render_health(reports: &[HealthReport]) -> (bool, String) {
+    let all_healthy = reports.iter().all(|r| r.healthy);
+    let mut body = format!(
+        "{{\"status\":\"{}\",\"components\":[",
+        if all_healthy { "ok" } else { "degraded" }
+    );
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "{{\"component\":\"{}\",\"healthy\":{},\"detail\":\"{}\"}}",
+            json_escape(&r.component),
+            r.healthy,
+            json_escape(&r.detail),
+        );
+    }
+    body.push_str("]}");
+    (all_healthy, body)
+}
+
+/// A running ops server; stops and joins its handler thread on drop.
+pub struct OpsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl OpsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9100`, or port `0` for an ephemeral
+    /// port) and start serving `state`.
+    pub fn start(addr: &str, state: OpsState) -> std::io::Result<OpsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("helios-ops".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Ops traffic is trusted and tiny; one request
+                            // per connection, handled inline.
+                            let _ = handle_connection(stream, &state);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })
+            .expect("spawn ops server");
+        Ok(OpsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for OpsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &OpsState) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read until the end of the request head (we ignore any body: every
+    // endpoint is parameterless).
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = route(method, path, state);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+fn route(method: &str, path: &str, state: &OpsState) -> (&'static str, &'static str, String) {
+    if method != "GET" && method != "POST" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".into(),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(&(state.snapshot)()),
+        ),
+        "/healthz" => {
+            let (healthy, body) = render_health(&state.health());
+            (
+                if healthy {
+                    "200 OK"
+                } else {
+                    "503 Service Unavailable"
+                },
+                "application/json",
+                body,
+            )
+        }
+        "/vars" => ("200 OK", "application/json", render_vars(&(state.snapshot)())),
+        "/trace/start" => {
+            trace::set_tracing(true);
+            ("200 OK", "text/plain; charset=utf-8", "tracing on\n".into())
+        }
+        "/trace/stop" => {
+            trace::set_tracing(false);
+            let spans = trace::drain_spans();
+            (
+                "200 OK",
+                "application/x-ndjson",
+                trace::to_jsonl(&spans),
+            )
+        }
+        "/recorder" => match &state.recorder {
+            Some(r) => ("200 OK", "application/x-ndjson", r.to_jsonl()),
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no flight recorder attached\n".into(),
+            ),
+        },
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "unknown path; try /metrics /healthz /vars /trace/start /trace/stop /recorder\n"
+                .into(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::EventKind;
+    use crate::registry::Registry;
+
+    /// Minimal test-side HTTP client: one request, returns (status line,
+    /// body).
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        let (head, body) = out.split_once("\r\n\r\n").unwrap();
+        let status = head.lines().next().unwrap().to_string();
+        (status, body.to_string())
+    }
+
+    fn test_state() -> (Arc<Registry>, Arc<AtomicBool>, OpsState) {
+        let registry = Arc::new(Registry::new());
+        let healthy = Arc::new(AtomicBool::new(true));
+        let r2 = Arc::clone(&registry);
+        let h2 = Arc::clone(&healthy);
+        let state = OpsState::new(move || r2.snapshot()).probe(move || {
+            HealthReport::new("mq", h2.load(Ordering::Relaxed), "lag 0 (bound 100)")
+        });
+        (registry, healthy, state)
+    }
+
+    #[test]
+    fn metrics_vars_and_404() {
+        let (registry, _healthy, state) = test_state();
+        registry.counter("serving.served", &[("worker", "0")]).add(5);
+        registry.histogram("e2e.freshness", &[]).record(1_000_000);
+        let server = OpsServer::start("127.0.0.1:0", state).unwrap();
+        let (status, body) = http_get(server.addr(), "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("serving_served_total{worker=\"0\"} 5"), "{body}");
+        assert!(body.contains("e2e_freshness_bucket"), "{body}");
+        let (status, body) = http_get(server.addr(), "/vars");
+        assert!(status.contains("200"));
+        assert!(body.contains("\"serving.served{worker=0}\":5"), "{body}");
+        assert!(body.contains("\"e2e.freshness\""));
+        let (status, _) = http_get(server.addr(), "/nope");
+        assert!(status.contains("404"));
+    }
+
+    #[test]
+    fn healthz_flips_with_probe_state() {
+        let (_registry, healthy, state) = test_state();
+        let server = OpsServer::start("127.0.0.1:0", state).unwrap();
+        let (status, body) = http_get(server.addr(), "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"status\":\"ok\""));
+        healthy.store(false, Ordering::Relaxed);
+        let (status, body) = http_get(server.addr(), "/healthz");
+        assert!(status.contains("503"), "{status}");
+        assert!(body.contains("\"status\":\"degraded\""));
+        assert!(body.contains("\"component\":\"mq\""));
+    }
+
+    #[test]
+    fn trace_toggle_roundtrip() {
+        let (_registry, _healthy, state) = test_state();
+        let server = OpsServer::start("127.0.0.1:0", state).unwrap();
+        let (status, _) = http_get(server.addr(), "/trace/start");
+        assert!(status.contains("200"));
+        assert!(trace::tracing_enabled());
+        {
+            let _s = trace::span("ops.test", crate::TraceCtx::root());
+        }
+        let (status, body) = http_get(server.addr(), "/trace/stop");
+        assert!(status.contains("200"));
+        assert!(!trace::tracing_enabled());
+        assert!(body.contains("ops.test"), "{body}");
+    }
+
+    #[test]
+    fn recorder_endpoint_dumps_ring() {
+        let (_registry, _healthy, state) = test_state();
+        let rec = FlightRecorder::new(16);
+        rec.record(EventKind::LagSample, 0, 7, 7, 0);
+        let server = OpsServer::start("127.0.0.1:0", state.recorder(Arc::clone(&rec))).unwrap();
+        let (status, body) = http_get(server.addr(), "/recorder");
+        assert!(status.contains("200"));
+        assert!(body.contains("\"kind\":\"lag_sample\""));
+    }
+}

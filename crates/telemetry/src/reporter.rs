@@ -8,6 +8,7 @@
 //! milliseconds to check the stop flag so shutdown is prompt even with
 //! long intervals.
 
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -16,25 +17,30 @@ use std::time::{Duration, Instant};
 /// Handle to a periodic reporting thread; stops and joins on drop.
 pub struct StatsReporter {
     stop: Arc<AtomicBool>,
+    // Shared with the reporter thread so `stop()` can run one final tick
+    // on the caller's thread after the join (never concurrently).
+    tick: Arc<Mutex<Box<dyn FnMut() + Send>>>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl StatsReporter {
     /// Spawn a thread named `name` that runs `tick` every `interval`.
     /// The first tick fires after one interval, not immediately.
-    pub fn start<F>(name: &str, interval: Duration, mut tick: F) -> StatsReporter
+    pub fn start<F>(name: &str, interval: Duration, tick: F) -> StatsReporter
     where
         F: FnMut() + Send + 'static,
     {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let tick: Arc<Mutex<Box<dyn FnMut() + Send>>> = Arc::new(Mutex::new(Box::new(tick)));
+        let tick2 = Arc::clone(&tick);
         let handle = std::thread::Builder::new()
             .name(name.to_string())
             .spawn(move || {
                 let mut next = Instant::now() + interval;
                 while !stop2.load(Ordering::Relaxed) {
                     if Instant::now() >= next {
-                        tick();
+                        (tick2.lock())();
                         next = Instant::now() + interval;
                     }
                     let nap = next
@@ -46,15 +52,17 @@ impl StatsReporter {
             .expect("spawn stats reporter");
         StatsReporter {
             stop,
+            tick,
             handle: Some(handle),
         }
     }
 
-    /// Run one final tick (on the caller's thread) after stopping the
-    /// reporter, so the last interval's data is not lost. Consumes the
-    /// reporter.
+    /// Stop the reporter, join its thread, then run one final tick (on
+    /// the caller's thread) so the last partial interval's data is not
+    /// lost. Consumes the reporter.
     pub fn stop(mut self) {
         self.shutdown();
+        (self.tick.lock())();
     }
 
     fn shutdown(&mut self) {
@@ -90,6 +98,20 @@ mod tests {
         let after = n.load(Ordering::Relaxed);
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(n.load(Ordering::Relaxed), after, "stopped means stopped");
+    }
+
+    #[test]
+    fn stop_flushes_a_final_tick() {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        // Interval far longer than the test: the thread never ticks on
+        // its own, so the only tick is the flush from stop().
+        let r = StatsReporter::start("flush-reporter", Duration::from_secs(3600), move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 0);
+        r.stop();
+        assert_eq!(n.load(Ordering::Relaxed), 1, "stop() must flush one tick");
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Windowed SLO tracking for end-to-end freshness (or any latency
+//! stream).
+//!
+//! An SLO here is "quantile `q` of the tracked latency stays under
+//! `objective`", e.g. *p99 of update-to-visible freshness < 50 ms*. The
+//! tracker keeps a sliding window of timestamped samples and reports the
+//! classic multi-window **burn rate**: the fraction of samples violating
+//! the objective divided by the error budget (`1 − q`). A burn rate of
+//! 1.0 means the budget is being consumed exactly as fast as it accrues;
+//! sustained values above 1.0 on the short window are page-worthy and are
+//! what the deployment's anomaly hook watches.
+//!
+//! Recording takes one short mutex (the prober records a handful of
+//! samples per second — this is nowhere near a hot path).
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Objective + window configuration for one tracked SLO.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Latency objective in nanoseconds (e.g. 50 ms).
+    pub objective_ns: u64,
+    /// Target quantile in percent (e.g. 99.0 ⇒ 1% error budget).
+    pub quantile: f64,
+    /// Fast-burn window (classically 5 minutes).
+    pub short_window: Duration,
+    /// Slow-burn window (classically 1 hour).
+    pub long_window: Duration,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            objective_ns: 50_000_000, // 50 ms
+            quantile: 99.0,
+            short_window: Duration::from_secs(300),
+            long_window: Duration::from_secs(3600),
+        }
+    }
+}
+
+/// Bound on retained samples; beyond it the oldest are discarded early.
+/// At one probe per 50 ms this holds over an hour of history.
+const MAX_SAMPLES: usize = 1 << 16;
+
+#[derive(Debug)]
+struct WindowState {
+    /// (arrival, latency_ns), oldest first.
+    samples: VecDeque<(Instant, u64)>,
+}
+
+/// Sliding-window SLO tracker. Cheap to share behind an `Arc`.
+#[derive(Debug)]
+pub struct SloTracker {
+    config: SloConfig,
+    state: Mutex<WindowState>,
+}
+
+impl SloTracker {
+    /// New tracker for `config`.
+    pub fn new(config: SloConfig) -> SloTracker {
+        SloTracker {
+            config,
+            state: Mutex::new(WindowState {
+                samples: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// The configured objective.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Record one observed latency.
+    pub fn record(&self, latency_ns: u64) {
+        let mut s = self.state.lock();
+        s.samples.push_back((Instant::now(), latency_ns));
+        if s.samples.len() > MAX_SAMPLES {
+            s.samples.pop_front();
+        }
+        let horizon = Instant::now() - self.config.long_window.min(Duration::from_secs(86_400));
+        while s.samples.front().is_some_and(|(t, _)| *t < horizon) {
+            s.samples.pop_front();
+        }
+    }
+
+    /// `(violating, total)` over the trailing `window`.
+    fn window_counts(&self, window: Duration) -> (u64, u64) {
+        let cutoff = Instant::now().checked_sub(window);
+        let s = self.state.lock();
+        let mut violating = 0u64;
+        let mut total = 0u64;
+        for (t, lat) in s.samples.iter().rev() {
+            if let Some(cutoff) = cutoff {
+                if *t < cutoff {
+                    break;
+                }
+            }
+            total += 1;
+            if *lat > self.config.objective_ns {
+                violating += 1;
+            }
+        }
+        (violating, total)
+    }
+
+    /// Burn rate over `window`: violating fraction ÷ error budget.
+    /// 0.0 with no samples; 1.0 = budget consumed exactly at the rate it
+    /// accrues; > 1.0 = burning.
+    pub fn burn_rate(&self, window: Duration) -> f64 {
+        let (violating, total) = self.window_counts(window);
+        if total == 0 {
+            return 0.0;
+        }
+        let budget = (1.0 - self.config.quantile / 100.0).max(1e-9);
+        (violating as f64 / total as f64) / budget
+    }
+
+    /// Burn rate over the configured short window.
+    pub fn short_burn(&self) -> f64 {
+        self.burn_rate(self.config.short_window)
+    }
+
+    /// Burn rate over the configured long window.
+    pub fn long_burn(&self) -> f64 {
+        self.burn_rate(self.config.long_window)
+    }
+
+    /// Whether the objective currently holds over the long window (the
+    /// violating fraction fits in the error budget).
+    pub fn objective_met(&self) -> bool {
+        self.long_burn() <= 1.0
+    }
+
+    /// Samples currently retained (diagnostics).
+    pub fn samples(&self) -> usize {
+        self.state.lock().samples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(objective_ns: u64, quantile: f64) -> SloTracker {
+        SloTracker::new(SloConfig {
+            objective_ns,
+            quantile,
+            short_window: Duration::from_secs(60),
+            long_window: Duration::from_secs(120),
+        })
+    }
+
+    #[test]
+    fn empty_tracker_is_quiet() {
+        let t = tracker(1_000, 99.0);
+        assert_eq!(t.short_burn(), 0.0);
+        assert!(t.objective_met());
+    }
+
+    #[test]
+    fn burn_rate_is_violations_over_budget() {
+        let t = tracker(1_000, 99.0); // 1% budget
+        // 2 violations in 100 samples = 2% violating = burn 2.0.
+        for i in 0..100u64 {
+            t.record(if i < 2 { 5_000 } else { 10 });
+        }
+        let burn = t.short_burn();
+        assert!((burn - 2.0).abs() < 1e-9, "burn {burn}");
+        assert!(!t.objective_met());
+    }
+
+    #[test]
+    fn all_good_samples_meet_objective() {
+        let t = tracker(1_000_000, 99.0);
+        for _ in 0..1000 {
+            t.record(500);
+        }
+        assert_eq!(t.short_burn(), 0.0);
+        assert!(t.objective_met());
+    }
+
+    #[test]
+    fn sample_cap_is_enforced() {
+        let t = tracker(1_000, 50.0);
+        for _ in 0..(MAX_SAMPLES + 500) {
+            t.record(1);
+        }
+        assert!(t.samples() <= MAX_SAMPLES);
+    }
+
+    #[test]
+    fn exact_objective_value_is_not_a_violation() {
+        let t = tracker(1_000, 99.0);
+        for _ in 0..10 {
+            t.record(1_000); // equal to the objective: within SLO
+        }
+        assert_eq!(t.short_burn(), 0.0);
+    }
+}

@@ -47,7 +47,12 @@ fn main() {
         dataset.total_edges()
     );
 
-    let helios = HeliosDeployment::start(HeliosConfig::with_workers(2, 2), query).unwrap();
+    let mut config = HeliosConfig::with_workers(2, 2);
+    config.ops_addr = helios::telemetry::ops_addr_env();
+    let helios = HeliosDeployment::start(config, query).unwrap();
+    if let Some(addr) = helios.ops_addr() {
+        println!("ops server listening on http://{addr}");
+    }
 
     // Replay the historical stream.
     let events: Vec<GraphUpdate> = dataset.events().collect();

@@ -29,8 +29,12 @@ fn main() {
     );
 
     // Deploy Helios (2 sampling + 2 serving) plus a model server.
-    let helios =
-        Arc::new(HeliosDeployment::start(HeliosConfig::with_workers(2, 2), query).unwrap());
+    let mut config = HeliosConfig::with_workers(2, 2);
+    config.ops_addr = helios::telemetry::ops_addr_env();
+    let helios = Arc::new(HeliosDeployment::start(config, query).unwrap());
+    if let Some(addr) = helios.ops_addr() {
+        println!("ops server listening on http://{addr}");
+    }
     let events: Vec<GraphUpdate> = dataset.events().collect();
     let (replay, live) = events.split_at(events.len() * 9 / 10);
     helios.ingest_batch(replay).unwrap();

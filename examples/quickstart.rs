@@ -36,7 +36,14 @@ fn main() {
     let copurchase = schema.find_edge_type("CoPurchase").unwrap();
 
     // 2. Start a deployment: 2 sampling workers, 2 serving workers.
-    let helios = HeliosDeployment::start(HeliosConfig::with_workers(2, 2), query).unwrap();
+    //    HELIOS_OPS_ADDR=127.0.0.1:9100 additionally serves /metrics,
+    //    /healthz, /vars, /trace/* and /recorder over HTTP.
+    let mut config = HeliosConfig::with_workers(2, 2);
+    config.ops_addr = helios::telemetry::ops_addr_env();
+    let helios = HeliosDeployment::start(config, query).unwrap();
+    if let Some(addr) = helios.ops_addr() {
+        println!("ops server listening on http://{addr}");
+    }
 
     // 3. Stream graph updates: users, items, clicks, co-purchases.
     let mut updates = Vec::new();

@@ -69,7 +69,12 @@ fn main() {
     );
 
     // ---- online stage: Helios serves the fresh neighborhoods ----
-    let helios = HeliosDeployment::start(HeliosConfig::with_workers(2, 2), user_query).unwrap();
+    let mut config = HeliosConfig::with_workers(2, 2);
+    config.ops_addr = helios::telemetry::ops_addr_env();
+    let helios = HeliosDeployment::start(config, user_query).unwrap();
+    if let Some(addr) = helios.ops_addr() {
+        println!("ops server listening on http://{addr}");
+    }
     helios.ingest_batch(&events).unwrap();
     assert!(helios.quiesce(Duration::from_secs(60)));
     println!("Helios caught up with {} events", events.len());

@@ -1,0 +1,198 @@
+//! Ops-plane integration tests: end-to-end freshness probing feeding a
+//! finite SLO, Prometheus exposition over the embedded ops HTTP server,
+//! the flight recorder dumping on an induced decode-error spike, and
+//! `/healthz` flipping unhealthy under injected consumer lag.
+
+use helios_core::{FreshnessConfig, HeliosConfig, HeliosDeployment};
+use helios_query::{KHopQuery, SamplingStrategy};
+use helios_telemetry::SloConfig;
+use helios_types::{
+    EdgeType, EdgeUpdate, Encode, GraphUpdate, PartitionId, Timestamp, VertexId, VertexType,
+    VertexUpdate,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn two_hop_query() -> KHopQuery {
+    KHopQuery::builder(VertexType(0))
+        .hop(EdgeType(0), VertexType(1), 2, SamplingStrategy::Random)
+        .build()
+        .unwrap()
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect ops server");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    let (head, body) = out.split_once("\r\n\r\n").expect("http response head");
+    (head.lines().next().unwrap().to_string(), body.to_string())
+}
+
+fn small_workload(n_seeds: u64) -> Vec<GraphUpdate> {
+    let mut updates = Vec::new();
+    for u in 1..=n_seeds {
+        updates.push(GraphUpdate::Vertex(VertexUpdate {
+            vtype: VertexType(0),
+            id: VertexId(u),
+            feature: vec![u as f32],
+            ts: Timestamp(u),
+        }));
+        updates.push(GraphUpdate::Edge(EdgeUpdate {
+            etype: EdgeType(0),
+            src_type: VertexType(0),
+            src: VertexId(u),
+            dst_type: VertexType(1),
+            dst: VertexId(1000 + u),
+            ts: Timestamp(1000 + u),
+            weight: 1.0,
+        }));
+    }
+    updates
+}
+
+/// The acceptance-criteria test: with freshness probing on, the probe
+/// reports a finite p99 staleness; `/metrics` exposes the
+/// `e2e_freshness` histogram as Prometheus text; and a burst of
+/// undecodable sample-queue records triggers a flight-recorder dump.
+#[test]
+fn freshness_probe_metrics_and_flight_dump() {
+    let dump_dir = std::env::temp_dir().join(format!("helios-ops-plane-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dump_dir);
+
+    let mut config = HeliosConfig::with_workers(1, 1);
+    config.stats_interval = Some(Duration::from_millis(25));
+    config.ops_addr = Some("127.0.0.1:0".into());
+    config.freshness = Some(FreshnessConfig {
+        interval: Duration::from_millis(20),
+        probe_timeout: Duration::from_secs(5),
+        marker_vertex: u64::MAX - 1,
+        slo: SloConfig::default(),
+    });
+    config.flight_dump_dir = Some(dump_dir.clone());
+    config.decode_error_spike = 5;
+    let helios = HeliosDeployment::start(config, two_hop_query()).unwrap();
+    let ops = helios.ops_addr().expect("ops server bound");
+    helios.ingest_batch(&small_workload(8)).unwrap();
+
+    // Let the prober complete a handful of injection → visible cycles.
+    // HELIOS_FRESHNESS_PROBES raises the count for baseline recording
+    // (see EXPERIMENTS.md's freshness methodology).
+    let want: usize = std::env::var("HELIOS_FRESHNESS_PROBES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let deadline = Instant::now() + Duration::from_secs(20 + want as u64 / 10);
+    while helios.freshness_slo().samples() < want && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        helios.freshness_slo().samples() >= want,
+        "freshness probes never completed"
+    );
+    let snap = helios.telemetry_snapshot();
+    let hist = snap
+        .histogram_total("e2e.freshness")
+        .expect("freshness histogram registered");
+    assert!(hist.count >= want as u64, "histogram count {}", hist.count);
+    let p99_ms = hist.percentile_ms(99.0);
+    assert!(
+        p99_ms.is_finite() && p99_ms > 0.0,
+        "finite p99 staleness, got {p99_ms}"
+    );
+    println!(
+        "freshness: {} probes, p50 {:.3} ms, p99 {:.3} ms",
+        hist.count,
+        hist.percentile_ms(50.0),
+        p99_ms
+    );
+
+    // Prometheus exposition over HTTP.
+    let (status, body) = http_get(ops, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(
+        body.contains("e2e_freshness_bucket"),
+        "missing freshness buckets in exposition:\n{body}"
+    );
+    assert!(body.contains("# TYPE e2e_freshness histogram"));
+    assert!(body.contains("sampler_updates_processed_total"));
+
+    // Induce a decode-error spike: u64::MAX encodes to a leading 0xFF
+    // byte, which is not a valid SampleMsg tag.
+    let garbage = u64::MAX.encode_to_bytes();
+    let samples = helios.broker().topic("samples-0").unwrap();
+    for i in 0..50u64 {
+        samples.produce(i, garbage.clone()).unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let dumped = loop {
+        let found = std::fs::read_dir(&dump_dir)
+            .ok()
+            .into_iter()
+            .flatten()
+            .flatten()
+            .any(|e| e.file_name().to_string_lossy().starts_with("flight-"));
+        if found || Instant::now() > deadline {
+            break found;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(dumped, "decode-error spike produced no flight dump");
+    let dump = std::fs::read_dir(&dump_dir)
+        .unwrap()
+        .flatten()
+        .find(|e| e.file_name().to_string_lossy().starts_with("flight-"))
+        .unwrap();
+    let contents = std::fs::read_to_string(dump.path()).unwrap();
+    assert!(
+        contents.contains("\"kind\":\"decode_error\""),
+        "dump lacks the decode-error anomaly:\n{contents}"
+    );
+
+    helios.shutdown();
+    let _ = std::fs::remove_dir_all(&dump_dir);
+}
+
+/// `/healthz` flips from 200 to 503 when a consumer group falls further
+/// behind than the configured lag bound.
+#[test]
+fn healthz_flips_under_injected_mq_lag() {
+    let mut config = HeliosConfig::with_workers(1, 1);
+    config.ops_addr = Some("127.0.0.1:0".into());
+    config.health_max_lag = 10;
+    let helios = HeliosDeployment::start(config, two_hop_query()).unwrap();
+    let ops = helios.ops_addr().expect("ops server bound");
+
+    helios.ingest_batch(&small_workload(4)).unwrap();
+    assert!(helios.quiesce(Duration::from_secs(60)));
+    let (status, body) = http_get(ops, "/healthz");
+    assert!(status.contains("200"), "drained pipeline unhealthy: {body}");
+    assert!(body.contains("\"status\":\"ok\""));
+
+    // A consumer group that registers but never polls accrues lag as
+    // updates keep flowing past it.
+    let _lazy = helios
+        .broker()
+        .consumer("lazy-observer", "updates", &[PartitionId(0)])
+        .unwrap();
+    helios.ingest_batch(&small_workload(40)).unwrap();
+    assert!(helios.quiesce(Duration::from_secs(60)));
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let (status, body) = loop {
+        let (status, body) = http_get(ops, "/healthz");
+        if status.contains("503") || Instant::now() > deadline {
+            break (status, body);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(status.contains("503"), "healthz never flipped: {body}");
+    assert!(body.contains("\"status\":\"degraded\""));
+    assert!(
+        body.contains("\"component\":\"mq\",\"healthy\":false"),
+        "mq probe not the failing one: {body}"
+    );
+
+    helios.shutdown();
+}
