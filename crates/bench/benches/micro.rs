@@ -121,6 +121,92 @@ fn bench_kvstore(c: &mut Criterion) {
     g.finish();
 }
 
+/// The no-disk-I/O-under-lock criterion for the hybrid store: batched
+/// reads while the background flusher is continuously fed must stay
+/// close to the no-flush baseline. Criterion reports means; the p99
+/// comparison the acceptance criterion asks for is measured manually
+/// into histograms and printed alongside.
+fn bench_kvstore_hybrid(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!("helios-bench-hybrid-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = KvConfig::hybrid(4, 1 << 20, dir.clone());
+    config.l0_compact_trigger = 4;
+    let kv = Arc::new(KvStore::open(config).unwrap());
+    for i in 0..100_000u64 {
+        kv.put(&i.to_be_bytes(), Bytes::from(vec![0u8; 64]), Timestamp(i))
+            .unwrap();
+    }
+    kv.flush().unwrap();
+    let keys: Vec<[u8; 8]> = (0..256u64)
+        .map(|i| (i * 389 % 100_000).to_be_bytes())
+        .collect();
+
+    // A writer that keeps every shard rotating and flushing for the
+    // duration of the "during flush" phases.
+    let churn = |kv: Arc<KvStore>, stop: Arc<AtomicBool>| {
+        std::thread::spawn(move || {
+            let mut i = 1_000_000u64;
+            while !stop.load(Ordering::Relaxed) {
+                i += 1;
+                kv.put(&i.to_be_bytes(), Bytes::from(vec![0u8; 256]), Timestamp(i))
+                    .unwrap();
+            }
+        })
+    };
+
+    let mut g = c.benchmark_group("kvstore_hybrid");
+    g.bench_function("multi_get_256_steady", |b| {
+        b.iter(|| kv.multi_get(&keys).unwrap().iter().flatten().count());
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = churn(Arc::clone(&kv), Arc::clone(&stop));
+    g.bench_function("multi_get_256_during_flush", |b| {
+        b.iter(|| kv.multi_get(&keys).unwrap().iter().flatten().count());
+    });
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    g.finish();
+
+    // Manual p99s (the acceptance comparison): the during-flush tail must
+    // stay within 2× of the no-flush baseline.
+    let measure = |n: usize| {
+        let h = helios_metrics::Histogram::new();
+        for _ in 0..n {
+            let t = std::time::Instant::now();
+            let _ = kv.multi_get(&keys).unwrap();
+            h.record_duration(t.elapsed());
+        }
+        h
+    };
+    let steady = measure(2_000);
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = churn(Arc::clone(&kv), Arc::clone(&stop));
+    let flushing = measure(2_000);
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    let st = kv.stats();
+    println!(
+        "kvstore_hybrid multi_get_256 p99: steady {:.3} ms, during flush {:.3} ms ({:.2}x); \
+         p50 {:.3} -> {:.3} ms; flushes {}, compactions {}, stall {} ns, \
+         block cache {}/{} hits/misses",
+        steady.percentile_ms(99.0),
+        flushing.percentile_ms(99.0),
+        flushing.percentile_ms(99.0) / steady.percentile_ms(99.0).max(f64::EPSILON),
+        steady.percentile_ms(50.0),
+        flushing.percentile_ms(50.0),
+        st.flushes,
+        st.compactions,
+        st.stall_nanos,
+        st.block_cache_hits,
+        st.block_cache_misses,
+    );
+    drop(kv);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn bench_mq(c: &mut Criterion) {
     let broker = Broker::new();
     broker
@@ -182,6 +268,6 @@ criterion_group!(
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1))
         .sample_size(20);
-    targets = bench_reservoir, bench_kvstore, bench_mq, bench_query
+    targets = bench_reservoir, bench_kvstore, bench_kvstore_hybrid, bench_mq, bench_query
 );
 criterion_main!(benches);

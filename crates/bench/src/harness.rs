@@ -116,6 +116,13 @@ pub fn setup_helios(
     if config.ops_addr.is_none() {
         config.ops_addr = helios_telemetry::ops_addr_env();
     }
+    // `HELIOS_CACHE_DIR=/mnt/tmpfs` switches the serving caches to hybrid
+    // (memory + disk) mode under a unique per-run subdirectory, for the
+    // before/after comparisons in EXPERIMENTS.md (unless the caller
+    // already picked a cache dir).
+    if config.cache_dir.is_none() {
+        config.cache_dir = helios_telemetry::cache_dir_env();
+    }
     let deployment =
         Arc::new(HeliosDeployment::start(config, query.clone()).expect("start helios"));
     if let Some(addr) = deployment.ops_addr() {

@@ -66,12 +66,24 @@ pub struct HeliosConfig {
     /// threshold ... to ensure no graph data are expired", §7.1).
     pub ttl: Option<Duration>,
     /// Directory for the serving workers' hybrid sample caches; `None`
-    /// keeps caches purely in memory.
+    /// keeps caches purely in memory. `Default::default()` seeds this
+    /// from the `HELIOS_CACHE_DIR` environment variable (a unique
+    /// per-deployment subdirectory), which is how CI runs the whole
+    /// suite against hybrid caches on a tmpfs.
     pub cache_dir: Option<PathBuf>,
     /// KV shards per serving worker cache.
     pub cache_shards: usize,
     /// Memtable budget per cache shard before spilling to disk.
     pub cache_memtable_budget: usize,
+    /// Runs (SSTs) a cache shard accumulates before the background
+    /// compactor merges its oldest suffix (hybrid caches only).
+    pub cache_l0_compact_trigger: usize,
+    /// Immutable (rotated, not yet flushed) memtables a cache shard may
+    /// hold before writers stall waiting on the flusher (hybrid only).
+    pub cache_max_immutables: usize,
+    /// Byte capacity of each hybrid cache's shared block cache of decoded
+    /// SST granules; `0` disables block caching.
+    pub cache_block_cache_bytes: usize,
     /// Refresh period of the deployment's pipeline-lag gauges (mq
     /// consumer lag, shard mailbox depth, cache sizes); `None` disables
     /// the stats reporter thread.
@@ -114,9 +126,12 @@ impl Default for HeliosConfig {
             poll_batch: 1024,
             poll_timeout: Duration::from_millis(20),
             ttl: None,
-            cache_dir: None,
+            cache_dir: helios_telemetry::cache_dir_env(),
             cache_shards: 4,
             cache_memtable_budget: 16 << 20,
+            cache_l0_compact_trigger: 4,
+            cache_max_immutables: 4,
+            cache_block_cache_bytes: 32 << 20,
             stats_interval: Some(Duration::from_millis(500)),
             ops_addr: None,
             freshness: None,
@@ -162,6 +177,19 @@ impl HeliosConfig {
         }
         if self.poll_batch == 0 {
             return Err(InvalidConfig("poll batch must be positive".into()));
+        }
+        if self.cache_shards == 0 {
+            return Err(InvalidConfig("caches need at least one shard".into()));
+        }
+        if self.cache_l0_compact_trigger == 0 {
+            return Err(InvalidConfig(
+                "cache compaction trigger must be positive".into(),
+            ));
+        }
+        if self.cache_max_immutables == 0 {
+            return Err(InvalidConfig(
+                "caches need room for at least one immutable memtable".into(),
+            ));
         }
         if self.stats_interval == Some(Duration::ZERO) {
             return Err(InvalidConfig(
@@ -217,6 +245,9 @@ mod tests {
             |c: &mut HeliosConfig| c.serving_replicas = 0,
             |c: &mut HeliosConfig| c.sample_queue_partitions = 0,
             |c: &mut HeliosConfig| c.poll_batch = 0,
+            |c: &mut HeliosConfig| c.cache_shards = 0,
+            |c: &mut HeliosConfig| c.cache_l0_compact_trigger = 0,
+            |c: &mut HeliosConfig| c.cache_max_immutables = 0,
             |c: &mut HeliosConfig| c.stats_interval = Some(Duration::ZERO),
             |c: &mut HeliosConfig| {
                 c.freshness = Some(FreshnessConfig {

@@ -10,8 +10,8 @@ use helios_graphstore::PartitionPolicy;
 use helios_mq::{Broker, TopicConfig};
 use helios_query::{KHopQuery, SampledSubgraph};
 use helios_telemetry::{
-    span, EventKind, FlightRecorder, HealthReport, OpsServer, OpsState, Registry,
-    RegistrySnapshot, SloTracker, StatsReporter, TraceCtx,
+    span, EventKind, FlightRecorder, HealthReport, OpsServer, OpsState, Registry, RegistrySnapshot,
+    SloTracker, StatsReporter, TraceCtx,
 };
 use helios_types::{
     hash::route, Encode, GraphUpdate, HeliosError, PartitionId, Result, SamplingWorkerId,
@@ -20,6 +20,10 @@ use helios_types::{
 use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// One sampling worker's contribution to the drain equation: its
+/// counters plus a closure probing its shard-mailbox backlog.
+type DrainSource = (Arc<SamplerMetrics>, Box<dyn Fn() -> usize + Send + Sync>);
 
 /// Stops the freshness-probe thread on drop.
 struct FreshnessProber {
@@ -165,14 +169,7 @@ impl HeliosDeployment {
 
         let reporter = config.stats_interval.map(|interval| {
             Self::start_stats_reporter(
-                interval,
-                &config,
-                &telemetry,
-                &broker,
-                &sampling,
-                &serving,
-                &recorder,
-                &slo,
+                interval, &config, &telemetry, &broker, &sampling, &serving, &recorder, &slo,
             )
         });
 
@@ -280,9 +277,10 @@ impl HeliosDeployment {
                     while Instant::now() < deadline
                         && !stop2.load(std::sync::atomic::Ordering::Relaxed)
                     {
-                        let seen = target.serve(marker).ok().and_then(|g| {
-                            g.features.get(&marker).and_then(|f| f.first().copied())
-                        });
+                        let seen = target
+                            .serve(marker)
+                            .ok()
+                            .and_then(|g| g.features.get(&marker).and_then(|f| f.first().copied()));
                         if seen == Some(expect) {
                             visible = true;
                             break;
@@ -302,8 +300,7 @@ impl HeliosDeployment {
                         recorder.record(EventKind::FreshnessProbe, u32::MAX, seq, 0, 1);
                     }
                     let wake = injected + fc.interval;
-                    while Instant::now() < wake
-                        && !stop2.load(std::sync::atomic::Ordering::Relaxed)
+                    while Instant::now() < wake && !stop2.load(std::sync::atomic::Ordering::Relaxed)
                     {
                         std::thread::sleep(Duration::from_millis(1).min(fc.interval));
                     }
@@ -346,11 +343,9 @@ impl HeliosDeployment {
                     false,
                     format!("lag {} on {}/{} (bound {max_lag})", e.lag, e.group, e.topic),
                 ),
-                Some(e) => HealthReport::new(
-                    "mq",
-                    true,
-                    format!("max lag {} (bound {max_lag})", e.lag),
-                ),
+                Some(e) => {
+                    HealthReport::new("mq", true, format!("max lag {} (bound {max_lag})", e.lag))
+                }
                 None => HealthReport::new("mq", true, "no consumers"),
             }
         });
@@ -366,25 +361,34 @@ impl HeliosDeployment {
             )
         });
 
-        // Memtables persistently far above budget mean flushes are not
-        // keeping up. Purely in-memory caches have no flush stage, so the
-        // probe only reports their size.
+        // Flush-boundedness: memtables persistently far above budget, or
+        // any single store whose immutable backlog has hit the stall cap
+        // on every shard, mean the background flusher is not keeping up
+        // (wedged flushers stall writers next). Purely in-memory caches
+        // have no flush stage, so the probe only reports their size.
         let flush_bounded = config.cache_dir.is_some();
         let mem_bound = (config.cache_memtable_budget * config.cache_shards * 4) as u64;
+        let imm_bound = (config.cache_max_immutables * config.cache_shards) as u64;
         let kv_serving: Vec<Arc<ServingWorker>> = serving.iter().map(Arc::clone).collect();
         state = state.probe(move || {
-            let mem: u64 = kv_serving
-                .iter()
-                .map(|w| {
-                    let (s, f) = w.cache_stats();
-                    s.mem_bytes as u64 + f.mem_bytes as u64
-                })
-                .sum();
+            let mut mem = 0u64;
+            let mut worst_imm = 0u64;
+            for w in &kv_serving {
+                let (s, f) = w.cache_stats();
+                mem += s.mem_bytes as u64 + f.mem_bytes as u64;
+                worst_imm = worst_imm
+                    .max(s.immutable_memtables as u64)
+                    .max(f.immutable_memtables as u64);
+            }
             if flush_bounded {
+                let healthy = mem <= mem_bound * kv_serving.len() as u64 && worst_imm < imm_bound;
                 HealthReport::new(
                     "kvstore",
-                    mem <= mem_bound * kv_serving.len() as u64,
-                    format!("memtable bytes {mem} (flush backlog bound {mem_bound}/worker)"),
+                    healthy,
+                    format!(
+                        "memtable bytes {mem} (bound {mem_bound}/worker), \
+                         worst immutable backlog {worst_imm} (stall cap {imm_bound})"
+                    ),
                 )
             } else {
                 HealthReport::new("kvstore", true, format!("in-memory, {mem} bytes"))
@@ -392,11 +396,10 @@ impl HeliosDeployment {
         });
 
         let drain_broker = Arc::clone(broker);
-        let drain_sampling: Vec<(Arc<SamplerMetrics>, Box<dyn Fn() -> usize + Send + Sync>)> =
-            sampling
-                .iter()
-                .map(|w| (Arc::clone(w.metrics()), Box::new(w.backlog_probe()) as _))
-                .collect();
+        let drain_sampling: Vec<DrainSource> = sampling
+            .iter()
+            .map(|w| (Arc::clone(w.metrics()), Box::new(w.backlog_probe()) as _))
+            .collect();
         let drain_serving: Vec<Arc<ServingWorker>> = serving.iter().map(Arc::clone).collect();
         let drain_replicas = config.serving_replicas as u64;
         let drain_bound = config.health_max_backlog as u64;
@@ -446,7 +449,6 @@ impl HeliosDeployment {
         let recorder = Arc::clone(recorder);
         let slo = Arc::clone(slo);
         let spike = config.decode_error_spike;
-        let mut last_flushes = 0u64;
         let mut last_decode = 0u64;
         let mut burning = false;
         StatsReporter::start("helios-stats", interval, move || {
@@ -464,7 +466,6 @@ impl HeliosDeployment {
                     .gauge("actor.mailbox_depth", &[("worker", worker)])
                     .set(probe() as i64);
             }
-            let mut flushes = 0u64;
             let mut decode = 0u64;
             for w in &serving {
                 decode += w.decode_errors();
@@ -472,7 +473,6 @@ impl HeliosDeployment {
                 let r = w.replica().to_string();
                 let (s, f) = w.cache_stats();
                 for (table, st) in [("samples", s), ("features", f)] {
-                    flushes += st.flushes as u64;
                     let labels: &[(&str, &str)] =
                         &[("worker", &sw), ("replica", &r), ("table", table)];
                     registry
@@ -481,6 +481,9 @@ impl HeliosDeployment {
                     registry
                         .gauge("kvstore.mem_entries", labels)
                         .set(st.mem_entries as i64);
+                    registry
+                        .gauge("kvstore.immutable_memtables", labels)
+                        .set(st.immutable_memtables as i64);
                     registry
                         .gauge("kvstore.sst_files", labels)
                         .set(st.sst_files as i64);
@@ -493,12 +496,20 @@ impl HeliosDeployment {
                     registry
                         .gauge("kvstore.compactions", labels)
                         .set(st.compactions as i64);
+                    registry
+                        .gauge("kvstore.compaction_debt", labels)
+                        .set(st.compaction_debt as i64);
+                    registry
+                        .gauge("kvstore.block_cache_hits", labels)
+                        .set(st.block_cache_hits as i64);
+                    registry
+                        .gauge("kvstore.block_cache_misses", labels)
+                        .set(st.block_cache_misses as i64);
+                    registry
+                        .gauge("kvstore.stall_nanos", labels)
+                        .set(st.stall_nanos as i64);
                 }
             }
-            if flushes > last_flushes {
-                recorder.record(EventKind::Flush, u32::MAX, flushes - last_flushes, flushes, 0);
-            }
-            last_flushes = flushes;
             // A burst of decode errors within one tick is an anomaly
             // worth a ring dump: something upstream is emitting garbage.
             if decode.saturating_sub(last_decode) >= spike {
@@ -794,7 +805,7 @@ impl HeliosDeployment {
         }
         // Failed to drain: dump the flight ring with the remaining
         // deficit so the stuck stage is identifiable post-hoc.
-        let sampling: Vec<(Arc<SamplerMetrics>, Box<dyn Fn() -> usize + Send + Sync>)> = self
+        let sampling: Vec<DrainSource> = self
             .sampling
             .iter()
             .map(|w| (Arc::clone(w.metrics()), Box::new(w.backlog_probe()) as _))
@@ -855,7 +866,7 @@ impl HeliosDeployment {
 /// value.
 fn drain_deficit(
     broker: &Broker,
-    sampling: &[(Arc<SamplerMetrics>, Box<dyn Fn() -> usize + Send + Sync>)],
+    sampling: &[DrainSource],
     serving: &[Arc<ServingWorker>],
     replicas: u64,
 ) -> u64 {
@@ -884,7 +895,10 @@ fn drain_deficit(
         control_done += m.control_processed.get();
         backlog += probe() as u64;
     }
-    let applied: u64 = serving.iter().map(|s| s.applied() + s.decode_errors()).sum();
+    let applied: u64 = serving
+        .iter()
+        .map(|s| s.applied() + s.decode_errors())
+        .sum();
     updates_end.saturating_sub(updates_done)
         + control_end.saturating_sub(control_done)
         + (samples_end * replicas).saturating_sub(applied)

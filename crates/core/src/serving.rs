@@ -21,7 +21,7 @@ use crate::config::HeliosConfig;
 use crate::messages::{now_nanos, SampleEntryLite, SampleMsg};
 use crate::sampler::topics;
 use bytes::BytesMut;
-use helios_kvstore::{KvConfig, KvStats, KvStore, WriteOp};
+use helios_kvstore::{KvConfig, KvEvent, KvStats, KvStore, WriteOp};
 use helios_metrics::Histogram;
 use helios_mq::Broker;
 use helios_query::{HopSamples, KHopQuery, SampledSubgraph};
@@ -82,6 +82,7 @@ impl ServingWorker {
     /// `samples-<id>`. Each replica consumes the full sample queue under
     /// its own consumer group, so replicas converge to identical caches
     /// (§4.1's replication of highly loaded serving workers).
+    #[allow(clippy::too_many_arguments)] // deployment-internal constructor
     pub fn start(
         id: ServingWorkerId,
         replica: u32,
@@ -93,11 +94,17 @@ impl ServingWorker {
         recorder: &Arc<FlightRecorder>,
     ) -> Result<Arc<ServingWorker>> {
         let kv_config = |suffix: &str| match &config.cache_dir {
-            Some(dir) => KvConfig::hybrid(
-                config.cache_shards,
-                config.cache_memtable_budget,
-                dir.join(format!("sew{}-r{replica}-{suffix}", id.0)),
-            ),
+            Some(dir) => {
+                let mut c = KvConfig::hybrid(
+                    config.cache_shards,
+                    config.cache_memtable_budget,
+                    dir.join(format!("sew{}-r{replica}-{suffix}", id.0)),
+                );
+                c.l0_compact_trigger = config.cache_l0_compact_trigger;
+                c.max_immutable_memtables = config.cache_max_immutables;
+                c.block_cache_bytes = config.cache_block_cache_bytes;
+                c
+            }
             None => KvConfig::in_memory(config.cache_shards),
         };
         let w = id.0.to_string();
@@ -131,6 +138,41 @@ impl ServingWorker {
             serve_tx: parking_lot::RwLock::new(Some(serve_tx)),
             serve_threads: parking_lot::Mutex::new(Vec::new()),
         });
+
+        // Background flush/compaction events from both cache stores feed
+        // the flight recorder (the kvstore has no telemetry dependency,
+        // so the wiring lives here).
+        for store in [&worker.samples, &worker.features] {
+            let recorder = Arc::clone(recorder);
+            let sew = id.0;
+            store.set_event_hook(Arc::new(move |ev| match *ev {
+                KvEvent::Flush {
+                    entries,
+                    bytes,
+                    pending,
+                    ..
+                } => recorder.record(
+                    EventKind::Flush,
+                    sew,
+                    entries as u64,
+                    bytes as u64,
+                    pending as u64,
+                ),
+                KvEvent::Compaction {
+                    runs_in,
+                    entries_out,
+                    bytes_out,
+                    ..
+                } => recorder.record(
+                    EventKind::Compaction,
+                    sew,
+                    runs_in as u64,
+                    entries_out,
+                    bytes_out,
+                ),
+                KvEvent::Stall { .. } => {}
+            }));
+        }
 
         // Serving threads (§4.3): execute queued sampling queries. The
         // pool size bounds per-worker serving parallelism, which is the
@@ -487,10 +529,22 @@ impl ServingWorker {
     }
 
     /// TTL expiry of cached samples/features older than `horizon`.
+    /// Non-blocking: raises the stores' read-filter horizon (stale
+    /// entries become invisible immediately) and nudges the background
+    /// compactor to reclaim the space; never performs disk I/O on the
+    /// caller's thread.
     pub fn expire_before(&self, horizon: Timestamp) -> Result<()> {
-        self.samples.compact(Some(horizon))?;
-        self.features.compact(Some(horizon))?;
+        self.samples.expire_before(horizon)?;
+        self.features.expire_before(horizon)?;
         Ok(())
+    }
+
+    /// Pause/resume the caches' background flushers (ops drills and
+    /// wedge tests; rotated memtables accumulate while paused and drain
+    /// on resume).
+    pub fn pause_cache_flush(&self, paused: bool) {
+        self.samples.set_flush_paused(paused);
+        self.features.set_flush_paused(paused);
     }
 
     /// Stop updater threads (call once; serve remains usable on the

@@ -1,0 +1,300 @@
+//! Sharded CLOCK block cache over SST index granules.
+//!
+//! A *granule* is the group of up to [`crate::sst`]`::INDEX_EVERY` entries
+//! between two sparse-index points of one SST — the unit `Sst::get_hashed`
+//! reads with a single positioned read. The cache keys decoded granules by
+//! `(sst instance id, granule index)`, so a K-hop query whose frontier
+//! misses the memtables pays at most one `pread` per *cold* granule and
+//! none per warm one, instead of one syscall per entry probe.
+//!
+//! Design:
+//!
+//! * fixed byte capacity, split evenly across [`CACHE_SHARDS`] independent
+//!   lock domains (key-hashed), so concurrent serving threads rarely
+//!   contend on the same mutex;
+//! * CLOCK (second-chance) eviction per shard: a hit only sets a
+//!   reference bit (no list surgery on the read path), eviction sweeps a
+//!   hand that demotes referenced slots and evicts unreferenced ones;
+//! * hit/miss counters are store-wide relaxed atomics, exported through
+//!   `KvStats` and the `kvstore.block_cache_{hits,misses}` gauges.
+//!
+//! Entries for SSTs deleted by compaction are purged eagerly
+//! ([`BlockCache::purge_sst`]); a crashed purge merely leaves dead slots
+//! that age out under the hand.
+
+use crate::sst::StoredValue;
+use helios_types::{fx_hash_u64, FxHashMap};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of independent cache shards (lock domains).
+pub const CACHE_SHARDS: usize = 16;
+
+/// A decoded SST granule: sorted `(key, value)` entries.
+pub type Block = Vec<(Vec<u8>, StoredValue)>;
+
+/// Cache key: (SST instance id, granule index within the sparse index).
+pub type BlockKey = (u64, u32);
+
+struct Slot {
+    key: BlockKey,
+    block: Arc<Block>,
+    bytes: usize,
+    referenced: bool,
+}
+
+#[derive(Default)]
+struct CacheShard {
+    map: FxHashMap<BlockKey, usize>,
+    slots: Vec<Option<Slot>>,
+    /// CLOCK hand: next slot index the eviction sweep examines.
+    hand: usize,
+    bytes: usize,
+}
+
+impl CacheShard {
+    fn get(&mut self, key: &BlockKey) -> Option<Arc<Block>> {
+        let idx = *self.map.get(key)?;
+        let slot = self.slots[idx].as_mut()?;
+        slot.referenced = true;
+        Some(Arc::clone(&slot.block))
+    }
+
+    fn insert(&mut self, key: BlockKey, block: Arc<Block>, bytes: usize, capacity: usize) {
+        if self.map.contains_key(&key) {
+            return; // racing readers decoded the same granule; keep the first
+        }
+        // Evict until the new block fits (CLOCK sweep: referenced slots get
+        // a second chance, unreferenced ones go).
+        let mut sweeps = 0usize;
+        while self.bytes + bytes > capacity && sweeps < self.slots.len() * 2 {
+            let n = self.slots.len();
+            if n == 0 {
+                break;
+            }
+            let idx = self.hand % n;
+            self.hand = (self.hand + 1) % n;
+            match &mut self.slots[idx] {
+                Some(slot) if slot.referenced => {
+                    slot.referenced = false;
+                    sweeps += 1;
+                }
+                Some(slot) => {
+                    self.bytes -= slot.bytes;
+                    self.map.remove(&slot.key);
+                    self.slots[idx] = None;
+                }
+                None => sweeps += 1,
+            }
+        }
+        let slot = Slot {
+            key,
+            block,
+            bytes,
+            referenced: true,
+        };
+        self.bytes += bytes;
+        // Reuse a vacant slot if the hand just freed one.
+        if let Some(idx) = self.slots.iter().position(Option::is_none) {
+            self.slots[idx] = Some(slot);
+            self.map.insert(key, idx);
+        } else {
+            self.map.insert(key, self.slots.len());
+            self.slots.push(Some(slot));
+        }
+    }
+
+    fn purge_sst(&mut self, sst_id: u64) {
+        for idx in 0..self.slots.len() {
+            if let Some(slot) = &self.slots[idx] {
+                if slot.key.0 == sst_id {
+                    self.bytes -= slot.bytes;
+                    self.map.remove(&slot.key);
+                    self.slots[idx] = None;
+                }
+            }
+        }
+    }
+}
+
+/// Fixed-capacity sharded CLOCK cache of decoded SST granules, shared by
+/// every shard of a store (the ids are globally unique, so it could even
+/// be shared across stores). Capacity `0` disables caching entirely:
+/// `get` always misses without counting and `insert` is a no-op.
+pub struct BlockCache {
+    shards: Vec<Mutex<CacheShard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BlockCache {
+    /// A cache bounded by `capacity_bytes` (data bytes, excluding map
+    /// overhead), split across [`CACHE_SHARDS`] lock domains.
+    pub fn new(capacity_bytes: usize) -> Arc<BlockCache> {
+        Arc::new(BlockCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+            capacity_per_shard: capacity_bytes / CACHE_SHARDS,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Is caching enabled (capacity > 0)?
+    pub fn enabled(&self) -> bool {
+        self.capacity_per_shard > 0
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &BlockKey) -> &Mutex<CacheShard> {
+        let h = fx_hash_u64(key.0 ^ u64::from(key.1).rotate_left(32));
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up a granule, counting the hit/miss.
+    pub fn get(&self, key: &BlockKey) -> Option<Arc<Block>> {
+        if !self.enabled() {
+            return None;
+        }
+        let got = self.shard_of(key).lock().get(key);
+        if got.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    /// Insert a decoded granule of `bytes` data bytes. Oversized blocks
+    /// (more than an eighth of one shard's capacity) are not cached: one
+    /// huge value must not evict a whole shard's working set.
+    pub fn insert(&self, key: BlockKey, block: Arc<Block>, bytes: usize) {
+        if !self.enabled() || bytes > self.capacity_per_shard / 8 + 1 {
+            return;
+        }
+        self.shard_of(&key)
+            .lock()
+            .insert(key, block, bytes, self.capacity_per_shard);
+    }
+
+    /// Drop every cached granule of one SST (called after compaction
+    /// deletes its file).
+    pub fn purge_sst(&self, sst_id: u64) {
+        if !self.enabled() {
+            return;
+        }
+        for shard in &self.shards {
+            shard.lock().purge_sst(sst_id);
+        }
+    }
+
+    /// (hits, misses) since creation.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resident data bytes across all shards.
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (h, m) = self.counters();
+        f.debug_struct("BlockCache")
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .field("bytes", &self.bytes())
+            .field("hits", &h)
+            .field("misses", &m)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use helios_types::Timestamp;
+
+    fn block(n: usize) -> (Arc<Block>, usize) {
+        let entries: Block = (0..n)
+            .map(|i| {
+                (
+                    format!("k{i:04}").into_bytes(),
+                    StoredValue::live(Bytes::from(vec![0u8; 32]), Timestamp(i as u64)),
+                )
+            })
+            .collect();
+        let bytes = entries
+            .iter()
+            .map(|(k, v)| k.len() + v.footprint())
+            .sum::<usize>();
+        (Arc::new(entries), bytes)
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let cache = BlockCache::new(1 << 20);
+        let (b, bytes) = block(4);
+        assert!(cache.get(&(1, 0)).is_none());
+        cache.insert((1, 0), b, bytes);
+        assert!(cache.get(&(1, 0)).is_some());
+        assert!(cache.get(&(1, 1)).is_none());
+        let (h, m) = cache.counters();
+        assert_eq!((h, m), (1, 2));
+    }
+
+    #[test]
+    fn capacity_zero_disables() {
+        let cache = BlockCache::new(0);
+        let (b, bytes) = block(4);
+        cache.insert((1, 0), b, bytes);
+        assert!(cache.get(&(1, 0)).is_none());
+        assert_eq!(cache.counters(), (0, 0), "disabled cache counts nothing");
+    }
+
+    #[test]
+    fn eviction_keeps_bytes_bounded() {
+        // Tiny capacity: inserting many blocks must evict, not grow.
+        let cache = BlockCache::new(CACHE_SHARDS * 4096);
+        for i in 0..256u64 {
+            let (b, bytes) = block(4);
+            assert!(
+                bytes <= 4096 / 8,
+                "test block must be cacheable, got {bytes}"
+            );
+            cache.insert((i, 0), b, bytes);
+        }
+        assert!(cache.bytes() <= CACHE_SHARDS * 4096, "{}", cache.bytes());
+        // Some recent block should still be resident.
+        let resident = (0..256u64)
+            .filter(|i| cache.get(&(*i, 0)).is_some())
+            .count();
+        assert!(resident > 0, "cache evicted everything");
+    }
+
+    #[test]
+    fn purge_drops_only_that_sst() {
+        let cache = BlockCache::new(1 << 20);
+        let (b1, s1) = block(4);
+        let (b2, s2) = block(4);
+        cache.insert((7, 0), b1, s1);
+        cache.insert((8, 0), b2, s2);
+        cache.purge_sst(7);
+        assert!(cache.get(&(7, 0)).is_none());
+        assert!(cache.get(&(8, 0)).is_some());
+    }
+
+    #[test]
+    fn oversized_blocks_are_not_cached() {
+        let cache = BlockCache::new(CACHE_SHARDS * 64);
+        let (b, _) = block(64);
+        cache.insert((1, 0), b, 1 << 20);
+        assert!(cache.get(&(1, 0)).is_none());
+    }
+}

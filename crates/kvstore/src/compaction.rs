@@ -1,0 +1,207 @@
+//! Background incremental compaction.
+//!
+//! One thread per hybrid-mode store. It wakes on a nudge (from the
+//! flusher when a shard crosses [`crate::KvConfig::l0_compact_trigger`]
+//! runs, or from `expire_before`) or a 100 ms timeout, and merges the
+//! **oldest suffix** of a shard's run list — up to [`MAX_FANIN`] runs —
+//! into one output via a k-way streaming merge over [`SstCursor`]s:
+//! one granule-sized positioned read at a time per input, never a full
+//! in-memory materialization. The output SST is written with no locks
+//! held; installation swaps the run-list tail under a short shard write
+//! lock. Because the merged suffix always includes the shard's oldest
+//! run (nothing can exist below it), tombstones are safe to drop, and
+//! the sticky TTL horizon folds into the same merge.
+//!
+//! The output takes the **generation of its oldest input** and a fresh
+//! id, which keeps `(gen desc, id desc)` a faithful recency order for
+//! reopen even if a crash leaves the output beside its inputs (newer
+//! inputs shadow it; the equal-generation oldest input is shadowed by
+//! the output's higher id — both consistent).
+
+use crate::sst::{SstCursor, SstWriter, StoredValue};
+use crate::store::{KvEvent, Run, StoreInner};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use helios_types::{Result, Timestamp};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Maximum runs merged in one background pass. Bounds pass latency so a
+/// deeply-behind shard catches up incrementally instead of in one huge
+/// stop-the-world-sized sweep.
+pub(crate) const MAX_FANIN: usize = 8;
+
+pub(crate) fn run(inner: Arc<StoreInner>, rx: Receiver<()>) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(()) | Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        if inner.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        // A TTL sweep visits every shard with runs (the horizon must
+        // reach data below the trigger); otherwise only shards at or
+        // past the trigger. Keep merging until a full round does no
+        // work, so a deeply-behind shard converges without waiting for
+        // timeouts.
+        let mut ttl_sweep = inner.ttl_dirty.swap(false, Ordering::Relaxed);
+        loop {
+            let mut merged_any = false;
+            for idx in 0..inner.shards.len() {
+                if inner.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let runs = inner.shards[idx].read().runs.len();
+                let wants = if ttl_sweep {
+                    runs >= 1
+                } else {
+                    runs >= inner.config.l0_compact_trigger
+                };
+                if !wants {
+                    continue;
+                }
+                let fanin = if ttl_sweep { usize::MAX } else { MAX_FANIN };
+                match merge_shard(&inner, idx, fanin, None) {
+                    Ok(did) => merged_any |= did,
+                    Err(e) => {
+                        eprintln!("helios-kvstore: compaction of shard {idx} failed: {e}");
+                    }
+                }
+            }
+            ttl_sweep = false;
+            if !merged_any {
+                break;
+            }
+        }
+    }
+}
+
+/// Merge the oldest `min(runs, fanin)` runs of shard `idx` into one
+/// output, dropping tombstones and entries older than the effective TTL
+/// horizon (`max(explicit, sticky)`). Returns whether a pass was
+/// actually performed; no-op candidates (single clean run, no horizon)
+/// are skipped without touching the `compactions` counter.
+pub(crate) fn merge_shard(
+    inner: &StoreInner,
+    idx: usize,
+    fanin: usize,
+    horizon: Option<Timestamp>,
+) -> Result<bool> {
+    if inner.config.dir.is_none() {
+        return Ok(false);
+    }
+    // Serialize passes: background thread vs `compact_blocking`.
+    let _maintenance = inner.maintenance.lock();
+    let candidates: Vec<Run> = {
+        let shard = inner.shards[idx].read();
+        let n = shard.runs.len();
+        if n == 0 {
+            return Ok(false);
+        }
+        let k = n.min(fanin.max(1));
+        // The oldest k runs (list is newest-first), preserving order.
+        shard.runs[n - k..].to_vec()
+    };
+    let k = candidates.len();
+    let h = horizon
+        .map(|t| t.millis())
+        .unwrap_or(0)
+        .max(inner.ttl_horizon.load(Ordering::Relaxed));
+    let tombstones: u32 = candidates.iter().map(|r| r.sst.tombstones()).sum();
+    if k < 2 && h == 0 && tombstones == 0 {
+        return Ok(false); // single clean run, nothing to reclaim
+    }
+
+    // Output takes the oldest input's generation and a fresh id.
+    let out_gen = candidates.last().expect("k >= 1").gen;
+    let out_id = inner.next_sst_id.fetch_add(1, Ordering::Relaxed);
+    let out_path = inner.sst_path(out_gen, out_id);
+
+    // K-way streaming merge. `heads[i]` is cursor i's next entry;
+    // candidates are newest-first, so among equal keys the smallest
+    // index wins (newest) and the rest are discarded.
+    let mut cursors: Vec<SstCursor> = candidates.iter().map(|r| r.sst.cursor()).collect();
+    let mut heads: Vec<Option<(Vec<u8>, StoredValue)>> = Vec::with_capacity(k);
+    for c in &mut cursors {
+        heads.push(c.next().transpose()?);
+    }
+    let mut writer = SstWriter::create(&out_path)?;
+    let mut entries_out = 0u64;
+    loop {
+        let mut best: Option<usize> = None;
+        for i in 0..k {
+            if heads[i].is_none() {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                // Strict `<` keeps the earlier (newer) cursor on ties.
+                Some(b) if heads[i].as_ref().unwrap().0 < heads[b].as_ref().unwrap().0 => Some(i),
+                Some(b) => Some(b),
+            };
+        }
+        let Some(b) = best else { break };
+        let (key, value) = heads[b].take().expect("best head present");
+        heads[b] = cursors[b].next().transpose()?;
+        // Skip shadowed older versions of the same key.
+        for i in 0..k {
+            if i == b {
+                continue;
+            }
+            while heads[i].as_ref().is_some_and(|(ik, _)| ik == &key) {
+                heads[i] = cursors[i].next().transpose()?;
+            }
+        }
+        // The merged suffix reaches the bottom of the shard: tombstones
+        // shadow nothing and can go; expired entries go with them.
+        let expired = h > 0 && value.ts.millis() < h;
+        if !value.tombstone && !expired {
+            writer.add(&key, &value)?;
+            entries_out += 1;
+        }
+    }
+    let output = if entries_out == 0 {
+        drop(writer);
+        let _ = std::fs::remove_file(&out_path);
+        None
+    } else {
+        writer.finish()?;
+        Some(Run {
+            gen: out_gen,
+            id: out_id,
+            sst: Arc::new(inner.open_sst(&out_path)?),
+        })
+    };
+    let bytes_out = output.as_ref().map(|r| r.sst.file_bytes()).unwrap_or(0);
+
+    // Swap the tail under a short write lock. Only the flusher can have
+    // touched the list meanwhile, and it only prepends — the tail is
+    // still exactly our candidates.
+    {
+        let mut shard = inner.shards[idx].write();
+        let n = shard.runs.len();
+        debug_assert!(n >= k, "run list shrank under the maintenance lock");
+        debug_assert!(shard.runs[n - k..]
+            .iter()
+            .zip(&candidates)
+            .all(|(a, b)| a.id == b.id));
+        let mut runs: Vec<Run> = shard.runs[..n - k].to_vec();
+        runs.extend(output);
+        shard.runs = Arc::new(runs);
+    }
+    for r in &candidates {
+        let _ = std::fs::remove_file(r.sst.path());
+        if let Some(cache) = &inner.cache {
+            cache.purge_sst(r.sst.cache_id());
+        }
+    }
+    inner.compactions.fetch_add(1, Ordering::Relaxed);
+    inner.fire(&KvEvent::Compaction {
+        shard: idx,
+        runs_in: k,
+        entries_out,
+        bytes_out,
+    });
+    Ok(true)
+}

@@ -9,25 +9,37 @@
 //! * the key space is sharded by hash across `shards` independent shards,
 //!   each with its own lock (writes from data-updating threads and reads
 //!   from serving threads rarely contend);
-//! * each shard has a **memtable** (ordered map, newest values win);
-//! * when a memtable exceeds its budget it is **flushed** to an immutable
-//!   sorted **SST file** with a bloom filter and a sparse index;
-//! * `get` consults the memtable, then SSTs newest → oldest;
+//! * each shard has an **active memtable** (ordered map, newest values
+//!   win); when it exceeds its budget it is *rotated* onto an immutable
+//!   list under the brief write lock and a **background flusher thread**
+//!   writes it to an immutable sorted **SST file** (bloom filter +
+//!   sparse index) — `put`/`write_batch` never touch the filesystem;
+//! * `get`/`multi_get` consult active → immutables → SSTs newest →
+//!   oldest, probing the SSTs *outside* the shard lock against a
+//!   copy-on-write run-list snapshot, through a shared, sharded CLOCK
+//!   **block cache** of index granules;
+//! * a **background compaction thread** k-way-stream-merges the oldest
+//!   runs of a shard once it crosses `l0_compact_trigger`, dropping
+//!   tombstones and TTL-expired entries (§6's "time-to-live threshold to
+//!   remove the stale data in the sample cache") without materializing
+//!   runs in memory; `compact_blocking()` remains for tests/shutdown;
 //! * deletes write **tombstones** (needed when a serving worker evicts
 //!   cache entries after an unsubscribe message, §5.3);
-//! * `compact()` merges a shard's SSTs, dropping tombstones and
-//!   TTL-expired entries (§6's "time-to-live threshold to remove the
-//!   stale data in the sample cache");
 //! * memory/disk byte accounting feeds the Fig. 16 cache-ratio
-//!   experiment.
+//!   experiment, plus flush/stall/compaction-debt/cache-hit counters for
+//!   the ops plane.
 //!
 //! Not reproduced from RocksDB: the WAL (callers that need durability —
 //! the checkpoint path — write through `helios-mq` segments instead),
 //! leveled compaction, column families, snapshots.
 
 pub mod bloom;
+pub mod cache;
+mod compaction;
+mod flusher;
 pub mod sst;
 pub mod store;
 
 pub use bloom::BloomFilter;
-pub use store::{KvConfig, KvStats, KvStore, WriteOp};
+pub use cache::BlockCache;
+pub use store::{EventHook, KvConfig, KvEvent, KvStats, KvStore, WriteOp};

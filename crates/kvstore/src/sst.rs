@@ -3,20 +3,42 @@
 //! Layout: `HSST1` magic, entry count, then sorted entries of
 //! `[key_len u32][key][flags u8][ts u64][val_len u32][val]`. On open the
 //! file is scanned once to build a bloom filter and a sparse index (every
-//! 16th key with its file offset); point reads binary-search the sparse
-//! index and scan forward at most 16 entries using positioned reads, so
-//! concurrent readers never contend on a seek position.
+//! [`INDEX_EVERY`]-th key with its file offset). Point reads
+//! binary-search the sparse index and then read the whole *granule* (the
+//! byte range between two index points) with one positioned read —
+//! optionally through the shared [`BlockCache`], in which case a warm
+//! granule costs no syscall at all. Concurrent readers never contend on a
+//! seek position.
+//!
+//! Writing is streaming: [`SstWriter`] appends entries through a
+//! `BufWriter` and back-patches the entry count on [`SstWriter::finish`].
+//! A crash mid-write leaves a file whose count field still reads zero, so
+//! reopen treats it as empty and skips it — half-written tails are never
+//! interpreted as data.
 
 use crate::bloom::BloomFilter;
+use crate::cache::{Block, BlockCache};
 use bytes::Bytes;
 use helios_types::{HeliosError, Result, Timestamp};
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 5] = b"HSST1";
-const INDEX_EVERY: usize = 16;
+const HEADER_BYTES: u64 = (5 + 4) as u64;
+
+/// Sparse-index stride: one index point (and one cacheable granule) per
+/// this many entries.
+pub const INDEX_EVERY: usize = 16;
+
+/// Process-wide instance counter backing [`Sst::cache_id`]. Block-cache
+/// keys must survive SST files being deleted and their ids reused by a
+/// reopened store, so cache identity is per *open instance*, not per
+/// file name.
+static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A stored value: payload + write timestamp + tombstone flag.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,42 +76,90 @@ impl StoredValue {
     }
 }
 
-/// Write a sorted run of `(key, value)` pairs to `path`. Keys must be
-/// strictly ascending; violations are a logic error and panic in debug.
+/// Streaming SST writer: entries go straight to a buffered file, nothing
+/// is materialized. The header's entry count starts at zero and is
+/// back-patched by [`finish`](SstWriter::finish); an unfinished file
+/// therefore reads as empty, which makes half-written flush/compaction
+/// output crash-safe (reopen skips empty tables).
+pub struct SstWriter {
+    w: BufWriter<File>,
+    count: u32,
+    #[cfg(debug_assertions)]
+    last_key: Option<Vec<u8>>,
+}
+
+impl SstWriter {
+    /// Create the file (and parent directories) and write the header with
+    /// a zero count.
+    pub fn create(path: &Path) -> Result<SstWriter> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&0u32.to_le_bytes())?;
+        Ok(SstWriter {
+            w,
+            count: 0,
+            #[cfg(debug_assertions)]
+            last_key: None,
+        })
+    }
+
+    /// Append one entry. Keys must arrive strictly ascending; violations
+    /// are a logic error and panic in debug builds.
+    pub fn add(&mut self, key: &[u8], value: &StoredValue) -> Result<()> {
+        #[cfg(debug_assertions)]
+        {
+            if let Some(prev) = &self.last_key {
+                debug_assert!(prev.as_slice() < key, "SST keys must be sorted and unique");
+            }
+            self.last_key = Some(key.to_vec());
+        }
+        self.w.write_all(&(key.len() as u32).to_le_bytes())?;
+        self.w.write_all(key)?;
+        self.w.write_all(&[u8::from(value.tombstone)])?;
+        self.w.write_all(&value.ts.millis().to_le_bytes())?;
+        self.w.write_all(&(value.data.len() as u32).to_le_bytes())?;
+        self.w.write_all(&value.data)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Entries appended so far.
+    pub fn len(&self) -> u32 {
+        self.count
+    }
+
+    /// True when nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Flush and back-patch the entry count, making the table valid.
+    pub fn finish(self) -> Result<()> {
+        let count = self.count;
+        let file = self.w.into_inner().map_err(|e| e.into_error())?;
+        file.write_all_at(&count.to_le_bytes(), MAGIC.len() as u64)?;
+        file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Write a sorted run of `(key, value)` pairs to `path` in one go.
 pub fn write_sst<'a>(
     path: &Path,
     entries: impl Iterator<Item = (&'a [u8], &'a StoredValue)>,
 ) -> Result<()> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let mut w = BufWriter::new(File::create(path)?);
-    // Entry count is unknown for a generic iterator; buffer the encoded
-    // body first (flushes are infrequent and bounded by memtable size).
-    let mut body: Vec<u8> = Vec::with_capacity(1 << 16);
-    let mut count: u32 = 0;
-    let mut last_key: Option<Vec<u8>> = None;
+    let mut w = SstWriter::create(path)?;
     for (key, value) in entries {
-        if let Some(prev) = &last_key {
-            debug_assert!(prev.as_slice() < key, "SST keys must be sorted and unique");
-        }
-        last_key = Some(key.to_vec());
-        body.extend_from_slice(&(key.len() as u32).to_le_bytes());
-        body.extend_from_slice(key);
-        body.push(u8::from(value.tombstone));
-        body.extend_from_slice(&value.ts.millis().to_le_bytes());
-        body.extend_from_slice(&(value.data.len() as u32).to_le_bytes());
-        body.extend_from_slice(&value.data);
-        count += 1;
+        w.add(key, value)?;
     }
-    w.write_all(MAGIC)?;
-    w.write_all(&count.to_le_bytes())?;
-    w.write_all(&body)?;
-    w.flush()?;
-    Ok(())
+    w.finish()
 }
 
-/// An open SST: bloom filter + sparse index + positioned-read handle.
+/// An open SST: bloom filter + sparse index + positioned-read handle,
+/// optionally reading granules through a shared [`BlockCache`].
 #[derive(Debug)]
 pub struct Sst {
     path: PathBuf,
@@ -98,12 +168,21 @@ pub struct Sst {
     /// `(key, file offset)` of every `INDEX_EVERY`-th entry.
     index: Vec<(Vec<u8>, u64)>,
     entries: u32,
+    tombstones: u32,
     file_bytes: u64,
+    cache: Option<Arc<BlockCache>>,
+    cache_id: u64,
 }
 
 impl Sst {
-    /// Open an SST, scanning it once to build the filter and index.
+    /// Open an SST without a block cache.
     pub fn open(path: &Path) -> Result<Self> {
+        Self::open_with_cache(path, None)
+    }
+
+    /// Open an SST, scanning it once to build the filter and index.
+    /// Subsequent granule reads go through `cache` when one is given.
+    pub fn open_with_cache(path: &Path, cache: Option<Arc<BlockCache>>) -> Result<Self> {
         let mut file = File::open(path)?;
         let mut magic = [0u8; 5];
         file.read_exact(&mut magic)?;
@@ -121,7 +200,8 @@ impl Sst {
         // and the sparse index offsets.
         let mut keys: Vec<Vec<u8>> = Vec::with_capacity(entries as usize);
         let mut index = Vec::new();
-        let mut offset = (MAGIC.len() + 4) as u64;
+        let mut tombstones = 0u32;
+        let mut offset = HEADER_BYTES;
         let mut reader = std::io::BufReader::new(&mut file);
         for i in 0..entries {
             let entry_offset = offset;
@@ -132,6 +212,9 @@ impl Sst {
             reader.read_exact(&mut key)?;
             let mut flag = [0u8; 1];
             reader.read_exact(&mut flag)?;
+            if flag[0] != 0 {
+                tombstones += 1;
+            }
             let mut ts8 = [0u8; 8];
             reader.read_exact(&mut ts8)?;
             reader.read_exact(&mut len4)?;
@@ -152,7 +235,10 @@ impl Sst {
             bloom,
             index,
             entries,
+            tombstones,
             file_bytes,
+            cache,
+            cache_id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
         })
     }
 
@@ -164,6 +250,13 @@ impl Sst {
     /// True when the table holds no entries.
     pub fn is_empty(&self) -> bool {
         self.entries == 0
+    }
+
+    /// Number of tombstone entries (compaction-trigger signal: a run that
+    /// is all live data and has no TTL horizon to apply has nothing to
+    /// reclaim on its own).
+    pub fn tombstones(&self) -> u32 {
+        self.tombstones
     }
 
     /// On-disk size in bytes.
@@ -181,34 +274,91 @@ impl Sst {
         &self.path
     }
 
-    fn read_entry_at(&self, offset: u64) -> Result<(Vec<u8>, StoredValue, u64)> {
-        let mut len4 = [0u8; 4];
-        self.file.read_exact_at(&mut len4, offset)?;
-        let klen = u32::from_le_bytes(len4) as usize;
-        let mut key = vec![0u8; klen];
-        self.file.read_exact_at(&mut key, offset + 4)?;
-        let mut flag = [0u8; 1];
-        self.file
-            .read_exact_at(&mut flag, offset + 4 + klen as u64)?;
-        let mut ts8 = [0u8; 8];
-        self.file
-            .read_exact_at(&mut ts8, offset + 4 + klen as u64 + 1)?;
-        self.file
-            .read_exact_at(&mut len4, offset + 4 + klen as u64 + 9)?;
-        let vlen = u32::from_le_bytes(len4) as usize;
-        let mut val = vec![0u8; vlen];
-        self.file
-            .read_exact_at(&mut val, offset + 4 + klen as u64 + 13)?;
-        let next = offset + 4 + klen as u64 + 13 + vlen as u64;
-        Ok((
-            key,
-            StoredValue {
-                data: Bytes::from(val),
-                ts: Timestamp(u64::from_le_bytes(ts8)),
-                tombstone: flag[0] != 0,
-            },
-            next,
-        ))
+    /// Smallest key in the table, if any. Every key of an SST hashes to
+    /// the shard that flushed it, so reopen routes a discovered file by
+    /// this key alone.
+    pub fn first_key(&self) -> Option<&[u8]> {
+        self.index.first().map(|(k, _)| k.as_slice())
+    }
+
+    /// This instance's block-cache identity (unique per open, not per
+    /// file name).
+    pub fn cache_id(&self) -> u64 {
+        self.cache_id
+    }
+
+    /// Byte range `[start, end)` of granule `idx`.
+    fn granule_range(&self, idx: usize) -> (u64, u64) {
+        let start = self.index[idx].1;
+        let end = self
+            .index
+            .get(idx + 1)
+            .map(|(_, off)| *off)
+            .unwrap_or(self.file_bytes);
+        (start, end)
+    }
+
+    /// Decode one granule with a single positioned read.
+    fn read_granule(&self, idx: usize) -> Result<Block> {
+        let (start, end) = self.granule_range(idx);
+        let mut buf = vec![0u8; (end - start) as usize];
+        self.file.read_exact_at(&mut buf, start)?;
+        let mut block = Vec::with_capacity(INDEX_EVERY);
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let need = |n: usize, pos: usize| -> Result<()> {
+                if pos + n > buf.len() {
+                    return Err(HeliosError::Codec(format!(
+                        "{}: truncated entry in granule {idx}",
+                        self.path.display()
+                    )));
+                }
+                Ok(())
+            };
+            need(4, pos)?;
+            let klen = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            need(klen + 13, pos)?;
+            let key = buf[pos..pos + klen].to_vec();
+            pos += klen;
+            let tombstone = buf[pos] != 0;
+            pos += 1;
+            let ts = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+            pos += 8;
+            let vlen = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            need(vlen, pos)?;
+            let data = Bytes::from(buf[pos..pos + vlen].to_vec());
+            pos += vlen;
+            block.push((
+                key,
+                StoredValue {
+                    data,
+                    ts: Timestamp(ts),
+                    tombstone,
+                },
+            ));
+        }
+        Ok(block)
+    }
+
+    /// Fetch granule `idx` through the block cache (miss fills it).
+    fn cached_granule(&self, idx: usize) -> Result<Arc<Block>> {
+        if let Some(cache) = &self.cache {
+            let key = (self.cache_id, idx as u32);
+            if let Some(block) = cache.get(&key) {
+                return Ok(block);
+            }
+            let block = Arc::new(self.read_granule(idx)?);
+            let bytes = block
+                .iter()
+                .map(|(k, v)| k.len() + v.footprint())
+                .sum::<usize>();
+            cache.insert(key, Arc::clone(&block), bytes);
+            Ok(block)
+        } else {
+            Ok(Arc::new(self.read_granule(idx)?))
+        }
     }
 
     /// Point lookup.
@@ -219,6 +369,8 @@ impl Sst {
     /// Point lookup with the key's bloom hashes precomputed — the batched
     /// read path hashes each key once and probes every run of the shard
     /// with the same pair (bloom-first, so absent keys cost no I/O).
+    /// Reads the containing granule in one positioned read, served from
+    /// the block cache when warm.
     pub fn get_hashed(&self, key: &[u8], hashes: (u64, u64)) -> Result<Option<StoredValue>> {
         if self.entries == 0 || !self.bloom.may_contain_hashed(hashes) {
             return Ok(None);
@@ -229,31 +381,66 @@ impl Sst {
             Err(0) => return Ok(None), // smaller than the smallest key
             Err(i) => i - 1,
         };
-        let mut offset = self.index[idx].1;
-        for _ in 0..INDEX_EVERY {
-            if offset >= self.file_bytes {
-                break;
-            }
-            let (k, v, next) = self.read_entry_at(offset)?;
-            match k.as_slice().cmp(key) {
-                std::cmp::Ordering::Equal => return Ok(Some(v)),
-                std::cmp::Ordering::Greater => return Ok(None),
-                std::cmp::Ordering::Less => offset = next,
-            }
+        let block = self.cached_granule(idx)?;
+        match block.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => Ok(Some(block[i].1.clone())),
+            Err(_) => Ok(None),
         }
-        Ok(None)
     }
 
-    /// Stream all entries in key order (compaction input).
+    /// Streaming in-order cursor over all entries (compaction input).
+    /// Reads one granule per positioned read, bypassing the block cache —
+    /// a compaction sweep must not evict the serving working set.
+    pub fn cursor(self: &Arc<Self>) -> SstCursor {
+        SstCursor {
+            sst: Arc::clone(self),
+            granule: 0,
+            iter: Vec::new().into_iter(),
+        }
+    }
+
+    /// All entries in key order. Prefer [`Sst::cursor`] for large tables;
+    /// this materializes everything.
     pub fn scan(&self) -> Result<Vec<(Vec<u8>, StoredValue)>> {
         let mut out = Vec::with_capacity(self.entries as usize);
-        let mut offset = (MAGIC.len() + 4) as u64;
-        for _ in 0..self.entries {
-            let (k, v, next) = self.read_entry_at(offset)?;
-            out.push((k, v));
-            offset = next;
+        for idx in 0..self.index.len() {
+            out.append(&mut self.read_granule(idx)?);
         }
         Ok(out)
+    }
+}
+
+/// Streaming iterator over one SST, granule at a time. Holds the `Arc`
+/// so the underlying file handle stays valid even after the file is
+/// unlinked by a concurrent compaction.
+pub struct SstCursor {
+    sst: Arc<Sst>,
+    granule: usize,
+    iter: std::vec::IntoIter<(Vec<u8>, StoredValue)>,
+}
+
+impl Iterator for SstCursor {
+    type Item = Result<(Vec<u8>, StoredValue)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(entry) = self.iter.next() {
+                return Some(Ok(entry));
+            }
+            if self.granule >= self.sst.index.len() {
+                return None;
+            }
+            match self.sst.read_granule(self.granule) {
+                Ok(block) => {
+                    self.granule += 1;
+                    self.iter = block.into_iter();
+                }
+                Err(e) => {
+                    self.granule = self.sst.index.len(); // poison: stop iterating
+                    return Some(Err(e));
+                }
+            }
+        }
     }
 }
 
@@ -285,6 +472,8 @@ mod tests {
         let sst = Sst::open(&path).unwrap();
         assert_eq!(sst.len(), 1000);
         assert!(!sst.is_empty());
+        assert_eq!(sst.tombstones(), 0);
+        assert_eq!(sst.first_key(), Some(b"key-000000".as_slice()));
         for i in (0..1000).step_by(37) {
             let k = format!("key-{i:06}");
             let v = sst.get(k.as_bytes()).unwrap().unwrap();
@@ -308,6 +497,7 @@ mod tests {
         );
         write_sst(&path, map.iter().map(|(k, v)| (k.as_slice(), v))).unwrap();
         let sst = Sst::open(&path).unwrap();
+        assert_eq!(sst.tombstones(), 1);
         let v = sst.get(b"key-000003").unwrap().unwrap();
         assert!(v.tombstone);
         assert!(v.data.is_empty());
@@ -329,14 +519,51 @@ mod tests {
     }
 
     #[test]
+    fn cursor_streams_everything_in_order() {
+        let path = tmpfile("cursor");
+        let map = sample_map(333); // not a multiple of INDEX_EVERY
+        write_sst(&path, map.iter().map(|(k, v)| (k.as_slice(), v))).unwrap();
+        let sst = Arc::new(Sst::open(&path).unwrap());
+        let all: Vec<_> = sst.cursor().map(|r| r.unwrap()).collect();
+        assert_eq!(all.len(), 333);
+        for w in all.windows(2) {
+            assert!(w[0].0 < w[1].0, "cursor must be key-ordered");
+        }
+        assert_eq!(all, sst.scan().unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn empty_sst() {
         let path = tmpfile("empty");
         let map: BTreeMap<Vec<u8>, StoredValue> = BTreeMap::new();
         write_sst(&path, map.iter().map(|(k, v)| (k.as_slice(), v))).unwrap();
         let sst = Sst::open(&path).unwrap();
         assert!(sst.is_empty());
+        assert!(sst.first_key().is_none());
         assert!(sst.get(b"x").unwrap().is_none());
         assert!(sst.scan().unwrap().is_empty());
+        let sst = Arc::new(sst);
+        assert_eq!(sst.cursor().count(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unfinished_writer_reads_as_empty() {
+        let path = tmpfile("unfinished");
+        {
+            let mut w = SstWriter::create(&path).unwrap();
+            w.add(
+                b"k1",
+                &StoredValue::live(Bytes::from_static(b"v"), Timestamp(1)),
+            )
+            .unwrap();
+            // Simulate a crash: drop without finish(). The BufWriter may
+            // flush bytes, but the count field still reads zero.
+            drop(w);
+        }
+        let sst = Sst::open(&path).unwrap();
+        assert!(sst.is_empty(), "unfinished SST must read as empty");
         let _ = std::fs::remove_file(&path);
     }
 
@@ -349,8 +576,27 @@ mod tests {
     }
 
     #[test]
+    fn cached_reads_hit_after_first_touch() {
+        let path = tmpfile("cached");
+        let map = sample_map(100);
+        write_sst(&path, map.iter().map(|(k, v)| (k.as_slice(), v))).unwrap();
+        let cache = BlockCache::new(1 << 20);
+        let sst = Sst::open_with_cache(&path, Some(Arc::clone(&cache))).unwrap();
+        let k = b"key-000042";
+        assert!(sst.get(k).unwrap().is_some());
+        let (h0, m0) = cache.counters();
+        assert_eq!((h0, m0), (0, 1), "first touch is a miss");
+        assert!(sst.get(k).unwrap().is_some());
+        let (h1, m1) = cache.counters();
+        assert_eq!((h1, m1), (1, 1), "second touch is a hit");
+        // A neighboring key in the same granule also hits.
+        assert!(sst.get(b"key-000043").unwrap().is_some());
+        assert!(cache.counters().0 >= 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn concurrent_readers() {
-        use std::sync::Arc;
         let path = tmpfile("conc");
         let map = sample_map(500);
         write_sst(&path, map.iter().map(|(k, v)| (k.as_slice(), v))).unwrap();

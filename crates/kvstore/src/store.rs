@@ -1,24 +1,75 @@
-//! The sharded store: memtables + SST runs per shard.
+//! The sharded store: active + immutable memtables and SST runs per
+//! shard, with flushing and compaction on dedicated background threads.
+//!
+//! ## Hot-path discipline (hybrid mode)
+//!
+//! No request-path operation performs disk I/O under a shard lock:
+//!
+//! * `put`/`write_batch` insert into the shard's *active* memtable under
+//!   the write lock; when the shard goes over budget the active table is
+//!   swapped (still under that brief lock) onto an immutable list and the
+//!   shard index is enqueued to the background flusher — the writer never
+//!   touches the filesystem. When the immutable backlog is full
+//!   ([`KvConfig::max_immutable_memtables`]) the writer *stalls* outside
+//!   any lock until the flusher drains one, accumulating
+//!   [`KvStats::stall_nanos`].
+//! * `get`/`multi_get` resolve from active → immutables under the read
+//!   lock, then clone the shard's copy-on-write run list (`Arc<Vec<Run>>`)
+//!   and probe SSTs *after dropping the lock*. This is safe because data
+//!   only ever moves down the hierarchy (active → immutable → SST) and an
+//!   unlinked SST file stays readable through its held file handle.
+//! * The flusher and compactor write SST files with no locks held and
+//!   install them with a short write lock whose scope is a list swap.
+//!
+//! ## On-disk naming and reopen
+//!
+//! SST files are named `g{gen:010}-{id:010}.sst`. The *generation* is
+//! assigned monotonically by the flusher (FIFO per shard), and a
+//! compaction output takes the generation of its **oldest** input — so
+//! sorting a directory's files by `(gen desc, id desc)` reconstructs
+//! run recency even across flush/compaction interleavings and crashes
+//! (a compaction output left beside its inputs is shadowed by any newer
+//! input and shadows the equal-generation oldest one, both consistent).
+//! Legacy `{id:010}.sst` files read as `gen = id`. Reopen routes each
+//! file to its shard by hashing its first key (every key of an SST
+//! hashed to the shard that flushed it) and resumes the id/generation
+//! counters past the maximum found, so live runs are never clobbered.
 
-use crate::sst::{write_sst, Sst, StoredValue};
+use crate::cache::BlockCache;
+use crate::sst::{Sst, StoredValue};
 use bytes::Bytes;
+use crossbeam::channel::{unbounded, Sender};
 use helios_types::{fx_hash_u64, Result, Timestamp};
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::BTreeMap;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Flusher-channel sentinel: wake without a shard to flush (shutdown).
+pub(crate) const FLUSH_WAKE: usize = usize::MAX;
 
 /// Store configuration.
 #[derive(Debug, Clone)]
 pub struct KvConfig {
     /// Number of independent shards (lock domains).
     pub shards: usize,
-    /// Memtable byte budget per shard before a flush to disk is triggered.
-    /// Ignored in pure-memory mode (no `dir`).
+    /// Active-memtable byte budget per shard before it is rotated onto
+    /// the immutable list and queued for a background flush. Ignored in
+    /// pure-memory mode (no `dir`).
     pub memtable_budget: usize,
     /// Directory for SST files. `None` = pure in-memory store.
     pub dir: Option<PathBuf>,
+    /// Background compaction fires for a shard once its run count
+    /// reaches this.
+    pub l0_compact_trigger: usize,
+    /// Per-shard bound on unflushed immutable memtables; writers stall
+    /// (outside locks) when a shard's backlog is full.
+    pub max_immutable_memtables: usize,
+    /// Block-cache capacity in bytes, shared across all shards of the
+    /// store. `0` disables the cache.
+    pub block_cache_bytes: usize,
 }
 
 impl Default for KvConfig {
@@ -27,6 +78,9 @@ impl Default for KvConfig {
             shards: 8,
             memtable_budget: 4 << 20,
             dir: None,
+            l0_compact_trigger: 4,
+            max_immutable_memtables: 4,
+            block_cache_bytes: 32 << 20,
         }
     }
 }
@@ -46,6 +100,7 @@ impl KvConfig {
             shards,
             memtable_budget,
             dir: Some(dir),
+            ..Default::default()
         }
     }
 }
@@ -53,9 +108,9 @@ impl KvConfig {
 /// Aggregate size statistics, the measurement behind Fig. 16.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct KvStats {
-    /// Live + tombstone entries in memtables.
+    /// Live + tombstone entries in memtables (active + immutable).
     pub mem_entries: usize,
-    /// Approximate memtable bytes.
+    /// Approximate memtable bytes (active + immutable).
     pub mem_bytes: usize,
     /// Number of SST files.
     pub sst_files: usize,
@@ -63,8 +118,23 @@ pub struct KvStats {
     pub disk_bytes: u64,
     /// Memtable flushes performed since open (SST files written).
     pub flushes: u64,
-    /// Compaction passes performed since open.
+    /// Compaction merge passes actually performed since open (per-shard;
+    /// no-op calls do not count).
     pub compactions: u64,
+    /// Immutable memtables awaiting background flush.
+    pub immutable_memtables: usize,
+    /// Bytes held in immutable memtables awaiting flush.
+    pub immutable_bytes: usize,
+    /// Block-cache granule hits since open.
+    pub block_cache_hits: u64,
+    /// Block-cache granule misses since open.
+    pub block_cache_misses: u64,
+    /// Total nanoseconds writers spent stalled on a full immutable
+    /// backlog.
+    pub stall_nanos: u64,
+    /// Σ over shards of `max(0, runs − l0_compact_trigger)`: how far the
+    /// store is behind on compaction.
+    pub compaction_debt: u64,
 }
 
 impl KvStats {
@@ -74,42 +144,95 @@ impl KvStats {
     }
 }
 
-struct Shard {
-    memtable: BTreeMap<Vec<u8>, StoredValue>,
-    mem_bytes: usize,
-    /// Newest first.
-    ssts: Vec<Arc<Sst>>,
+/// An event fired by the store's background machinery. Consumers (the
+/// deployment layer) forward these to the flight recorder; the store
+/// itself has no telemetry dependency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KvEvent {
+    /// An immutable memtable was flushed to an SST.
+    Flush {
+        /// Shard index.
+        shard: usize,
+        /// Entries written.
+        entries: usize,
+        /// Approximate memtable bytes flushed.
+        bytes: usize,
+        /// Immutable memtables still pending store-wide after this flush.
+        pending: usize,
+    },
+    /// A compaction merge pass replaced a run tail with one output.
+    Compaction {
+        /// Shard index.
+        shard: usize,
+        /// Input runs merged.
+        runs_in: usize,
+        /// Surviving entries written to the output.
+        entries_out: u64,
+        /// Output bytes on disk (0 when everything was dropped).
+        bytes_out: u64,
+    },
+    /// A writer stalled on a full immutable backlog.
+    Stall {
+        /// Stall duration in nanoseconds.
+        nanos: u64,
+    },
+}
+
+/// Callback invoked by background threads (and stalling writers) on
+/// [`KvEvent`]s. Must be cheap and non-blocking.
+pub type EventHook = Arc<dyn Fn(&KvEvent) + Send + Sync>;
+
+/// One SST run of a shard, newest first in `Shard::runs`.
+#[derive(Clone)]
+pub(crate) struct Run {
+    pub(crate) gen: u64,
+    pub(crate) id: u64,
+    pub(crate) sst: Arc<Sst>,
+}
+
+/// A frozen memtable awaiting flush. `seq` identifies it in the shard's
+/// immutable list (the flusher removes exactly the one it wrote).
+pub(crate) struct ImmMemtable {
+    pub(crate) seq: u64,
+    pub(crate) entries: BTreeMap<Vec<u8>, StoredValue>,
+    pub(crate) bytes: usize,
+}
+
+pub(crate) struct Shard {
+    /// The mutable memtable all writes land in.
+    pub(crate) active: BTreeMap<Vec<u8>, StoredValue>,
+    /// Approximate bytes in `active` only.
+    pub(crate) mem_bytes: usize,
+    /// Frozen memtables, newest first, awaiting the background flusher.
+    pub(crate) immutables: Vec<Arc<ImmMemtable>>,
+    /// SST runs, newest first. Copy-on-write: readers clone the `Arc`
+    /// under the read lock and probe the files lock-free.
+    pub(crate) runs: Arc<Vec<Run>>,
 }
 
 impl Shard {
-    fn new() -> Self {
+    fn new(runs: Vec<Run>) -> Self {
         Shard {
-            memtable: BTreeMap::new(),
+            active: BTreeMap::new(),
             mem_bytes: 0,
-            ssts: Vec::new(),
+            immutables: Vec::new(),
+            runs: Arc::new(runs),
         }
     }
 
-    /// Memtable-then-SSTs point lookup; the caller holds the shard lock.
-    fn lookup(&self, key: &[u8]) -> Result<Option<Bytes>> {
-        if let Some(sv) = self.memtable.get(key) {
-            return Ok(if sv.tombstone {
-                None
-            } else {
-                Some(sv.data.clone())
-            });
+    /// Memtable-only lookup (active, then immutables newest → oldest);
+    /// the caller holds the shard lock. SSTs are probed by the caller
+    /// after dropping it.
+    fn mem_get(&self, key: &[u8]) -> Option<&StoredValue> {
+        if let Some(sv) = self.active.get(key) {
+            return Some(sv);
         }
-        if self.ssts.is_empty() {
-            return Ok(None);
-        }
-        // Hash once, probe every run bloom-first (newest → oldest).
-        let hashes = crate::bloom::hash_pair(key);
-        for sst in &self.ssts {
-            if let Some(sv) = sst.get_hashed(key, hashes)? {
-                return Ok(if sv.tombstone { None } else { Some(sv.data) });
+        for imm in &self.immutables {
+            if let Some(sv) = imm.entries.get(key) {
+                return Some(sv);
             }
         }
-        Ok(None)
+        None
     }
 
     /// Insert one entry, maintaining the byte accounting. Takes the key by
@@ -117,7 +240,7 @@ impl Shard {
     fn insert(&mut self, key: Vec<u8>, sv: StoredValue) {
         let klen = key.len();
         let add = klen + sv.footprint();
-        if let Some(old) = self.memtable.insert(key, sv) {
+        if let Some(old) = self.active.insert(key, sv) {
             self.mem_bytes = self.mem_bytes.saturating_sub(old.footprint());
             self.mem_bytes += add - klen;
         } else {
@@ -180,55 +303,318 @@ impl WriteOp {
     }
 }
 
+#[inline]
+fn shard_index_of(key: &[u8], shards: usize) -> usize {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for chunk in key.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        h = fx_hash_u64(h ^ u64::from_le_bytes(w));
+    }
+    (h % shards as u64) as usize
+}
+
+/// Resolve a found entry under the sticky TTL horizon. Terminal: older
+/// shadowed versions are at least as old, so there is no fall-through.
+#[inline]
+fn resolve(sv: &StoredValue, horizon: u64) -> Option<Bytes> {
+    if sv.tombstone || (horizon > 0 && sv.ts.millis() < horizon) {
+        None
+    } else {
+        Some(sv.data.clone())
+    }
+}
+
+/// Shared state between the front-end handle and the background threads.
+pub(crate) struct StoreInner {
+    pub(crate) config: KvConfig,
+    pub(crate) shards: Vec<RwLock<Shard>>,
+    /// Granule cache shared by every SST of the store (hybrid only, and
+    /// only when `block_cache_bytes > 0`).
+    pub(crate) cache: Option<Arc<BlockCache>>,
+    pub(crate) next_sst_id: AtomicU64,
+    pub(crate) next_gen: AtomicU64,
+    next_rotation: AtomicU64,
+    pub(crate) flushes: AtomicU64,
+    pub(crate) compactions: AtomicU64,
+    pub(crate) stall_nanos: AtomicU64,
+    /// Store-wide count of immutable memtables awaiting flush.
+    pub(crate) imm_count: AtomicUsize,
+    /// Sticky TTL horizon in millis (0 = none): reads hide anything
+    /// older, ahead of physical reclamation by compaction.
+    pub(crate) ttl_horizon: AtomicU64,
+    /// Set by `expire_before`; tells the compactor to sweep every shard
+    /// (not just over-trigger ones) folding the horizon into the merge.
+    pub(crate) ttl_dirty: AtomicBool,
+    pub(crate) stop: AtomicBool,
+    /// Test/ops hook: a paused flusher accumulates backlog (wedge drill).
+    pub(crate) flush_paused: AtomicBool,
+    /// Condvar home for stalling writers and `flush()` waiters; the
+    /// flusher notifies after every drain.
+    pub(crate) flush_sync: Mutex<()>,
+    pub(crate) flush_cv: Condvar,
+    /// Serializes compaction passes (background vs `compact_blocking`).
+    pub(crate) maintenance: Mutex<()>,
+    hook: RwLock<Option<EventHook>>,
+    flush_tx: Option<Sender<usize>>,
+    compact_tx: Option<Sender<()>>,
+}
+
+impl StoreInner {
+    #[inline]
+    pub(crate) fn shard_index(&self, key: &[u8]) -> usize {
+        shard_index_of(key, self.shards.len())
+    }
+
+    pub(crate) fn sst_path(&self, gen: u64, id: u64) -> PathBuf {
+        let dir = self.config.dir.as_ref().expect("hybrid mode");
+        dir.join(format!("g{gen:010}-{id:010}.sst"))
+    }
+
+    pub(crate) fn open_sst(&self, path: &Path) -> Result<Sst> {
+        Sst::open_with_cache(path, self.cache.clone())
+    }
+
+    pub(crate) fn fire(&self, ev: &KvEvent) {
+        if let Some(hook) = self.hook.read().as_ref() {
+            hook(ev);
+        }
+    }
+
+    pub(crate) fn nudge_compactor(&self) {
+        if let Some(tx) = &self.compact_tx {
+            let _ = tx.send(());
+        }
+    }
+
+    /// Freeze the active memtable onto the immutable list and enqueue it
+    /// for the flusher. Caller holds the shard's write lock — the send
+    /// under the lock is what keeps per-shard flush requests FIFO.
+    fn rotate_locked(&self, idx: usize, shard: &mut Shard) {
+        if shard.active.is_empty() {
+            return;
+        }
+        let imm = Arc::new(ImmMemtable {
+            seq: self.next_rotation.fetch_add(1, Ordering::Relaxed),
+            entries: std::mem::take(&mut shard.active),
+            bytes: std::mem::replace(&mut shard.mem_bytes, 0),
+        });
+        shard.immutables.insert(0, imm);
+        self.imm_count.fetch_add(1, Ordering::Relaxed);
+        if let Some(tx) = &self.flush_tx {
+            let _ = tx.send(idx);
+        }
+    }
+
+    /// Post-insert bookkeeping under the held write lock. Returns true
+    /// when the backlog is full and the caller must stall outside the
+    /// lock.
+    fn over_budget_locked(&self, idx: usize, shard: &mut Shard) -> bool {
+        if self.config.dir.is_none() || shard.mem_bytes <= self.config.memtable_budget {
+            return false;
+        }
+        if shard.immutables.len() < self.config.max_immutable_memtables {
+            self.rotate_locked(idx, shard);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Writer stall: the shard is over budget but its immutable backlog
+    /// is full. Wait (lock-free w.r.t. the shard) for the flusher to
+    /// drain one, then rotate. Time spent here is the write-stall metric.
+    fn stall_rotate(&self, idx: usize) {
+        let t0 = Instant::now();
+        loop {
+            {
+                let mut shard = self.shards[idx].write();
+                if shard.mem_bytes <= self.config.memtable_budget {
+                    break; // another writer rotated for us
+                }
+                if shard.immutables.len() < self.config.max_immutable_memtables {
+                    self.rotate_locked(idx, &mut shard);
+                    break;
+                }
+            }
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let mut g = self.flush_sync.lock();
+            let _ = self.flush_cv.wait_for(&mut g, Duration::from_millis(5));
+        }
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.stall_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.fire(&KvEvent::Stall { nanos });
+    }
+
+    /// Expire the *active* memtable in place (no I/O): drop live entries
+    /// older than `h`, and tombstones when nothing below the active table
+    /// could resurrect the key. Caller decides whether to also kick the
+    /// compactor for the on-disk side.
+    fn expire_active(&self, h: Timestamp) {
+        for lock in &self.shards {
+            let mut shard = lock.write();
+            let has_below = !shard.immutables.is_empty() || !shard.runs.is_empty();
+            let mut freed = 0usize;
+            shard.active.retain(|k, v| {
+                let keep = if v.tombstone { has_below } else { v.ts >= h };
+                if !keep {
+                    freed += k.len() + v.footprint();
+                }
+                keep
+            });
+            shard.mem_bytes = shard.mem_bytes.saturating_sub(freed);
+        }
+    }
+}
+
 /// Sharded LSM-style KV store. All operations are `&self`; internal
-/// per-shard `RwLock`s provide concurrency.
+/// per-shard `RwLock`s provide concurrency. In hybrid mode a background
+/// flusher and compactor thread run for the store's lifetime; dropping
+/// the handle stops them (draining any pending flushes first).
 pub struct KvStore {
-    config: KvConfig,
-    shards: Vec<RwLock<Shard>>,
-    next_sst_id: AtomicU64,
-    flushes: AtomicU64,
-    compactions: AtomicU64,
+    inner: Arc<StoreInner>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+    compactor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl KvStore {
-    /// Open a store with the given configuration.
+    /// Open a store with the given configuration. In hybrid mode this
+    /// discovers SST files left by a previous instance in `dir`, routes
+    /// each to its shard by first key, orders runs by `(gen, id)` and
+    /// resumes the id counters past everything found.
     pub fn open(config: KvConfig) -> Result<Self> {
         assert!(config.shards > 0, "need at least one shard");
+        let cache = match (&config.dir, config.block_cache_bytes) {
+            (Some(_), bytes) if bytes > 0 => Some(BlockCache::new(bytes)),
+            _ => None,
+        };
+        let mut per_shard: Vec<Vec<Run>> = (0..config.shards).map(|_| Vec::new()).collect();
+        let mut next_id = 0u64;
+        let mut next_gen = 0u64;
         if let Some(dir) = &config.dir {
             std::fs::create_dir_all(dir)?;
+            for entry in std::fs::read_dir(dir)? {
+                let entry = entry?;
+                let name = entry.file_name();
+                let Some(stem) = name
+                    .to_string_lossy()
+                    .strip_suffix(".sst")
+                    .map(String::from)
+                else {
+                    continue;
+                };
+                let Some((gen, id)) = parse_sst_name(&stem) else {
+                    continue;
+                };
+                let path = entry.path();
+                let sst = match Sst::open_with_cache(&path, cache.clone()) {
+                    Ok(s) => s,
+                    // Unreadable leftover (crash mid-header): never data,
+                    // skip it but still reserve its ids.
+                    Err(_) => {
+                        next_id = next_id.max(id + 1);
+                        next_gen = next_gen.max(gen + 1);
+                        continue;
+                    }
+                };
+                next_id = next_id.max(id + 1);
+                next_gen = next_gen.max(gen + 1);
+                if sst.is_empty() {
+                    // A zero-count table is an unfinished flush/compaction
+                    // output; reclaim it.
+                    let _ = std::fs::remove_file(&path);
+                    continue;
+                }
+                let first = sst.first_key().expect("non-empty SST has a first key");
+                let idx = shard_index_of(first, config.shards);
+                per_shard[idx].push(Run {
+                    gen,
+                    id,
+                    sst: Arc::new(sst),
+                });
+            }
+            for runs in &mut per_shard {
+                // Newest first: higher generation, then higher id.
+                runs.sort_by_key(|r| std::cmp::Reverse((r.gen, r.id)));
+            }
         }
-        let shards = (0..config.shards)
-            .map(|_| RwLock::new(Shard::new()))
-            .collect();
-        Ok(KvStore {
+        let hybrid = config.dir.is_some();
+        let (flush_tx, flush_rx) = if hybrid {
+            let (tx, rx) = unbounded();
+            (Some(tx), Some(rx))
+        } else {
+            (None, None)
+        };
+        let (compact_tx, compact_rx) = if hybrid {
+            let (tx, rx) = unbounded();
+            (Some(tx), Some(rx))
+        } else {
+            (None, None)
+        };
+        let inner = Arc::new(StoreInner {
             config,
-            shards,
-            next_sst_id: AtomicU64::new(0),
+            shards: per_shard
+                .into_iter()
+                .map(|r| RwLock::new(Shard::new(r)))
+                .collect(),
+            cache,
+            next_sst_id: AtomicU64::new(next_id),
+            next_gen: AtomicU64::new(next_gen),
+            next_rotation: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
+            stall_nanos: AtomicU64::new(0),
+            imm_count: AtomicUsize::new(0),
+            ttl_horizon: AtomicU64::new(0),
+            ttl_dirty: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            flush_paused: AtomicBool::new(false),
+            flush_sync: Mutex::new(()),
+            flush_cv: Condvar::new(),
+            maintenance: Mutex::new(()),
+            hook: RwLock::new(None),
+            flush_tx,
+            compact_tx,
+        });
+        let flusher = flush_rx.map(|rx| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("helios-kv-flush".into())
+                .spawn(move || crate::flusher::run(inner, rx))
+                .expect("spawn flusher")
+        });
+        let compactor = compact_rx.map(|rx| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("helios-kv-compact".into())
+                .spawn(move || crate::compaction::run(inner, rx))
+                .expect("spawn compactor")
+        });
+        Ok(KvStore {
+            inner,
+            flusher,
+            compactor,
         })
     }
 
-    #[inline]
-    fn shard_index(&self, key: &[u8]) -> usize {
-        let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
-        for chunk in key.chunks(8) {
-            let mut w = [0u8; 8];
-            w[..chunk.len()].copy_from_slice(chunk);
-            h = fx_hash_u64(h ^ u64::from_le_bytes(w));
-        }
-        (h % self.shards.len() as u64) as usize
+    /// Install a callback for background events (flushes, compactions,
+    /// write stalls). Replaces any previous hook.
+    pub fn set_event_hook(&self, hook: EventHook) {
+        *self.inner.hook.write() = Some(hook);
     }
 
-    #[inline]
-    fn shard_of(&self, key: &[u8]) -> &RwLock<Shard> {
-        &self.shards[self.shard_index(key)]
+    /// Pause or resume the background flusher (ops/test hook: a paused
+    /// flusher lets the immutable backlog build up, as a wedged disk
+    /// would). Pending flushes are still drained on drop.
+    pub fn set_flush_paused(&self, paused: bool) {
+        self.inner.flush_paused.store(paused, Ordering::Relaxed);
     }
 
     /// Insert or overwrite a key.
     pub fn put(&self, key: &[u8], value: Bytes, ts: Timestamp) -> Result<()> {
-        let sv = StoredValue::live(value, ts);
-        self.write(key, sv)
+        self.write(key, StoredValue::live(value, ts))
     }
 
     /// Delete a key (tombstone).
@@ -237,17 +623,14 @@ impl KvStore {
     }
 
     fn write(&self, key: &[u8], sv: StoredValue) -> Result<()> {
-        let shard_lock = self.shard_of(key);
-        let mut flush_needed = false;
-        {
-            let mut shard = shard_lock.write();
+        let idx = self.inner.shard_index(key);
+        let stall = {
+            let mut shard = self.inner.shards[idx].write();
             shard.insert(key.to_vec(), sv);
-            if self.config.dir.is_some() && shard.mem_bytes > self.config.memtable_budget {
-                flush_needed = true;
-            }
-        }
-        if flush_needed {
-            self.flush_shard(shard_lock)?;
+            self.inner.over_budget_locked(idx, &mut shard)
+        };
+        if stall {
+            self.inner.stall_rotate(idx);
         }
         Ok(())
     }
@@ -258,10 +641,11 @@ impl KvStore {
     /// [`KvStore::put`]/[`KvStore::delete`] calls.
     pub fn write_batch(&self, ops: impl IntoIterator<Item = WriteOp>) -> Result<()> {
         // Group by shard, preserving input order within each group.
-        let mut groups: Vec<Vec<WriteOp>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut groups: Vec<Vec<WriteOp>> =
+            (0..self.inner.shards.len()).map(|_| Vec::new()).collect();
         let mut any = false;
         for op in ops {
-            groups[self.shard_index(op.key())].push(op);
+            groups[self.inner.shard_index(op.key())].push(op);
             any = true;
         }
         if !any {
@@ -271,28 +655,85 @@ impl KvStore {
             if group.is_empty() {
                 continue;
             }
-            let shard_lock = &self.shards[idx];
-            let mut flush_needed = false;
-            {
-                let mut shard = shard_lock.write();
+            let stall = {
+                let mut shard = self.inner.shards[idx].write();
                 for op in group {
                     let (key, sv) = op.into_parts();
                     shard.insert(key, sv);
                 }
-                if self.config.dir.is_some() && shard.mem_bytes > self.config.memtable_budget {
-                    flush_needed = true;
-                }
-            }
-            if flush_needed {
-                self.flush_shard(shard_lock)?;
+                self.inner.over_budget_locked(idx, &mut shard)
+            };
+            if stall {
+                self.inner.stall_rotate(idx);
             }
         }
         Ok(())
     }
 
-    /// Point lookup: memtable, then SSTs newest → oldest.
+    /// Point lookup: active memtable, then immutables, then SSTs newest →
+    /// oldest. SSTs are probed after the shard lock is dropped (the run
+    /// list is copy-on-write).
     pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
-        self.shard_of(key).read().lookup(key)
+        let horizon = self.inner.ttl_horizon.load(Ordering::Relaxed);
+        let idx = self.inner.shard_index(key);
+        let runs = {
+            let shard = self.inner.shards[idx].read();
+            if let Some(sv) = shard.mem_get(key) {
+                return Ok(resolve(sv, horizon));
+            }
+            if shard.runs.is_empty() {
+                return Ok(None);
+            }
+            Arc::clone(&shard.runs)
+        };
+        let hashes = crate::bloom::hash_pair(key);
+        for run in runs.iter() {
+            if let Some(sv) = run.sst.get_hashed(key, hashes)? {
+                return Ok(resolve(&sv, horizon));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Resolve one shard's group of keys: memtables under the read lock,
+    /// then SSTs lock-free against a run-list snapshot.
+    fn lookup_group<K: AsRef<[u8]>>(
+        &self,
+        idx: usize,
+        positions: &[u32],
+        keys: &[K],
+        out: &mut [Option<Bytes>],
+    ) -> Result<()> {
+        let horizon = self.inner.ttl_horizon.load(Ordering::Relaxed);
+        let mut pending: Vec<u32> = Vec::new();
+        let runs = {
+            let shard = self.inner.shards[idx].read();
+            for &pos in positions {
+                let key = keys[pos as usize].as_ref();
+                match shard.mem_get(key) {
+                    Some(sv) => out[pos as usize] = resolve(sv, horizon),
+                    None => pending.push(pos),
+                }
+            }
+            if pending.is_empty() || shard.runs.is_empty() {
+                None
+            } else {
+                Some(Arc::clone(&shard.runs))
+            }
+        };
+        if let Some(runs) = runs {
+            for pos in pending {
+                let key = keys[pos as usize].as_ref();
+                let hashes = crate::bloom::hash_pair(key);
+                for run in runs.iter() {
+                    if let Some(sv) = run.sst.get_hashed(key, hashes)? {
+                        out[pos as usize] = resolve(&sv, horizon);
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Batched point lookup: values come back in input order (duplicates
@@ -305,26 +746,24 @@ impl KvStore {
         if keys.is_empty() {
             return Ok(out);
         }
-        if self.shards.len() == 1 || keys.len() == 1 {
-            let shard = self.shard_of(keys[0].as_ref()).read();
-            // Single-shard fast path (also the keys.len() == 1 case:
-            // whatever shard the one key routes to).
-            if self.shards.len() == 1 {
-                for (slot, key) in out.iter_mut().zip(keys) {
-                    *slot = shard.lookup(key.as_ref())?;
-                }
-            } else {
-                out[0] = shard.lookup(keys[0].as_ref())?;
-            }
+        if self.inner.shards.len() == 1 {
+            let positions: Vec<u32> = (0..keys.len() as u32).collect();
+            self.lookup_group(0, &positions, keys, &mut out)?;
+            return Ok(out);
+        }
+        if keys.len() == 1 {
+            let idx = self.inner.shard_index(keys[0].as_ref());
+            self.lookup_group(idx, &[0], keys, &mut out)?;
             return Ok(out);
         }
         // (shard, input position), sorted so each shard forms one run.
         let mut order: Vec<(u32, u32)> = keys
             .iter()
             .enumerate()
-            .map(|(i, k)| (self.shard_index(k.as_ref()) as u32, i as u32))
+            .map(|(i, k)| (self.inner.shard_index(k.as_ref()) as u32, i as u32))
             .collect();
         order.sort_unstable();
+        let mut positions: Vec<u32> = Vec::new();
         let mut start = 0usize;
         while start < order.len() {
             let shard_idx = order[start].0;
@@ -332,11 +771,9 @@ impl KvStore {
             while end < order.len() && order[end].0 == shard_idx {
                 end += 1;
             }
-            let shard = self.shards[shard_idx as usize].read();
-            for &(_, pos) in &order[start..end] {
-                out[pos as usize] = shard.lookup(keys[pos as usize].as_ref())?;
-            }
-            drop(shard);
+            positions.clear();
+            positions.extend(order[start..end].iter().map(|&(_, pos)| pos));
+            self.lookup_group(shard_idx as usize, &positions, keys, &mut out)?;
             start = end;
         }
         Ok(out)
@@ -347,115 +784,142 @@ impl KvStore {
         Ok(self.get(key)?.is_some())
     }
 
-    fn flush_shard(&self, shard_lock: &RwLock<Shard>) -> Result<()> {
-        let dir = match &self.config.dir {
-            Some(d) => d.clone(),
-            None => return Ok(()),
-        };
-        let mut shard = shard_lock.write();
-        if shard.memtable.is_empty() {
+    /// Rotate every non-empty active memtable and wait until the
+    /// background flusher has drained the whole immutable backlog.
+    /// No-op in memory mode.
+    pub fn flush(&self) -> Result<()> {
+        if self.inner.config.dir.is_none() {
             return Ok(());
         }
-        let id = self.next_sst_id.fetch_add(1, Ordering::Relaxed);
-        let path = dir.join(format!("{id:010}.sst"));
-        write_sst(&path, shard.memtable.iter().map(|(k, v)| (k.as_slice(), v)))?;
-        let sst = Arc::new(Sst::open(&path)?);
-        shard.ssts.insert(0, sst);
-        shard.memtable.clear();
-        shard.mem_bytes = 0;
-        self.flushes.fetch_add(1, Ordering::Relaxed);
+        for (idx, lock) in self.inner.shards.iter().enumerate() {
+            let mut shard = lock.write();
+            self.inner.rotate_locked(idx, &mut shard);
+        }
+        self.wait_flush_drain();
         Ok(())
     }
 
-    /// Force-flush every shard's memtable to disk (no-op in memory mode).
-    pub fn flush(&self) -> Result<()> {
-        for s in &self.shards {
-            self.flush_shard(s)?;
+    fn wait_flush_drain(&self) {
+        while self.inner.imm_count.load(Ordering::Relaxed) > 0
+            && !self.inner.stop.load(Ordering::Relaxed)
+        {
+            let mut g = self.inner.flush_sync.lock();
+            if self.inner.imm_count.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            let _ = self
+                .inner
+                .flush_cv
+                .wait_for(&mut g, Duration::from_millis(10));
+        }
+    }
+
+    /// Raise the TTL horizon without blocking on disk: expires the active
+    /// memtables in place, hides anything older from reads immediately,
+    /// and leaves physical reclamation of immutables/SSTs to the
+    /// background compactor (nudged here). This is the serve-path TTL
+    /// entry point; [`KvStore::compact_blocking`] is the synchronous
+    /// variant for tests and shutdown.
+    pub fn expire_before(&self, h: Timestamp) -> Result<()> {
+        self.inner
+            .ttl_horizon
+            .fetch_max(h.millis(), Ordering::Relaxed);
+        self.inner.expire_active(h);
+        if self.inner.config.dir.is_some() {
+            self.inner.ttl_dirty.store(true, Ordering::Relaxed);
+            self.inner.nudge_compactor();
         }
         Ok(())
     }
 
-    /// Merge each shard's SSTs into one, dropping tombstones and entries
-    /// older than `expire_before` (TTL horizon), then delete the old files.
+    /// Synchronous stop-the-world maintenance (tests/shutdown): expire
+    /// the memtables, drain pending flushes, then merge each shard's runs
+    /// into at most one, dropping tombstones and entries older than
+    /// `expire_before`. Shards with nothing to do are skipped and do not
+    /// count as compaction passes.
+    pub fn compact_blocking(&self, expire_before: Option<Timestamp>) -> Result<()> {
+        if let Some(h) = expire_before {
+            self.inner
+                .ttl_horizon
+                .fetch_max(h.millis(), Ordering::Relaxed);
+            self.inner.expire_active(h);
+        }
+        if self.inner.config.dir.is_none() {
+            return Ok(());
+        }
+        self.wait_flush_drain();
+        for idx in 0..self.inner.shards.len() {
+            crate::compaction::merge_shard(&self.inner, idx, usize::MAX, expire_before)?;
+        }
+        Ok(())
+    }
+
+    /// Back-compat alias for [`KvStore::compact_blocking`].
     pub fn compact(&self, expire_before: Option<Timestamp>) -> Result<()> {
-        self.compactions.fetch_add(1, Ordering::Relaxed);
-        let dir = match &self.config.dir {
-            Some(d) => d.clone(),
-            None => {
-                // Memory mode: TTL expiry applies to the memtable directly.
-                if let Some(h) = expire_before {
-                    for s in &self.shards {
-                        let mut shard = s.write();
-                        let mut freed = 0usize;
-                        shard.memtable.retain(|k, v| {
-                            let keep = !v.tombstone && v.ts >= h;
-                            if !keep {
-                                freed += k.len() + v.footprint();
-                            }
-                            keep
-                        });
-                        shard.mem_bytes = shard.mem_bytes.saturating_sub(freed);
-                    }
-                }
-                return Ok(());
-            }
-        };
-        for s in &self.shards {
-            let mut shard = s.write();
-            // Memtable TTL expiry.
-            if let Some(h) = expire_before {
-                let mut freed = 0usize;
-                shard.memtable.retain(|k, v| {
-                    let keep = v.tombstone || v.ts >= h;
-                    if !keep {
-                        freed += k.len() + v.footprint();
-                    }
-                    keep
-                });
-                shard.mem_bytes = shard.mem_bytes.saturating_sub(freed);
-            }
-            if shard.ssts.is_empty() {
-                continue;
-            }
-            // Newest-wins merge across runs.
-            let mut merged: BTreeMap<Vec<u8>, StoredValue> = BTreeMap::new();
-            for sst in shard.ssts.iter().rev() {
-                // oldest → newest so newer overwrite
-                for (k, v) in sst.scan()? {
-                    merged.insert(k, v);
-                }
-            }
-            merged.retain(|_, v| !v.tombstone && expire_before.is_none_or(|h| v.ts >= h));
-            let old: Vec<Arc<Sst>> = std::mem::take(&mut shard.ssts);
-            if !merged.is_empty() {
-                let id = self.next_sst_id.fetch_add(1, Ordering::Relaxed);
-                let path = dir.join(format!("{id:010}.sst"));
-                write_sst(&path, merged.iter().map(|(k, v)| (k.as_slice(), v)))?;
-                shard.ssts.push(Arc::new(Sst::open(&path)?));
-            }
-            drop(shard);
-            for sst in old {
-                let _ = std::fs::remove_file(sst.path());
-            }
-        }
-        Ok(())
+        self.compact_blocking(expire_before)
     }
 
     /// Aggregate size statistics.
     pub fn stats(&self) -> KvStats {
+        let inner = &self.inner;
         let mut st = KvStats {
-            flushes: self.flushes.load(Ordering::Relaxed),
-            compactions: self.compactions.load(Ordering::Relaxed),
+            flushes: inner.flushes.load(Ordering::Relaxed),
+            compactions: inner.compactions.load(Ordering::Relaxed),
+            stall_nanos: inner.stall_nanos.load(Ordering::Relaxed),
             ..KvStats::default()
         };
-        for s in &self.shards {
+        if let Some(cache) = &inner.cache {
+            let (h, m) = cache.counters();
+            st.block_cache_hits = h;
+            st.block_cache_misses = m;
+        }
+        let trigger = inner.config.l0_compact_trigger;
+        for s in &inner.shards {
             let shard = s.read();
-            st.mem_entries += shard.memtable.len();
+            st.mem_entries += shard.active.len();
             st.mem_bytes += shard.mem_bytes;
-            st.sst_files += shard.ssts.len();
-            st.disk_bytes += shard.ssts.iter().map(|t| t.file_bytes()).sum::<u64>();
+            for imm in &shard.immutables {
+                st.mem_entries += imm.entries.len();
+                st.mem_bytes += imm.bytes;
+                st.immutable_memtables += 1;
+                st.immutable_bytes += imm.bytes;
+            }
+            st.sst_files += shard.runs.len();
+            st.disk_bytes += shard.runs.iter().map(|r| r.sst.file_bytes()).sum::<u64>();
+            st.compaction_debt += shard.runs.len().saturating_sub(trigger) as u64;
         }
         st
+    }
+}
+
+impl Drop for KvStore {
+    fn drop(&mut self) {
+        let inner = &self.inner;
+        inner.stop.store(true, Ordering::Relaxed);
+        // Wake everyone: stalled writers, the flusher (sentinel), the
+        // compactor (nudge). The flusher drains pending immutables on
+        // its way out, even when paused.
+        inner.flush_cv.notify_all();
+        if let Some(tx) = &inner.flush_tx {
+            let _ = tx.send(FLUSH_WAKE);
+        }
+        inner.nudge_compactor();
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.compactor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn parse_sst_name(stem: &str) -> Option<(u64, u64)> {
+    if let Some(rest) = stem.strip_prefix('g') {
+        let (gen, id) = rest.split_once('-')?;
+        Some((gen.parse().ok()?, id.parse().ok()?))
+    } else {
+        let id: u64 = stem.parse().ok()?;
+        Some((id, id))
     }
 }
 
@@ -510,6 +974,7 @@ mod tests {
         kv.flush().unwrap();
         let st = kv.stats();
         assert_eq!(st.mem_entries, 0);
+        assert_eq!(st.immutable_memtables, 0);
         assert!(st.sst_files >= 1);
         assert!(st.disk_bytes > 0);
         assert_eq!(st.flushes as usize, st.sst_files);
@@ -524,16 +989,22 @@ mod tests {
     }
 
     #[test]
-    fn automatic_flush_when_over_budget() {
+    fn automatic_rotation_when_over_budget() {
         let dir = tmpdir("auto");
         let kv = KvStore::open(KvConfig::hybrid(1, 4096, dir.clone())).unwrap();
         for i in 0..2000u64 {
             kv.put(&key(i), Bytes::from(vec![0u8; 64]), Timestamp(i))
                 .unwrap();
         }
+        // Everything remains readable while flushes happen in the
+        // background (keys live in active, immutables, or SSTs).
+        for i in (0..2000).step_by(97) {
+            assert!(kv.get(&key(i)).unwrap().is_some());
+        }
+        kv.flush().unwrap();
         let st = kv.stats();
-        assert!(st.sst_files > 0, "budget overflow must trigger flushes");
-        // Everything remains readable.
+        assert!(st.sst_files > 0, "budget overflow must produce SSTs");
+        assert!(st.flushes > 0);
         for i in (0..2000).step_by(97) {
             assert!(kv.get(&key(i)).unwrap().is_some());
         }
@@ -590,7 +1061,7 @@ mod tests {
         }
         kv.flush().unwrap();
         let before = kv.stats().disk_bytes;
-        kv.compact(None).unwrap();
+        kv.compact_blocking(None).unwrap();
         let after = kv.stats();
         assert!(after.disk_bytes < before);
         assert_eq!(after.sst_files, 1);
@@ -605,6 +1076,37 @@ mod tests {
     }
 
     #[test]
+    fn compaction_counts_only_performed_passes() {
+        // Memory mode without a horizon: nothing to do, nothing counted.
+        let kv = KvStore::open(KvConfig::in_memory(4)).unwrap();
+        kv.put(&key(1), Bytes::from_static(b"v"), Timestamp(1))
+            .unwrap();
+        kv.compact_blocking(None).unwrap();
+        assert_eq!(kv.stats().compactions, 0);
+
+        // Hybrid with a single clean run: merging it would be a no-op.
+        let dir = tmpdir("noop-compact");
+        let kv = KvStore::open(KvConfig::hybrid(1, 1 << 30, dir.clone())).unwrap();
+        for i in 0..50u64 {
+            kv.put(&key(i), Bytes::from_static(b"v"), Timestamp(i))
+                .unwrap();
+        }
+        kv.flush().unwrap();
+        kv.compact_blocking(None).unwrap();
+        assert_eq!(kv.stats().compactions, 0, "single clean run is a no-op");
+        assert_eq!(kv.stats().sst_files, 1);
+        // A second run makes it a real merge pass.
+        for i in 50..80u64 {
+            kv.put(&key(i), Bytes::from_static(b"v"), Timestamp(i))
+                .unwrap();
+        }
+        kv.flush().unwrap();
+        kv.compact_blocking(None).unwrap();
+        assert_eq!(kv.stats().compactions, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn ttl_expiry_via_compaction() {
         let dir = tmpdir("ttl");
         let kv = KvStore::open(KvConfig::hybrid(1, 1 << 30, dir.clone())).unwrap();
@@ -613,7 +1115,7 @@ mod tests {
                 .unwrap();
         }
         kv.flush().unwrap();
-        kv.compact(Some(Timestamp(50))).unwrap();
+        kv.compact_blocking(Some(Timestamp(50))).unwrap();
         for i in 0..50u64 {
             assert!(kv.get(&key(i)).unwrap().is_none(), "key {i} should expire");
         }
@@ -630,7 +1132,7 @@ mod tests {
             kv.put(&key(i), Bytes::from_static(b"v"), Timestamp(i))
                 .unwrap();
         }
-        kv.compact(Some(Timestamp(80))).unwrap();
+        kv.compact_blocking(Some(Timestamp(80))).unwrap();
         assert!(kv.get(&key(10)).unwrap().is_none());
         assert!(kv.get(&key(90)).unwrap().is_some());
         let st = kv.stats();
@@ -638,8 +1140,251 @@ mod tests {
     }
 
     #[test]
+    fn expire_before_hides_stale_reads_without_blocking() {
+        let dir = tmpdir("expire-nb");
+        let kv = KvStore::open(KvConfig::hybrid(1, 1 << 30, dir.clone())).unwrap();
+        for i in 0..100u64 {
+            kv.put(&key(i), Bytes::from_static(b"v"), Timestamp(i))
+                .unwrap();
+        }
+        // Push everything into an SST so expiry can't just prune the
+        // active memtable.
+        kv.flush().unwrap();
+        kv.expire_before(Timestamp(60)).unwrap();
+        // Reads hide expired entries immediately, even before the
+        // background compactor reclaims the disk space.
+        for i in 0..60u64 {
+            assert!(kv.get(&key(i)).unwrap().is_none(), "key {i} still visible");
+        }
+        for i in 60..100u64 {
+            assert!(kv.get(&key(i)).unwrap().is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn expire_before_drops_memtable_tombstones_without_runs() {
+        let kv = KvStore::open(KvConfig::in_memory(2)).unwrap();
+        kv.put(&key(1), Bytes::from_static(b"v"), Timestamp(1))
+            .unwrap();
+        kv.delete(&key(1), Timestamp(2)).unwrap();
+        kv.delete(&key(2), Timestamp(2)).unwrap();
+        kv.expire_before(Timestamp(0)).unwrap();
+        // Nothing on disk below the memtable: tombstones are garbage.
+        assert_eq!(kv.stats().mem_entries, 0);
+    }
+
+    #[test]
+    fn reopen_discovers_ssts_and_resumes_ids() {
+        let dir = tmpdir("reopen");
+        {
+            let kv = KvStore::open(KvConfig::hybrid(2, 1 << 30, dir.clone())).unwrap();
+            for i in 0..200u64 {
+                kv.put(&key(i), Bytes::from(format!("v{i}")), Timestamp(i))
+                    .unwrap();
+            }
+            kv.flush().unwrap();
+            kv.put(&key(7), Bytes::from_static(b"newer"), Timestamp(1000))
+                .unwrap();
+            kv.flush().unwrap();
+        }
+        let kv = KvStore::open(KvConfig::hybrid(2, 1 << 30, dir.clone())).unwrap();
+        let st = kv.stats();
+        assert!(st.sst_files >= 3, "reopen found {} runs", st.sst_files);
+        assert_eq!(st.mem_entries, 0);
+        // Recency survives reopen: the second flush shadows the first.
+        assert_eq!(
+            kv.get(&key(7)).unwrap().unwrap(),
+            Bytes::from_static(b"newer")
+        );
+        for i in (0..200).step_by(11) {
+            assert!(kv.get(&key(i)).unwrap().is_some(), "key {i} lost on reopen");
+        }
+        // New flushes must not clobber discovered runs.
+        kv.put(&key(9999), Bytes::from_static(b"post"), Timestamp(2000))
+            .unwrap();
+        kv.flush().unwrap();
+        let st2 = kv.stats();
+        assert!(st2.sst_files > st.sst_files);
+        assert_eq!(
+            kv.get(&key(7)).unwrap().unwrap(),
+            Bytes::from_static(b"newer")
+        );
+        assert!(kv.get(&key(9999)).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_after_compaction_keeps_recency_order() {
+        let dir = tmpdir("reopen-compact");
+        {
+            let kv = KvStore::open(KvConfig::hybrid(1, 1 << 30, dir.clone())).unwrap();
+            kv.put(&key(1), Bytes::from_static(b"a"), Timestamp(1))
+                .unwrap();
+            kv.flush().unwrap();
+            kv.put(&key(1), Bytes::from_static(b"b"), Timestamp(2))
+                .unwrap();
+            kv.flush().unwrap();
+            kv.compact_blocking(None).unwrap();
+            // A flush *after* the compaction: its id is smaller than the
+            // compaction output's id but its generation is newer.
+            kv.put(&key(1), Bytes::from_static(b"c"), Timestamp(3))
+                .unwrap();
+            kv.flush().unwrap();
+        }
+        let kv = KvStore::open(KvConfig::hybrid(1, 1 << 30, dir.clone())).unwrap();
+        assert_eq!(kv.get(&key(1)).unwrap().unwrap(), Bytes::from_static(b"c"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn paused_flusher_accumulates_backlog_then_drains() {
+        let dir = tmpdir("paused");
+        let mut config = KvConfig::hybrid(1, 512, dir.clone());
+        // High enough that the writer never stalls while the flusher is
+        // paused (200 small puts rotate ~15 times).
+        config.max_immutable_memtables = 1000;
+        config.l0_compact_trigger = 1000; // keep the compactor out of it
+        let kv = KvStore::open(config).unwrap();
+        kv.set_flush_paused(true);
+        for i in 0..200u64 {
+            kv.put(&key(i), Bytes::from(vec![0u8; 32]), Timestamp(i))
+                .unwrap();
+        }
+        let st = kv.stats();
+        assert!(
+            st.immutable_memtables > 0,
+            "paused flusher must leave a backlog"
+        );
+        // Reads still see everything (active + immutables).
+        for i in (0..200).step_by(17) {
+            assert!(kv.get(&key(i)).unwrap().is_some());
+        }
+        kv.set_flush_paused(false);
+        kv.flush().unwrap();
+        let st = kv.stats();
+        assert_eq!(st.immutable_memtables, 0);
+        assert!(st.sst_files > 0);
+        for i in (0..200).step_by(17) {
+            assert!(kv.get(&key(i)).unwrap().is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_backlog_stalls_writer_and_records_it() {
+        let dir = tmpdir("stall");
+        let mut config = KvConfig::hybrid(1, 256, dir.clone());
+        config.max_immutable_memtables = 1;
+        let kv = Arc::new(KvStore::open(config).unwrap());
+        kv.set_flush_paused(true);
+        // Resume the flusher shortly, from another thread, so the stalled
+        // writer below gets unblocked.
+        let unpauser = {
+            let kv = Arc::clone(&kv);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                kv.set_flush_paused(false);
+            })
+        };
+        for i in 0..200u64 {
+            kv.put(&key(i), Bytes::from(vec![0u8; 32]), Timestamp(i))
+                .unwrap();
+        }
+        unpauser.join().unwrap();
+        assert!(
+            kv.stats().stall_nanos > 0,
+            "writer should have stalled on the full backlog"
+        );
+        for i in (0..200).step_by(17) {
+            assert!(kv.get(&key(i)).unwrap().is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn block_cache_hits_on_repeated_reads() {
+        let dir = tmpdir("cache-hits");
+        let kv = KvStore::open(KvConfig::hybrid(1, 1 << 30, dir.clone())).unwrap();
+        for i in 0..100u64 {
+            kv.put(&key(i), Bytes::from(format!("v{i}")), Timestamp(i))
+                .unwrap();
+        }
+        kv.flush().unwrap();
+        assert!(kv.get(&key(42)).unwrap().is_some());
+        assert!(kv.get(&key(42)).unwrap().is_some());
+        let st = kv.stats();
+        assert!(st.block_cache_misses > 0);
+        assert!(st.block_cache_hits > 0, "repeat read must hit the cache");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn event_hook_sees_flush_and_compaction() {
+        let dir = tmpdir("hook");
+        let kv = KvStore::open(KvConfig::hybrid(1, 1 << 30, dir.clone())).unwrap();
+        let events: Arc<Mutex<Vec<KvEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        kv.set_event_hook(Arc::new(move |ev| sink.lock().push(*ev)));
+        for i in 0..50u64 {
+            kv.put(&key(i), Bytes::from_static(b"v"), Timestamp(i))
+                .unwrap();
+        }
+        kv.flush().unwrap();
+        for i in 50..80u64 {
+            kv.put(&key(i), Bytes::from_static(b"v"), Timestamp(i))
+                .unwrap();
+        }
+        kv.flush().unwrap();
+        kv.compact_blocking(None).unwrap();
+        let seen = events.lock();
+        assert!(seen
+            .iter()
+            .any(|e| matches!(e, KvEvent::Flush { entries, .. } if *entries > 0)));
+        assert!(seen
+            .iter()
+            .any(|e| matches!(e, KvEvent::Compaction { runs_in: 2, .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_compaction_kicks_in_past_trigger() {
+        let dir = tmpdir("bg-compact");
+        let mut config = KvConfig::hybrid(1, 1 << 30, dir.clone());
+        config.l0_compact_trigger = 3;
+        let kv = KvStore::open(config).unwrap();
+        for round in 0..6u64 {
+            for i in 0..40u64 {
+                kv.put(
+                    &key(i),
+                    Bytes::from(format!("r{round}")),
+                    Timestamp(round * 100 + i),
+                )
+                .unwrap();
+            }
+            kv.flush().unwrap();
+        }
+        // The background compactor should bring the run count down below
+        // the naive 6 eventually.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while kv.stats().sst_files > 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let st = kv.stats();
+        assert!(st.sst_files <= 3, "compactor never caught up: {st:?}");
+        assert!(st.compactions > 0);
+        for i in 0..40u64 {
+            assert_eq!(
+                kv.get(&key(i)).unwrap().unwrap(),
+                Bytes::from_static(b"r5"),
+                "newest round must win after background merges"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn concurrent_mixed_workload() {
-        use std::sync::Arc;
         let kv = Arc::new(KvStore::open(KvConfig::in_memory(8)).unwrap());
         let mut handles = Vec::new();
         for t in 0..4u64 {
@@ -744,13 +1489,14 @@ mod tests {
     }
 
     #[test]
-    fn write_batch_triggers_flush_over_budget() {
+    fn write_batch_triggers_rotation_over_budget() {
         let dir = tmpdir("wb-flush");
         let kv = KvStore::open(KvConfig::hybrid(2, 4096, dir.clone())).unwrap();
         let ops: Vec<WriteOp> = (0..500u64)
             .map(|i| WriteOp::put(key(i), Bytes::from(vec![0u8; 64]), Timestamp(i)))
             .collect();
         kv.write_batch(ops).unwrap();
+        kv.flush().unwrap();
         let st = kv.stats();
         assert!(st.sst_files > 0, "budget overflow must trigger flushes");
         for i in (0..500).step_by(37) {
@@ -767,5 +1513,13 @@ mod tests {
         let st = kv.stats();
         assert_eq!(st.total_bytes(), st.mem_bytes as u64);
         assert_eq!(st.mem_entries, 1);
+    }
+
+    #[test]
+    fn parse_sst_names() {
+        assert_eq!(parse_sst_name("0000000003"), Some((3, 3)));
+        assert_eq!(parse_sst_name("g0000000002-0000000007"), Some((2, 7)));
+        assert_eq!(parse_sst_name("garbage"), None);
+        assert_eq!(parse_sst_name("g12"), None);
     }
 }

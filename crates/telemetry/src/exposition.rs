@@ -250,8 +250,11 @@ mod tests {
     #[test]
     fn round_trip_is_valid_exposition_text() {
         let r = Registry::new();
-        r.counter("serving.decode_errors", &[("worker", "0"), ("replica", "1")])
-            .add(3);
+        r.counter(
+            "serving.decode_errors",
+            &[("worker", "0"), ("replica", "1")],
+        )
+        .add(3);
         r.gauge("mq.lag", &[("group", "saw-0"), ("topic", "updates")])
             .set(-2);
         let h = r.histogram("e2e.freshness", &[]);
@@ -298,7 +301,9 @@ mod tests {
             }
         }
         assert_eq!(
-            seen_types.get("serving_decode_errors_total").map(String::as_str),
+            seen_types
+                .get("serving_decode_errors_total")
+                .map(String::as_str),
             Some("counter")
         );
         assert_eq!(seen_types.get("mq_lag").map(String::as_str), Some("gauge"));

@@ -29,6 +29,7 @@
 //! | `HELIOS_STATS`    | `1`/`true`/`yes`: print a stats snapshot on exit              |
 //! | `HELIOS_TRACE`    | `1`/`true`/`yes`: enable span tracing from startup            |
 //! | `HELIOS_OPS_ADDR` | bind address for the embedded ops HTTP server (e.g. `127.0.0.1:9100`; port `0` for ephemeral) |
+//! | `HELIOS_CACHE_DIR`| base directory for hybrid (memory + disk) serving caches; unset keeps caches purely in memory |
 
 pub mod exposition;
 pub mod ops;
@@ -95,6 +96,27 @@ pub fn ops_addr_env() -> Option<String> {
     }
 }
 
+/// The `HELIOS_CACHE_DIR` environment variable: base directory for the
+/// serving workers' hybrid (memory + disk) sample caches. Unset or empty
+/// means purely in-memory caches. Each call returns a fresh unique
+/// subdirectory (pid + a process-local counter), so concurrently running
+/// deployments — parallel tests, repeated bench phases — never discover
+/// each other's SST files.
+pub fn cache_dir_env() -> Option<std::path::PathBuf> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    match std::env::var("HELIOS_CACHE_DIR") {
+        Ok(v) if !v.trim().is_empty() => {
+            let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+            Some(
+                std::path::PathBuf::from(v.trim())
+                    .join(format!("helios-{}-{seq}", std::process::id())),
+            )
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +137,17 @@ mod tests {
         let _ = trace_env();
         let _ = ops_addr_env();
         assert!(!env_flag("HELIOS_TEST_FLAG_THAT_IS_NEVER_SET"));
+    }
+
+    #[test]
+    fn cache_dir_env_yields_unique_paths() {
+        // Without the variable set, there is nothing to derive.
+        if std::env::var("HELIOS_CACHE_DIR").is_err() {
+            assert!(cache_dir_env().is_none());
+            return;
+        }
+        let a = cache_dir_env().unwrap();
+        let b = cache_dir_env().unwrap();
+        assert_ne!(a, b, "two deployments must not share a cache dir");
     }
 }

@@ -281,7 +281,11 @@ fn route(method: &str, path: &str, state: &OpsState) -> (&'static str, &'static 
                 body,
             )
         }
-        "/vars" => ("200 OK", "application/json", render_vars(&(state.snapshot)())),
+        "/vars" => (
+            "200 OK",
+            "application/json",
+            render_vars(&(state.snapshot)()),
+        ),
         "/trace/start" => {
             trace::set_tracing(true);
             ("200 OK", "text/plain; charset=utf-8", "tracing on\n".into())
@@ -289,11 +293,7 @@ fn route(method: &str, path: &str, state: &OpsState) -> (&'static str, &'static 
         "/trace/stop" => {
             trace::set_tracing(false);
             let spans = trace::drain_spans();
-            (
-                "200 OK",
-                "application/x-ndjson",
-                trace::to_jsonl(&spans),
-            )
+            ("200 OK", "application/x-ndjson", trace::to_jsonl(&spans))
         }
         "/recorder" => match &state.recorder {
             Some(r) => ("200 OK", "application/x-ndjson", r.to_jsonl()),
@@ -306,8 +306,7 @@ fn route(method: &str, path: &str, state: &OpsState) -> (&'static str, &'static 
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "unknown path; try /metrics /healthz /vars /trace/start /trace/stop /recorder\n"
-                .into(),
+            "unknown path; try /metrics /healthz /vars /trace/start /trace/stop /recorder\n".into(),
         ),
     }
 }
@@ -344,12 +343,17 @@ mod tests {
     #[test]
     fn metrics_vars_and_404() {
         let (registry, _healthy, state) = test_state();
-        registry.counter("serving.served", &[("worker", "0")]).add(5);
+        registry
+            .counter("serving.served", &[("worker", "0")])
+            .add(5);
         registry.histogram("e2e.freshness", &[]).record(1_000_000);
         let server = OpsServer::start("127.0.0.1:0", state).unwrap();
         let (status, body) = http_get(server.addr(), "/metrics");
         assert!(status.contains("200"), "{status}");
-        assert!(body.contains("serving_served_total{worker=\"0\"} 5"), "{body}");
+        assert!(
+            body.contains("serving_served_total{worker=\"0\"} 5"),
+            "{body}"
+        );
         assert!(body.contains("e2e_freshness_bucket"), "{body}");
         let (status, body) = http_get(server.addr(), "/vars");
         assert!(status.contains("200"));

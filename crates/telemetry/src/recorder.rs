@@ -36,9 +36,14 @@ pub enum EventKind {
     HopExpanded,
     /// Sample-queue records failed to decode. `a` = error count.
     DecodeError,
-    /// A kvstore memtable flush was observed. `a` = new flushes since the
-    /// last observation, `b` = total flushes.
+    /// A kvstore background flush wrote one immutable memtable to an SST.
+    /// `a` = entries written, `b` = memtable bytes, `c` = immutable
+    /// memtables still pending on that store.
     Flush,
+    /// A kvstore background compaction merged a run suffix. `a` = input
+    /// runs merged, `b` = entries in the output, `c` = output SST bytes
+    /// (0 when everything was dropped).
+    Compaction,
     /// Periodic consumer-lag observation. `a` = total lag over all
     /// (group, topic) pairs, `b` = max single-pair lag.
     LagSample,
@@ -62,6 +67,7 @@ impl EventKind {
             EventKind::HopExpanded => "hop_expanded",
             EventKind::DecodeError => "decode_error",
             EventKind::Flush => "flush",
+            EventKind::Compaction => "compaction",
             EventKind::LagSample => "lag_sample",
             EventKind::FreshnessProbe => "freshness_probe",
             EventKind::SloBurn => "slo_burn",
@@ -159,11 +165,7 @@ impl FlightRecorder {
 
     /// Copy out the ring's current contents, oldest first.
     pub fn events(&self) -> Vec<FlightEvent> {
-        let mut out: Vec<FlightEvent> = self
-            .slots
-            .iter()
-            .filter_map(|s| *s.lock())
-            .collect();
+        let mut out: Vec<FlightEvent> = self.slots.iter().filter_map(|s| *s.lock()).collect();
         out.sort_by_key(|e| e.ts_unix_nanos);
         out
     }
@@ -272,7 +274,9 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let r = FlightRecorder::new(16);
         // No dir: anomaly still counted, no file.
-        assert!(r.anomaly(EventKind::SloBurn, u32::MAX, 1500, 0, 0).is_none());
+        assert!(r
+            .anomaly(EventKind::SloBurn, u32::MAX, 1500, 0, 0)
+            .is_none());
         assert_eq!(r.dumps(), 1);
         r.set_dump_dir(Some(dir.clone()));
         r.record(EventKind::LagSample, 0, 42, 42, 0);

@@ -164,7 +164,7 @@ mod tests {
     #[test]
     fn burn_rate_is_violations_over_budget() {
         let t = tracker(1_000, 99.0); // 1% budget
-        // 2 violations in 100 samples = 2% violating = burn 2.0.
+                                      // 2 violations in 100 samples = 2% violating = burn 2.0.
         for i in 0..100u64 {
             t.record(if i < 2 { 5_000 } else { 10 });
         }

@@ -154,6 +154,115 @@ fn freshness_probe_metrics_and_flight_dump() {
     let _ = std::fs::remove_dir_all(&dump_dir);
 }
 
+/// Flush-boundedness: `/healthz` flips to 503 when the hybrid caches'
+/// background flushers wedge (immutable-memtable backlog at the stall
+/// cap) and recovers to 200 once they drain; the flight recorder logs
+/// `flush` and `compaction` events from the background threads; and
+/// repeated serves off the flushed SSTs drive the block-cache hit gauge
+/// above zero in `/metrics`.
+#[test]
+fn healthz_flips_when_cache_flusher_wedges() {
+    let cache_dir = std::env::temp_dir().join(format!("helios-ops-wedge-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let mut config = HeliosConfig::with_workers(1, 1);
+    config.ops_addr = Some("127.0.0.1:0".into());
+    config.stats_interval = Some(Duration::from_millis(25));
+    config.cache_dir = Some(cache_dir.clone());
+    config.cache_shards = 1;
+    // Tiny memtables: a handful of updates forces a rotation, so the
+    // wedge (and later the SST read path) is reached with little data.
+    config.cache_memtable_budget = 1024;
+    config.cache_max_immutables = 3;
+    config.cache_l0_compact_trigger = 2;
+    let helios = HeliosDeployment::start(config, two_hop_query()).unwrap();
+    let ops = helios.ops_addr().expect("ops server bound");
+
+    helios.ingest_batch(&small_workload(8)).unwrap();
+    assert!(helios.quiesce(Duration::from_secs(60)));
+    let (status, body) = http_get(ops, "/healthz");
+    assert!(status.contains("200"), "healthy deployment 503: {body}");
+
+    // Wedge the flushers, then push enough volume that some cache shard
+    // rotates its way to the stall cap.
+    for w in helios.serving_workers() {
+        w.pause_cache_flush(true);
+    }
+    helios.ingest_batch(&small_workload(400)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let (status, body) = loop {
+        let (status, body) = http_get(ops, "/healthz");
+        if status.contains("503") || Instant::now() > deadline {
+            break (status, body);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        status.contains("503"),
+        "wedged flusher never degraded: {body}"
+    );
+    assert!(
+        body.contains("\"component\":\"kvstore\",\"healthy\":false"),
+        "kvstore probe not the failing one: {body}"
+    );
+
+    // Un-wedge: the backlog drains in the background and health recovers.
+    for w in helios.serving_workers() {
+        w.pause_cache_flush(false);
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let (status, body) = loop {
+        let (status, body) = http_get(ops, "/healthz");
+        if status.contains("200") || Instant::now() > deadline {
+            break (status, body);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(status.contains("200"), "drained flusher still 503: {body}");
+    assert!(helios.quiesce(Duration::from_secs(60)));
+
+    // The background threads logged their work in the flight ring.
+    let events = helios.flight_recorder().events();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == helios_telemetry::EventKind::Flush),
+        "no flush events recorded"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == helios_telemetry::EventKind::Compaction),
+        "no compaction events recorded"
+    );
+
+    // Serve repeatedly: frontier lookups now touch the flushed SSTs, and
+    // the second pass over the same granules must hit the block cache.
+    for _ in 0..3 {
+        for u in 1..=8u64 {
+            let _ = helios.serve(VertexId(u));
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let hits = loop {
+        let (status, body) = http_get(ops, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        let hits: f64 = body
+            .lines()
+            .filter(|l| l.starts_with("kvstore_block_cache_hits"))
+            .filter_map(|l| l.rsplit(' ').next()?.parse::<f64>().ok())
+            .sum();
+        if hits > 0.0 || Instant::now() > deadline {
+            break hits;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(hits > 0.0, "block cache never hit");
+
+    helios.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
 /// `/healthz` flips from 200 to 503 when a consumer group falls further
 /// behind than the configured lag bound.
 #[test]
