@@ -110,6 +110,17 @@ pub struct HeliosConfig {
     /// Decode errors per stats tick that count as a spike and trigger a
     /// flight-recorder anomaly dump.
     pub decode_error_spike: u64,
+    /// Routing-table slots seeds hash into before the slot→worker lookup.
+    /// Fixed for the deployment's lifetime; must be ≥ every worker count
+    /// the deployment can scale to (slots, not workers, bound elasticity).
+    pub route_slots: u32,
+    /// `/healthz`: a registered worker whose last heartbeat is older than
+    /// this reads as dead and degrades health; `None` disables the
+    /// membership probe (e.g. for paused/checkpoint-restore tests).
+    pub health_worker_timeout: Option<Duration>,
+    /// Deadline for one `scale_to` handoff to reach its catch-up
+    /// watermark before the rescale is abandoned.
+    pub rescale_timeout: Duration,
 }
 
 impl Default for HeliosConfig {
@@ -140,6 +151,9 @@ impl Default for HeliosConfig {
             health_max_lag: 100_000,
             health_max_backlog: 100_000,
             decode_error_spike: 100,
+            route_slots: 64,
+            health_worker_timeout: Some(Duration::from_secs(5)),
+            rescale_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -213,6 +227,19 @@ impl HeliosConfig {
                 "decode-error spike threshold must be positive".into(),
             ));
         }
+        if (self.route_slots as usize) < self.serving_workers {
+            return Err(InvalidConfig(
+                "route_slots must be >= serving_workers (slots bound elasticity)".into(),
+            ));
+        }
+        if self.health_worker_timeout == Some(Duration::ZERO) {
+            return Err(InvalidConfig(
+                "health worker timeout must be positive (or None to disable)".into(),
+            ));
+        }
+        if self.rescale_timeout.is_zero() {
+            return Err(InvalidConfig("rescale timeout must be positive".into()));
+        }
         Ok(())
     }
 }
@@ -257,6 +284,9 @@ mod tests {
             },
             |c: &mut HeliosConfig| c.flight_recorder_capacity = 0,
             |c: &mut HeliosConfig| c.decode_error_spike = 0,
+            |c: &mut HeliosConfig| c.route_slots = 1,
+            |c: &mut HeliosConfig| c.health_worker_timeout = Some(Duration::ZERO),
+            |c: &mut HeliosConfig| c.rescale_timeout = Duration::ZERO,
         ] {
             let mut c = HeliosConfig::default();
             f(&mut c);

@@ -45,6 +45,17 @@ impl Coordinator {
         self.liveness.register(name)
     }
 
+    /// Remove a worker from heartbeat monitoring (scale-in).
+    pub fn deregister_worker(&self, name: &str) {
+        self.liveness.deregister(name);
+    }
+
+    /// Shared handle to the liveness registry, for long-lived probe
+    /// closures that must not borrow the coordinator.
+    pub fn liveness(&self) -> Arc<Liveness> {
+        Arc::clone(&self.liveness)
+    }
+
     /// Workers that have not beaten within `timeout`.
     pub fn dead_workers(&self, timeout: Duration) -> Vec<String> {
         self.liveness.dead_workers(timeout)

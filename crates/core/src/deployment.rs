@@ -7,16 +7,18 @@ use crate::messages::UpdateEnvelope;
 use crate::sampler::{topics, SamplerMetrics, SamplingWorker};
 use crate::serving::ServingWorker;
 use helios_graphstore::PartitionPolicy;
+use helios_membership::{RouteTable, Router};
 use helios_mq::{Broker, TopicConfig};
 use helios_query::{KHopQuery, SampledSubgraph};
 use helios_telemetry::{
-    span, EventKind, FlightRecorder, HealthReport, OpsServer, OpsState, Registry, RegistrySnapshot,
-    SloTracker, StatsReporter, TraceCtx,
+    span, DynRoutes, EventKind, FlightRecorder, HealthReport, OpsServer, OpsState, Registry,
+    RegistrySnapshot, SloTracker, StatsReporter, TraceCtx,
 };
 use helios_types::{
-    hash::route, Encode, GraphUpdate, HeliosError, PartitionId, Result, SamplingWorkerId,
+    hash::route, Decode, Encode, GraphUpdate, HeliosError, PartitionId, Result, SamplingWorkerId,
     ServingWorkerId, Timestamp, VertexId, VertexUpdate,
 };
+use parking_lot::RwLock;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -55,28 +57,100 @@ impl Drop for CheckpointGuard {
     }
 }
 
+/// The live serving fleet. Replaced wholesale (an `Arc` swap behind the
+/// deployment's lock) when a rescale commits, so every reader — serve
+/// paths, probes, the stats reporter — grabs a consistent snapshot and
+/// never observes a half-extended set.
+pub(crate) struct ServingSet {
+    /// Replicas per logical worker.
+    pub(crate) replicas: usize,
+    /// Flat `[sew0-r0, sew0-r1, …, sew1-r0, …]`: index = sew * replicas + r.
+    pub(crate) workers: Vec<Arc<ServingWorker>>,
+}
+
+impl ServingSet {
+    /// Number of logical serving workers.
+    pub(crate) fn logical(&self) -> usize {
+        self.workers.len() / self.replicas
+    }
+
+    /// All replicas of logical worker `sew`.
+    pub(crate) fn replicas_of(&self, sew: u32) -> &[Arc<ServingWorker>] {
+        let base = sew as usize * self.replicas;
+        &self.workers[base..base + self.replicas]
+    }
+}
+
+/// Shared handle to the live serving set, cloned into monitor threads.
+type SharedServing = Arc<RwLock<Arc<ServingSet>>>;
+
+/// Topology a checkpoint was taken under, written alongside the shard
+/// files so a restore into a different deployment shape is detected
+/// (satellite of the elastic-membership work) instead of silently
+/// mis-routing restored subscriptions.
+struct CheckpointManifest {
+    sampling_workers: u32,
+    sampling_threads: u32,
+    serving_workers: u32,
+    table: RouteTable,
+}
+
+impl CheckpointManifest {
+    const FILE: &'static str = "manifest.ckpt";
+}
+
+impl Encode for CheckpointManifest {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        self.sampling_workers.encode(buf);
+        self.sampling_threads.encode(buf);
+        self.serving_workers.encode(buf);
+        self.table.encode(buf);
+    }
+}
+
+impl Decode for CheckpointManifest {
+    fn decode(buf: &mut impl bytes::Buf) -> Result<Self> {
+        Ok(CheckpointManifest {
+            sampling_workers: u32::decode(buf)?,
+            sampling_threads: u32::decode(buf)?,
+            serving_workers: u32::decode(buf)?,
+            table: RouteTable::decode(buf)?,
+        })
+    }
+}
+
 /// A running Helios deployment: coordinator + M sampling workers + N
 /// serving workers over an in-process broker.
 pub struct HeliosDeployment {
-    config: HeliosConfig,
-    broker: Arc<Broker>,
-    coordinator: Coordinator,
-    sampling: Vec<SamplingWorker>,
-    /// Flat `[sew0-r0, sew0-r1, …, sew1-r0, …]`: index = sew * replicas + r.
-    serving: Vec<Arc<ServingWorker>>,
+    pub(crate) config: HeliosConfig,
+    pub(crate) broker: Arc<Broker>,
+    pub(crate) coordinator: Coordinator,
+    pub(crate) sampling: Vec<SamplingWorker>,
+    /// The live serving fleet; swapped at rescale commit.
+    pub(crate) serving: SharedServing,
+    /// Epoch-versioned seed→worker routing, shared with every sampling
+    /// worker. The front-end routes serves through it; a rescale installs
+    /// the committed table here after the handoff watermark.
+    pub(crate) router: Arc<Router>,
     updates_topic: Arc<helios_mq::Topic>,
     /// Round-robin cursor for spreading requests over replicas.
     replica_rr: std::sync::atomic::AtomicU64,
     /// Per-deployment telemetry registry: every worker's counters,
     /// gauges and latency histograms, queryable by name.
-    telemetry: Arc<Registry>,
+    pub(crate) telemetry: Arc<Registry>,
     /// Periodic pipeline-lag monitor; `None` when disabled by config.
     reporter: Option<StatsReporter>,
     /// Always-on ring of recent pipeline events, dumped on anomalies.
-    recorder: Arc<FlightRecorder>,
+    pub(crate) recorder: Arc<FlightRecorder>,
     /// End-to-end freshness SLO fed by the prober (empty when probing is
     /// disabled; burn rates read 0 with no samples).
-    slo: Arc<SloTracker>,
+    pub(crate) slo: Arc<SloTracker>,
+    /// Serializes rescales: one `scale_to` (manual, ops-triggered or
+    /// autoscaler-driven) at a time.
+    pub(crate) rescale_lock: parking_lot::Mutex<()>,
+    /// Post-construction ops endpoints (`/scale`); live even when the ops
+    /// server is disabled so registration is always safe.
+    pub(crate) dyn_routes: Arc<DynRoutes>,
     /// Marker-injection thread; `None` when freshness probing is off.
     prober: Option<FreshnessProber>,
     /// Embedded ops HTTP server; `None` unless `config.ops_addr` is set.
@@ -113,12 +187,20 @@ impl HeliosDeployment {
 
         let updates_topic = broker.create_topic(topics::UPDATES, TopicConfig::in_memory(m))?;
         broker.create_topic(topics::CONTROL, TopicConfig::in_memory(m))?;
+        broker.create_topic(topics::MEMBERSHIP, TopicConfig::in_memory(m))?;
         for s in 0..n {
             broker.create_topic(
                 &topics::samples(s),
                 TopicConfig::in_memory(config.sample_queue_partitions),
             )?;
         }
+
+        // Epoch-0 routing table: deterministic, so the front-end and every
+        // sampling worker agree on it without a broadcast.
+        let router = Arc::new(Router::new(RouteTable::initial(
+            config.serving_workers,
+            config.route_slots as usize,
+        )));
 
         // Serving workers first so sample topics have consumers early.
         let telemetry = Arc::new(Registry::new());
@@ -132,11 +214,11 @@ impl HeliosDeployment {
                 .unwrap_or_default(),
         ));
         let replicas = config.serving_replicas as u32;
-        let mut serving = Vec::with_capacity((n * replicas) as usize);
+        let mut workers = Vec::with_capacity((n * replicas) as usize);
         for s in 0..n {
             for r in 0..replicas {
                 let beacon = coordinator.register_worker(&format!("sew{s}-r{r}"));
-                serving.push(ServingWorker::start(
+                workers.push(ServingWorker::start(
                     ServingWorkerId(s),
                     r,
                     &config,
@@ -148,6 +230,10 @@ impl HeliosDeployment {
                 )?);
             }
         }
+        let serving: SharedServing = Arc::new(RwLock::new(Arc::new(ServingSet {
+            replicas: replicas as usize,
+            workers,
+        })));
 
         let mut sampling = Vec::with_capacity(m as usize);
         for w in 0..m {
@@ -157,6 +243,7 @@ impl HeliosDeployment {
                 &config,
                 &query,
                 &broker,
+                Arc::clone(&router),
                 beacon,
                 &telemetry,
                 &recorder,
@@ -167,9 +254,48 @@ impl HeliosDeployment {
             sampling.push(worker);
         }
 
+        // A checkpoint taken under a different topology: the restored
+        // subscription tables reference the old worker layout, so raise a
+        // flight event and re-derive every subscription from reservoir
+        // contents under the fresh epoch-0 table (satellite of the
+        // elastic-membership work; no traffic has flowed yet).
+        if let Some(dir) = restore_dir {
+            match std::fs::read(dir.join(CheckpointManifest::FILE)) {
+                Ok(raw) => {
+                    let manifest = CheckpointManifest::decode_from_slice(&raw)?;
+                    let mismatch = manifest.serving_workers as usize != config.serving_workers
+                        || manifest.sampling_workers as usize != config.sampling_workers
+                        || manifest.sampling_threads as usize != config.sampling_threads;
+                    if mismatch {
+                        recorder.record(
+                            EventKind::TopologyMismatch,
+                            u32::MAX,
+                            u64::from(manifest.serving_workers),
+                            config.serving_workers as u64,
+                            u64::from(manifest.sampling_workers),
+                        );
+                        for w in &sampling {
+                            w.rebuild_subscriptions()?;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+
         let reporter = config.stats_interval.map(|interval| {
             Self::start_stats_reporter(
-                interval, &config, &telemetry, &broker, &sampling, &serving, &recorder, &slo,
+                interval,
+                &config,
+                &telemetry,
+                &broker,
+                &sampling,
+                &serving,
+                &router,
+                &coordinator,
+                &recorder,
+                &slo,
             )
         });
 
@@ -180,16 +306,28 @@ impl HeliosDeployment {
                 &config,
                 &updates_topic,
                 &serving,
+                &router,
                 &telemetry,
                 &slo,
                 &recorder,
             )
         });
 
+        let dyn_routes = DynRoutes::new();
+        Self::register_membership_route(&dyn_routes, &router, &serving);
+
         let ops = match &config.ops_addr {
             Some(addr) => Some(
                 Self::start_ops_server(
-                    addr, &config, &telemetry, &broker, &sampling, &serving, &recorder,
+                    addr,
+                    &config,
+                    &telemetry,
+                    &broker,
+                    &sampling,
+                    &serving,
+                    &coordinator,
+                    &recorder,
+                    &dyn_routes,
                 )
                 .map_err(HeliosError::Io)?,
             ),
@@ -202,15 +340,44 @@ impl HeliosDeployment {
             coordinator,
             sampling,
             serving,
+            router,
             updates_topic,
             replica_rr: std::sync::atomic::AtomicU64::new(0),
             telemetry,
             reporter,
             recorder,
             slo,
+            rescale_lock: parking_lot::Mutex::new(()),
+            dyn_routes,
             prober,
             ops,
         })
+    }
+
+    /// `/membership` on the ops server: the live routing table (epoch,
+    /// worker count, slot assignment) plus the serving-set shape, as JSON.
+    fn register_membership_route(
+        routes: &Arc<DynRoutes>,
+        router: &Arc<Router>,
+        serving: &SharedServing,
+    ) {
+        let router = Arc::clone(router);
+        let serving = Arc::clone(serving);
+        routes.register("/membership", move |_method, _query| {
+            let table = router.table();
+            let set = Arc::clone(&serving.read());
+            let assignment: Vec<String> =
+                table.assignment().iter().map(|w| w.to_string()).collect();
+            let body = format!(
+                "{{\"epoch\":{},\"workers\":{},\"replicas\":{},\"slots\":{},\"assignment\":[{}]}}\n",
+                table.epoch(),
+                table.workers(),
+                set.replicas,
+                table.slots(),
+                assignment.join(",")
+            );
+            (200, "application/json".to_string(), body)
+        });
     }
 
     /// Spawn the freshness prober: every `interval` it injects a marker
@@ -225,19 +392,21 @@ impl HeliosDeployment {
         query: &KHopQuery,
         config: &HeliosConfig,
         updates_topic: &Arc<helios_mq::Topic>,
-        serving: &[Arc<ServingWorker>],
+        serving: &SharedServing,
+        router: &Arc<Router>,
         telemetry: &Arc<Registry>,
         slo: &Arc<SloTracker>,
         recorder: &Arc<FlightRecorder>,
     ) -> FreshnessProber {
         let seed_type = query.seed_type();
         let m = config.sampling_workers;
-        let replicas = config.serving_replicas;
-        let n_logical = serving.len() / replicas;
         let marker = VertexId(fc.marker_vertex);
-        // Markers route like any seed: probe the replica-0 worker of the
-        // owning logical serving worker.
-        let target = Arc::clone(&serving[route(marker.raw(), n_logical) * replicas]);
+        // Markers route like any seed. Resolved per probe (not once at
+        // startup): a rescale can move the marker's slot, and the probe
+        // must follow it to the new owner or it would measure a drained
+        // cache forever.
+        let serving = Arc::clone(serving);
+        let router = Arc::clone(router);
         let updates_topic = Arc::clone(updates_topic);
         let freshness = telemetry.histogram("e2e.freshness", &[]);
         let timeouts = telemetry.counter("e2e.freshness_timeouts", &[]);
@@ -277,9 +446,15 @@ impl HeliosDeployment {
                     while Instant::now() < deadline
                         && !stop2.load(std::sync::atomic::Ordering::Relaxed)
                     {
-                        let seen = target
-                            .serve(marker)
-                            .ok()
+                        // Re-resolve the owner every poll: a mid-probe
+                        // rescale commit repoints the marker and the new
+                        // owner's cache is where visibility shows up.
+                        let sew = router.owner_of(marker).0 as usize;
+                        let set = Arc::clone(&serving.read());
+                        let seen = set
+                            .workers
+                            .get(sew * set.replicas)
+                            .and_then(|t| t.serve(marker).ok())
                             .and_then(|g| g.features.get(&marker).and_then(|f| f.first().copied()));
                         if seen == Some(expect) {
                             visible = true;
@@ -320,17 +495,41 @@ impl HeliosDeployment {
     /// memtables within flush bounds, and the pipeline drain deficit
     /// (produced − consumed over all stages, the quiesce equation)
     /// bounded.
+    #[allow(clippy::too_many_arguments)]
     fn start_ops_server(
         addr: &str,
         config: &HeliosConfig,
         telemetry: &Arc<Registry>,
         broker: &Arc<Broker>,
         sampling: &[SamplingWorker],
-        serving: &[Arc<ServingWorker>],
+        serving: &SharedServing,
+        coordinator: &Coordinator,
         recorder: &Arc<FlightRecorder>,
+        dyn_routes: &Arc<DynRoutes>,
     ) -> std::io::Result<OpsServer> {
         let registry = Arc::clone(telemetry);
-        let mut state = OpsState::new(move || registry.snapshot()).recorder(Arc::clone(recorder));
+        let mut state = OpsState::new(move || registry.snapshot())
+            .recorder(Arc::clone(recorder))
+            .routes(Arc::clone(dyn_routes));
+
+        // Membership probe: a registered worker that stopped heartbeating
+        // is dead capacity — degrade /healthz so the operator (or an
+        // orchestrator watching it) reacts before queries hit the gap.
+        if let Some(timeout) = config.health_worker_timeout {
+            let liveness = coordinator.liveness();
+            state = state.probe(move || {
+                let dead = liveness.dead_workers(timeout);
+                if dead.is_empty() {
+                    HealthReport::new("membership", true, "all workers heartbeating")
+                } else {
+                    HealthReport::new(
+                        "membership",
+                        false,
+                        format!("dead workers: {}", dead.join(", ")),
+                    )
+                }
+            });
+        }
 
         let max_lag = config.health_max_lag;
         let lag_broker = Arc::clone(broker);
@@ -369,11 +568,12 @@ impl HeliosDeployment {
         let flush_bounded = config.cache_dir.is_some();
         let mem_bound = (config.cache_memtable_budget * config.cache_shards * 4) as u64;
         let imm_bound = (config.cache_max_immutables * config.cache_shards) as u64;
-        let kv_serving: Vec<Arc<ServingWorker>> = serving.iter().map(Arc::clone).collect();
+        let kv_serving = Arc::clone(serving);
         state = state.probe(move || {
+            let set = Arc::clone(&kv_serving.read());
             let mut mem = 0u64;
             let mut worst_imm = 0u64;
-            for w in &kv_serving {
+            for w in &set.workers {
                 let (s, f) = w.cache_stats();
                 mem += s.mem_bytes as u64 + f.mem_bytes as u64;
                 worst_imm = worst_imm
@@ -381,7 +581,7 @@ impl HeliosDeployment {
                     .max(f.immutable_memtables as u64);
             }
             if flush_bounded {
-                let healthy = mem <= mem_bound * kv_serving.len() as u64 && worst_imm < imm_bound;
+                let healthy = mem <= mem_bound * set.workers.len() as u64 && worst_imm < imm_bound;
                 HealthReport::new(
                     "kvstore",
                     healthy,
@@ -400,16 +600,11 @@ impl HeliosDeployment {
             .iter()
             .map(|w| (Arc::clone(w.metrics()), Box::new(w.backlog_probe()) as _))
             .collect();
-        let drain_serving: Vec<Arc<ServingWorker>> = serving.iter().map(Arc::clone).collect();
-        let drain_replicas = config.serving_replicas as u64;
+        let drain_serving = Arc::clone(serving);
         let drain_bound = config.health_max_backlog as u64;
         state = state.probe(move || {
-            let deficit = drain_deficit(
-                &drain_broker,
-                &drain_sampling,
-                &drain_serving,
-                drain_replicas,
-            );
+            let set = Arc::clone(&drain_serving.read());
+            let deficit = drain_deficit(&drain_broker, &drain_sampling, &set);
             HealthReport::new(
                 "pipeline",
                 deficit <= drain_bound,
@@ -435,7 +630,9 @@ impl HeliosDeployment {
         telemetry: &Arc<Registry>,
         broker: &Arc<Broker>,
         sampling: &[SamplingWorker],
-        serving: &[Arc<ServingWorker>],
+        serving: &SharedServing,
+        router: &Arc<Router>,
+        coordinator: &Coordinator,
         recorder: &Arc<FlightRecorder>,
         slo: &Arc<SloTracker>,
     ) -> StatsReporter {
@@ -445,7 +642,10 @@ impl HeliosDeployment {
             .iter()
             .map(|w| (w.id().0.to_string(), Box::new(w.backlog_probe()) as _))
             .collect();
-        let serving: Vec<Arc<ServingWorker>> = serving.iter().map(Arc::clone).collect();
+        let serving = Arc::clone(serving);
+        let router = Arc::clone(router);
+        let liveness = coordinator.liveness();
+        let worker_timeout = config.health_worker_timeout;
         let recorder = Arc::clone(recorder);
         let slo = Arc::clone(slo);
         let spike = config.decode_error_spike;
@@ -466,8 +666,24 @@ impl HeliosDeployment {
                     .gauge("actor.mailbox_depth", &[("worker", worker)])
                     .set(probe() as i64);
             }
+            // Membership: routing epoch, live logical workers, and dead
+            // (heartbeat-expired) workers, so `/vars` answers "what shape
+            // is the fleet in" without scraping the membership topic.
+            let table = router.table();
+            registry
+                .gauge("membership.epoch", &[])
+                .set(table.epoch() as i64);
+            registry
+                .gauge("membership.workers", &[])
+                .set(table.workers() as i64);
+            if let Some(timeout) = worker_timeout {
+                registry
+                    .gauge("membership.dead_workers", &[])
+                    .set(liveness.dead_workers(timeout).len() as i64);
+            }
+            let set = Arc::clone(&serving.read());
             let mut decode = 0u64;
-            for w in &serving {
+            for w in &set.workers {
                 decode += w.decode_errors();
                 let sw = w.id().0.to_string();
                 let r = w.replica().to_string();
@@ -589,9 +805,34 @@ impl HeliosDeployment {
         self.ops.as_ref().map(OpsServer::addr)
     }
 
-    /// Serving worker handles.
-    pub fn serving_workers(&self) -> &[Arc<ServingWorker>] {
-        &self.serving
+    /// Handles to the current serving fleet (a snapshot: a concurrent
+    /// rescale does not invalidate the returned vector, but it may no
+    /// longer reflect the live set).
+    pub fn serving_workers(&self) -> Vec<Arc<ServingWorker>> {
+        self.serving.read().workers.clone()
+    }
+
+    /// The sampling workers (M is fixed for the deployment's lifetime;
+    /// only the serving fleet rescales).
+    pub fn sampling_workers(&self) -> &[SamplingWorker] {
+        &self.sampling
+    }
+
+    /// The shared seed→worker router (epoch-versioned; rescales bump it).
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// Current routing-table epoch.
+    pub fn route_epoch(&self) -> u64 {
+        self.router.epoch()
+    }
+
+    /// Dynamic ops-server routes (`/membership` is pre-registered;
+    /// [`crate::rescale`] adds `/scale`). Live even when the ops server is
+    /// disabled, so registration is always safe.
+    pub fn dyn_routes(&self) -> &Arc<DynRoutes> {
+        &self.dyn_routes
     }
 
     /// Metrics of each sampling worker.
@@ -638,28 +879,36 @@ impl HeliosDeployment {
     }
 
     /// A serving worker responsible for `seed`: the owning logical worker
-    /// is fixed by the routing hash; among its replicas, requests are
-    /// spread round-robin.
-    pub fn serving_worker_for(&self, seed: VertexId) -> &Arc<ServingWorker> {
-        let replicas = self.config.serving_replicas;
-        let n = self.serving.len() / replicas;
-        let sew = route(seed.raw(), n);
-        let r = if replicas == 1 {
-            0
-        } else {
-            (self
-                .replica_rr
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-                % replicas as u64) as usize
-        };
-        &self.serving[sew * replicas + r]
+    /// comes from the epoch-versioned routing table; among its replicas,
+    /// requests are spread round-robin.
+    pub fn serving_worker_for(&self, seed: VertexId) -> Arc<ServingWorker> {
+        loop {
+            let set = Arc::clone(&self.serving.read());
+            let sew = self.router.owner_of(seed).0 as usize;
+            // Rescale ordering keeps `table.workers() <= set.logical()`
+            // (scale-out extends the set before the commit installs; a
+            // scale-in installs before it truncates), but the two reads
+            // here are not atomic — on the rare raced snapshot, re-read.
+            if sew < set.logical() {
+                let replicas = set.replicas;
+                let r = if replicas == 1 {
+                    0
+                } else {
+                    (self
+                        .replica_rr
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                        % replicas as u64) as usize
+                };
+                return Arc::clone(&set.workers[sew * replicas + r]);
+            }
+            std::thread::yield_now();
+        }
     }
 
-    /// All replicas of logical serving worker `sew`.
-    pub fn serving_replicas_of(&self, sew: u32) -> &[Arc<ServingWorker>] {
-        let replicas = self.config.serving_replicas;
-        let base = sew as usize * replicas;
-        &self.serving[base..base + replicas]
+    /// All replicas of logical serving worker `sew` (snapshot semantics,
+    /// like [`HeliosDeployment::serving_workers`]).
+    pub fn serving_replicas_of(&self, sew: u32) -> Vec<Arc<ServingWorker>> {
+        self.serving.read().replicas_of(sew).to_vec()
     }
 
     /// Serve a sampling query: route to the owning serving worker and
@@ -686,18 +935,33 @@ impl HeliosDeployment {
         for w in &self.sampling {
             w.expire_before(horizon);
         }
-        for s in &self.serving {
+        let set = Arc::clone(&self.serving.read());
+        for s in &set.workers {
             s.expire_before(horizon)?;
         }
         Ok(())
     }
 
     /// Checkpoint sampling-worker state into `dir` (coordinator-triggered
-    /// fault tolerance, §4.1). Quiesce first for a clean snapshot.
+    /// fault tolerance, §4.1), plus a manifest of the topology and routing
+    /// table the snapshot was taken under. Quiesce first for a clean
+    /// snapshot.
     pub fn checkpoint(&self, dir: &Path) -> Result<()> {
         for w in &self.sampling {
             w.checkpoint(dir)?;
         }
+        std::fs::create_dir_all(dir)?;
+        let set = Arc::clone(&self.serving.read());
+        let manifest = CheckpointManifest {
+            sampling_workers: self.config.sampling_workers as u32,
+            sampling_threads: self.config.sampling_threads as u32,
+            serving_workers: set.logical() as u32,
+            table: (*self.router.table()).clone(),
+        };
+        std::fs::write(
+            dir.join(CheckpointManifest::FILE),
+            manifest.encode_to_bytes(),
+        )?;
         Ok(())
     }
 
@@ -750,13 +1014,16 @@ impl HeliosDeployment {
         let mut stable_rounds = 0;
         let mut last_fingerprint = (0u64, 0u64, 0u64, 0u64);
         while Instant::now() < deadline {
+            // Re-snapshot the serving set every round: quiesce may run
+            // concurrently with (or right after) a rescale.
+            let set = Arc::clone(&self.serving.read());
             let updates_end = self.updates_topic.total_end_offset();
             let control_end = self
                 .broker
                 .topic(topics::CONTROL)
                 .map(|t| t.total_end_offset())
                 .unwrap_or(0);
-            let n_logical = (self.serving.len() / self.config.serving_replicas) as u32;
+            let n_logical = set.logical() as u32;
             let samples_end: u64 = (0..n_logical)
                 .map(|s| {
                     self.broker
@@ -777,13 +1044,13 @@ impl HeliosDeployment {
             }
             // Malformed records are counted (as decode errors), never
             // applied — both tallies drain the queue.
-            let applied: u64 = self
-                .serving
+            let applied: u64 = set
+                .workers
                 .iter()
                 .map(|s| s.applied() + s.decode_errors())
                 .sum();
             // Every replica consumes the full queue of its logical worker.
-            let samples_expected = samples_end * self.config.serving_replicas as u64;
+            let samples_expected = samples_end * set.replicas as u64;
 
             let drained = updates_done == updates_end
                 && control_done == control_end
@@ -810,12 +1077,8 @@ impl HeliosDeployment {
             .iter()
             .map(|w| (Arc::clone(w.metrics()), Box::new(w.backlog_probe()) as _))
             .collect();
-        let deficit = drain_deficit(
-            &self.broker,
-            &sampling,
-            &self.serving,
-            self.config.serving_replicas as u64,
-        );
+        let set = Arc::clone(&self.serving.read());
+        let deficit = drain_deficit(&self.broker, &sampling, &set);
         self.recorder
             .anomaly(EventKind::QuiesceFailed, u32::MAX, deficit, 0, 0);
         false
@@ -823,7 +1086,8 @@ impl HeliosDeployment {
 
     /// Total bytes held by all serving caches (Fig. 16 numerator).
     pub fn total_cache_bytes(&self) -> u64 {
-        self.serving.iter().map(|s| s.cache_bytes()).sum()
+        let set = Arc::clone(&self.serving.read());
+        set.workers.iter().map(|s| s.cache_bytes()).sum()
     }
 
     /// Stop all workers. Serving caches stay readable until drop.
@@ -839,7 +1103,8 @@ impl HeliosDeployment {
         for w in self.sampling.drain(..) {
             w.shutdown();
         }
-        for s in &self.serving {
+        let set = Arc::clone(&self.serving.read());
+        for s in &set.workers {
             s.shutdown();
         }
     }
@@ -864,12 +1129,7 @@ impl HeliosDeployment {
 /// queues × replicas) plus the sampling-shard mailbox backlog. Zero means
 /// fully drained; a live pipeline under load sits at a small positive
 /// value.
-fn drain_deficit(
-    broker: &Broker,
-    sampling: &[DrainSource],
-    serving: &[Arc<ServingWorker>],
-    replicas: u64,
-) -> u64 {
+fn drain_deficit(broker: &Broker, sampling: &[DrainSource], serving: &ServingSet) -> u64 {
     let updates_end = broker
         .topic(topics::UPDATES)
         .map(|t| t.total_end_offset())
@@ -878,8 +1138,7 @@ fn drain_deficit(
         .topic(topics::CONTROL)
         .map(|t| t.total_end_offset())
         .unwrap_or(0);
-    let n_logical = serving.len() as u64 / replicas.max(1);
-    let samples_end: u64 = (0..n_logical as u32)
+    let samples_end: u64 = (0..serving.logical() as u32)
         .map(|s| {
             broker
                 .topic(&topics::samples(s))
@@ -896,11 +1155,12 @@ fn drain_deficit(
         backlog += probe() as u64;
     }
     let applied: u64 = serving
+        .workers
         .iter()
         .map(|s| s.applied() + s.decode_errors())
         .sum();
     updates_end.saturating_sub(updates_done)
         + control_end.saturating_sub(control_done)
-        + (samples_end * replicas).saturating_sub(applied)
+        + (samples_end * serving.replicas as u64).saturating_sub(applied)
         + backlog
 }

@@ -47,6 +47,7 @@ pub mod coordinator;
 pub mod deployment;
 pub mod messages;
 pub mod report;
+pub mod rescale;
 pub mod sampler;
 pub mod serving;
 
@@ -55,8 +56,15 @@ pub use coordinator::Coordinator;
 pub use deployment::HeliosDeployment;
 pub use messages::{ControlMsg, SampleEntryLite, SampleMsg, UpdateEnvelope};
 pub use report::{DeploymentReport, SamplingReport, ServingReport};
+pub use rescale::AutoscalerGuard;
 pub use sampler::SamplingWorker;
 pub use serving::ServingWorker;
+
+// Membership/rescale vocabulary, re-exported so deployments can configure
+// the autoscaler without depending on helios-membership directly.
+pub use helios_membership::{
+    RouteTable, Router, ScaleController, ScaleDecision, ScalePolicy, ScaleSignals,
+};
 
 use helios_query::SamplingStrategy as QueryStrategy;
 use helios_sampling::SamplingStrategy as ReservoirStrategy;

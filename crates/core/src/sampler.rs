@@ -21,6 +21,7 @@ use crate::config::HeliosConfig;
 use crate::messages::{now_nanos, ControlMsg, SampleEntryLite, SampleMsg, UpdateEnvelope};
 use crate::to_reservoir_strategy;
 use helios_actor::{Beacon, ShardedPool};
+use helios_membership::{MembershipMsg, RouteTable, Router};
 use helios_mq::Broker;
 use helios_query::{KHopQuery, QueryDag};
 use helios_sampling::{ReservoirOutcome, ReservoirTable, SampleEntry};
@@ -29,10 +30,11 @@ use helios_types::{
     hash::route, Decode, EdgeUpdate, Encode, FxHashMap, GraphUpdate, PartitionId, QueryHopId,
     Result, SamplingWorkerId, ServingWorkerId, Timestamp, VertexId, VertexType, VertexUpdate,
 };
+use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -42,6 +44,10 @@ pub mod topics {
     pub const UPDATES: &str = "updates";
     /// Inter-sampling-worker subscription control (M partitions).
     pub const CONTROL: &str = "control";
+    /// Membership / rescale broadcasts (M partitions; the deployment
+    /// writes every message to all partitions so each sampling worker
+    /// sees the full epoch sequence on its own partition).
+    pub const MEMBERSHIP: &str = "membership";
     /// Sample queue of one serving worker.
     pub fn samples(sew: u32) -> String {
         format!("samples-{sew}")
@@ -129,10 +135,18 @@ impl SamplerMetrics {
 struct Ctx {
     worker: SamplingWorkerId,
     m: usize,
-    n: usize,
+    /// Epoch-versioned seed→serving-worker routing, shared with the
+    /// deployment front-end. Installed tables change where *new* implicit
+    /// seed subscriptions go; existing subscriptions move via the
+    /// Prepare/Commit handoff scans.
+    router: Arc<Router>,
     dag: QueryDag,
     seed_type: VertexType,
-    sample_topics: Vec<Arc<helios_mq::Topic>>,
+    broker: Arc<Broker>,
+    /// Lazily resolved sample-queue handles, keyed by logical serving
+    /// worker. Invalidated when a commit shrinks or re-creates topics so
+    /// a stale `Arc<Topic>` can never shadow a re-created queue.
+    sample_topics: RwLock<FxHashMap<u32, Arc<helios_mq::Topic>>>,
     control_topic: Arc<helios_mq::Topic>,
     metrics: Arc<SamplerMetrics>,
     recorder: Arc<FlightRecorder>,
@@ -141,7 +155,30 @@ struct Ctx {
 impl Ctx {
     #[inline]
     fn sew_of(&self, v: VertexId) -> ServingWorkerId {
-        ServingWorkerId(route(v.raw(), self.n) as u32)
+        self.router.owner_of(v)
+    }
+
+    /// Resolve the sample topic of `sew`. Only workers inside the
+    /// currently *committed* table are cached: during a scale-out's
+    /// prepare window (and a scale-in's drain window) the joining or
+    /// departing worker's topic is looked up per publish, so deleting and
+    /// re-creating `samples-<sew>` across rescale cycles is always seen.
+    fn sample_topic(&self, sew: u32) -> Option<Arc<helios_mq::Topic>> {
+        if let Some(t) = self.sample_topics.read().get(&sew) {
+            return Some(Arc::clone(t));
+        }
+        let t = self.broker.topic(&topics::samples(sew)).ok()?;
+        if (sew as usize) < self.router.table().workers() {
+            self.sample_topics.write().insert(sew, Arc::clone(&t));
+        }
+        Some(t)
+    }
+
+    /// Drop cached topic handles outside the committed worker set.
+    fn invalidate_sample_topics(&self, live_workers: u32) {
+        self.sample_topics
+            .write()
+            .retain(|sew, _| *sew < live_workers);
     }
 
     fn publish_sample(&self, sew: ServingWorkerId, msg: &SampleMsg) {
@@ -149,11 +186,13 @@ impl Ctx {
     }
 
     /// Publish an already-encoded message (lets multi-subscriber fan-out
-    /// encode once and clone the frozen buffer).
+    /// encode once and clone the frozen buffer). Publishes to a departed
+    /// worker (topic deleted) are dropped silently: its cache is gone.
     fn publish_sample_raw(&self, sew: ServingWorkerId, key: u64, payload: bytes::Bytes) {
-        let topic = &self.sample_topics[sew.0 as usize];
-        let _ = topic.produce(key, payload);
-        self.metrics.published.incr();
+        if let Some(topic) = self.sample_topic(sew.0) {
+            let _ = topic.produce(key, payload);
+            self.metrics.published.incr();
+        }
     }
 
     /// Send a batch of control messages, waking control consumers once
@@ -170,6 +209,21 @@ impl Ctx {
     }
 }
 
+/// Which rescale scan a shard should run (see `handle_rescale`).
+#[derive(Clone, Copy, Debug)]
+enum RescalePhase {
+    /// Charge the pending table's new owners of moved seeds; routing and
+    /// the `seeds` map stay on the committed table.
+    Prepare,
+    /// Move moved seeds fully: charge new owner (a no-op after Prepare),
+    /// repoint `seeds`, discharge the old owner.
+    Commit,
+    /// Drop every subscription and re-derive them from reservoir contents
+    /// under the current table (checkpoint restored into a different
+    /// topology).
+    Rebuild,
+}
+
 /// Messages handled by a sampling shard.
 enum ShardMsg {
     Update(UpdateEnvelope),
@@ -180,9 +234,33 @@ enum ShardMsg {
     Checkpoint(PathBuf, crossbeam::channel::Sender<Result<()>>),
     /// Load shard state from `dir` (if a file exists) and ack.
     Restore(PathBuf, crossbeam::channel::Sender<Result<()>>),
+    /// Run one rescale scan against `table` and ack.
+    Rescale {
+        table: Arc<RouteTable>,
+        phase: RescalePhase,
+        ack: crossbeam::channel::Sender<()>,
+    },
+    /// Deep-copy the shard's state for tests/diagnostics and ack.
+    Inspect(crossbeam::channel::Sender<ShardSnapshot>),
 }
 
 type SubTable = FxHashMap<VertexId, FxHashMap<u32, u32>>;
+
+/// A deep copy of one sampling shard's state, taken through the shard's
+/// own mailbox (so it is a consistent point-in-time view). Used by the
+/// subscription-churn tests and rescale diagnostics.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Per hop: reservoir key → current sampled neighbors.
+    pub reservoirs: Vec<FxHashMap<VertexId, Vec<VertexId>>>,
+    /// Per hop: vertex → serving worker → subscription refcount.
+    pub sample_subs: Vec<FxHashMap<VertexId, FxHashMap<u32, u32>>>,
+    /// Vertex → serving worker → feature subscription refcount.
+    pub feat_subs: FxHashMap<VertexId, FxHashMap<u32, u32>>,
+    /// Seed → serving worker currently charged with its implicit
+    /// subscriptions.
+    pub seeds: FxHashMap<VertexId, u32>,
+}
 
 /// One sampling thread's exclusive state.
 struct SamplerShard {
@@ -196,6 +274,12 @@ struct SamplerShard {
     sample_subs: Vec<SubTable>,
     /// Feature subscription refcounts.
     feat_subs: SubTable,
+    /// Seed → serving worker holding its *implicit* subscriptions (the
+    /// hop-0 sample sub and one feature-sub refcount). The routing table
+    /// says where a seed *should* live; this map says who is *currently*
+    /// charged, which is what lets rescale scans find and move exactly
+    /// the seeds whose owner changed.
+    seeds: FxHashMap<VertexId, u32>,
     rng: StdRng,
 }
 
@@ -216,6 +300,7 @@ impl SamplerShard {
             features: FxHashMap::default(),
             sample_subs,
             feat_subs: SubTable::default(),
+            seeds: FxHashMap::default(),
             rng: StdRng::seed_from_u64(seed ^ 0x4845_4C49_4F53_u64),
         }
     }
@@ -236,11 +321,10 @@ impl SamplerShard {
     fn handle_vertex(&mut self, v: &VertexUpdate, caused_at: u64, trace: TraceCtx) {
         self.features.insert(v.id, (v.feature.clone(), v.ts));
         if v.vtype == self.ctx.seed_type {
-            // Seed vertices are implicitly feature-subscribed by their
-            // serving worker (it will need the seed feature to answer
-            // requests on v).
-            let sew = self.ctx.sew_of(v.id);
-            self.ensure_feat_sub(v.id, sew, false);
+            // Seed vertices are implicitly subscribed by their serving
+            // worker (it will need the seed feature — and, when edges
+            // arrive, the hop-0 samples — to answer requests on v).
+            self.ensure_seed_sub(v.id);
         }
         if let Some(subs) = self.feat_subs.get(&v.id) {
             let msg = SampleMsg::FeatureUpdate {
@@ -268,8 +352,7 @@ impl SamplerShard {
             if hop_idx == 0 {
                 // Implicit seed subscription (Q₁ keys are seeds; their
                 // serving worker is determined by routing).
-                let sew = self.ctx.sew_of(e.src);
-                self.ensure_seed_sub(e.src, sew);
+                self.ensure_seed_sub(e.src);
             }
             let reservoir_span = span("sampler.reservoir", trace);
             let outcome =
@@ -360,157 +443,258 @@ impl SamplerShard {
 
     // ---- subscription handling (§5.3) ----
 
-    fn ensure_seed_sub(&mut self, seed: VertexId, sew: ServingWorkerId) {
-        self.sample_subs[0]
-            .entry(seed)
-            .or_default()
-            .entry(sew.0)
-            .or_insert(1);
-        self.ensure_feat_sub(seed, sew, true);
+    /// Make sure `seed`'s implicit subscriptions are charged to its
+    /// *current* owner per the routing table. Called on every hop-0 edge
+    /// and seed-typed vertex update; after a rescale commit this is also
+    /// what moves a seed the commit scan has not reached yet (new traffic
+    /// must never resurrect a discharged owner).
+    fn ensure_seed_sub(&mut self, seed: VertexId) {
+        let owner = self.ctx.sew_of(seed);
+        match self.seeds.get(&seed).copied() {
+            None => {
+                self.seeds.insert(seed, owner.0);
+                self.charge_seed(seed, owner);
+            }
+            Some(old) if old != owner.0 => {
+                self.charge_seed(seed, owner);
+                self.seeds.insert(seed, owner.0);
+                self.discharge_seed(seed, ServingWorkerId(old));
+            }
+            Some(_) => {}
+        }
     }
 
-    fn ensure_feat_sub(&mut self, v: VertexId, sew: ServingWorkerId, push_snapshot: bool) {
-        let entry = self.feat_subs.entry(v).or_default();
-        if let std::collections::hash_map::Entry::Vacant(slot) = entry.entry(sew.0) {
-            slot.insert(1);
-            if push_snapshot {
-                if let Some((f, ts)) = self.features.get(&v) {
-                    self.ctx.publish_sample(
+    /// Charge `sew` with `seed`'s implicit subscriptions: the hop-0
+    /// sample sub plus one feature-sub refcount. Guarded by the hop-0
+    /// sub's presence — only charges ever create hop-0 subs (there is no
+    /// transitive `SubscribeSamples{hop: 0}`), so presence means "already
+    /// charged" and a Prepare-then-Commit double charge is a no-op. The
+    /// subscribe path pushes reservoir/feature snapshots (§5.3,
+    /// idempotent), which is exactly the bootstrap a joining worker needs.
+    fn charge_seed(&mut self, seed: VertexId, sew: ServingWorkerId) {
+        let charged = self.sample_subs[0]
+            .get(&seed)
+            .is_some_and(|m| m.contains_key(&sew.0));
+        if !charged {
+            self.sub_samples(QueryHopId(0), seed, sew);
+            self.sub_feature(seed, sew);
+        }
+    }
+
+    /// Mirror of `charge_seed`: drop the implicit subscriptions held by
+    /// `sew`. The transitive unsubscribe cascade discharges everything
+    /// the seed's subscription tree pinned on other workers.
+    fn discharge_seed(&mut self, seed: VertexId, sew: ServingWorkerId) {
+        let charged = self.sample_subs[0]
+            .get(&seed)
+            .is_some_and(|m| m.contains_key(&sew.0));
+        if charged {
+            self.unsub_samples(QueryHopId(0), seed, sew);
+            self.unsub_feature(seed, sew);
+        }
+    }
+
+    fn sub_samples(&mut self, hop: QueryHopId, vertex: VertexId, sew: ServingWorkerId) {
+        let rc = self.sample_subs[hop.index()]
+            .entry(vertex)
+            .or_default()
+            .entry(sew.0)
+            .or_insert(0);
+        *rc += 1;
+        let first = *rc == 1;
+        // Snapshot push (idempotent) so the subscriber converges
+        // even if it subscribed mid-stream.
+        let entries = Self::lite_entries(self.reservoirs[hop.index()].samples(vertex));
+        let neighbors: Vec<VertexId> = entries.iter().map(|e| e.neighbor).collect();
+        self.ctx.publish_sample(
+            sew,
+            &SampleMsg::SampleUpdate {
+                hop,
+                key: vertex,
+                entries,
+                caused_at: 0,
+                trace: TraceCtx::NONE,
+            },
+        );
+        if first {
+            let downstream: Vec<QueryHopId> = self.ctx.dag.downstream(hop).map(|d| d.hop).collect();
+            let mut controls: Vec<ControlMsg> = Vec::new();
+            for w in neighbors {
+                controls.push(ControlMsg::SubscribeFeature { vertex: w, sew });
+                for &d in &downstream {
+                    controls.push(ControlMsg::SubscribeSamples {
+                        hop: d,
+                        vertex: w,
                         sew,
-                        &SampleMsg::FeatureUpdate {
-                            vertex: v,
-                            feature: f.clone(),
-                            ts: *ts,
-                            caused_at: 0,
-                            trace: TraceCtx::NONE,
-                        },
-                    );
+                    });
                 }
             }
+            self.ctx.send_controls(controls);
+        }
+    }
+
+    fn unsub_samples(&mut self, hop: QueryHopId, vertex: VertexId, sew: ServingWorkerId) {
+        let mut drop_all = false;
+        if let Some(m) = self.sample_subs[hop.index()].get_mut(&vertex) {
+            if let Some(rc) = m.get_mut(&sew.0) {
+                *rc = rc.saturating_sub(1);
+                if *rc == 0 {
+                    m.remove(&sew.0);
+                    drop_all = true;
+                }
+            }
+            if m.is_empty() {
+                self.sample_subs[hop.index()].remove(&vertex);
+            }
+        }
+        if drop_all {
+            self.ctx
+                .publish_sample(sew, &SampleMsg::Evict { hop, key: vertex });
+            let neighbors: Vec<VertexId> = self.reservoirs[hop.index()]
+                .samples(vertex)
+                .iter()
+                .map(|e| e.neighbor)
+                .collect();
+            let downstream: Vec<QueryHopId> = self.ctx.dag.downstream(hop).map(|d| d.hop).collect();
+            let mut controls: Vec<ControlMsg> = Vec::new();
+            for w in neighbors {
+                controls.push(ControlMsg::UnsubscribeFeature { vertex: w, sew });
+                for &d in &downstream {
+                    controls.push(ControlMsg::UnsubscribeSamples {
+                        hop: d,
+                        vertex: w,
+                        sew,
+                    });
+                }
+            }
+            self.ctx.send_controls(controls);
+        }
+    }
+
+    fn sub_feature(&mut self, vertex: VertexId, sew: ServingWorkerId) {
+        let rc = self
+            .feat_subs
+            .entry(vertex)
+            .or_default()
+            .entry(sew.0)
+            .or_insert(0);
+        *rc += 1;
+        if *rc == 1 {
+            if let Some((f, ts)) = self.features.get(&vertex) {
+                self.ctx.publish_sample(
+                    sew,
+                    &SampleMsg::FeatureUpdate {
+                        vertex,
+                        feature: f.clone(),
+                        ts: *ts,
+                        caused_at: 0,
+                        trace: TraceCtx::NONE,
+                    },
+                );
+            }
+        }
+    }
+
+    fn unsub_feature(&mut self, vertex: VertexId, sew: ServingWorkerId) {
+        let mut evict = false;
+        if let Some(m) = self.feat_subs.get_mut(&vertex) {
+            if let Some(rc) = m.get_mut(&sew.0) {
+                *rc = rc.saturating_sub(1);
+                if *rc == 0 {
+                    m.remove(&sew.0);
+                    evict = true;
+                }
+            }
+            if m.is_empty() {
+                self.feat_subs.remove(&vertex);
+            }
+        }
+        if evict {
+            self.ctx
+                .publish_sample(sew, &SampleMsg::EvictFeature { vertex });
         }
     }
 
     fn handle_control(&mut self, msg: ControlMsg) {
         match msg {
-            ControlMsg::SubscribeSamples { hop, vertex, sew } => {
-                let rc = self.sample_subs[hop.index()]
-                    .entry(vertex)
-                    .or_default()
-                    .entry(sew.0)
-                    .or_insert(0);
-                *rc += 1;
-                let first = *rc == 1;
-                // Snapshot push (idempotent) so the subscriber converges
-                // even if it subscribed mid-stream.
-                let entries = Self::lite_entries(self.reservoirs[hop.index()].samples(vertex));
-                let neighbors: Vec<VertexId> = entries.iter().map(|e| e.neighbor).collect();
-                self.ctx.publish_sample(
-                    sew,
-                    &SampleMsg::SampleUpdate {
-                        hop,
-                        key: vertex,
-                        entries,
-                        caused_at: 0,
-                        trace: TraceCtx::NONE,
-                    },
-                );
-                if first {
-                    let downstream: Vec<QueryHopId> =
-                        self.ctx.dag.downstream(hop).map(|d| d.hop).collect();
-                    let mut controls: Vec<ControlMsg> = Vec::new();
-                    for w in neighbors {
-                        controls.push(ControlMsg::SubscribeFeature { vertex: w, sew });
-                        for &d in &downstream {
-                            controls.push(ControlMsg::SubscribeSamples {
-                                hop: d,
-                                vertex: w,
-                                sew,
-                            });
-                        }
-                    }
-                    self.ctx.send_controls(controls);
-                }
-            }
+            ControlMsg::SubscribeSamples { hop, vertex, sew } => self.sub_samples(hop, vertex, sew),
             ControlMsg::UnsubscribeSamples { hop, vertex, sew } => {
-                let mut drop_all = false;
-                if let Some(m) = self.sample_subs[hop.index()].get_mut(&vertex) {
-                    if let Some(rc) = m.get_mut(&sew.0) {
-                        *rc = rc.saturating_sub(1);
-                        if *rc == 0 {
-                            m.remove(&sew.0);
-                            drop_all = true;
-                        }
-                    }
-                    if m.is_empty() {
-                        self.sample_subs[hop.index()].remove(&vertex);
-                    }
-                }
-                if drop_all {
-                    self.ctx
-                        .publish_sample(sew, &SampleMsg::Evict { hop, key: vertex });
-                    let neighbors: Vec<VertexId> = self.reservoirs[hop.index()]
-                        .samples(vertex)
-                        .iter()
-                        .map(|e| e.neighbor)
-                        .collect();
-                    let downstream: Vec<QueryHopId> =
-                        self.ctx.dag.downstream(hop).map(|d| d.hop).collect();
-                    let mut controls: Vec<ControlMsg> = Vec::new();
-                    for w in neighbors {
-                        controls.push(ControlMsg::UnsubscribeFeature { vertex: w, sew });
-                        for &d in &downstream {
-                            controls.push(ControlMsg::UnsubscribeSamples {
-                                hop: d,
-                                vertex: w,
-                                sew,
-                            });
-                        }
-                    }
-                    self.ctx.send_controls(controls);
+                self.unsub_samples(hop, vertex, sew)
+            }
+            ControlMsg::SubscribeFeature { vertex, sew } => self.sub_feature(vertex, sew),
+            ControlMsg::UnsubscribeFeature { vertex, sew } => self.unsub_feature(vertex, sew),
+        }
+    }
+
+    // ---- rescale (membership handoff scans) ----
+
+    /// Run one rescale scan. `Prepare` charges the pending table's new
+    /// owner of every seed whose owner changes (warming its cache through
+    /// the idempotent snapshot path) without touching routing state, so
+    /// live traffic keeps flowing to the old owners. `Commit` makes the
+    /// move authoritative: charge (no-op when prepared), repoint `seeds`,
+    /// discharge the old owner — the refcounted unsubscribe cascade then
+    /// strips everything only the old owner pinned. `Rebuild` re-derives
+    /// the whole subscription tree from reservoir contents under the
+    /// current table (topology-mismatched restore).
+    fn handle_rescale(&mut self, table: &RouteTable, phase: RescalePhase) {
+        match phase {
+            RescalePhase::Prepare => {
+                let moved: Vec<VertexId> = self
+                    .seeds
+                    .iter()
+                    .filter(|(v, &old)| table.owner_of(**v).0 != old)
+                    .map(|(v, _)| *v)
+                    .collect();
+                for v in moved {
+                    self.charge_seed(v, table.owner_of(v));
                 }
             }
-            ControlMsg::SubscribeFeature { vertex, sew } => {
-                let rc = self
-                    .feat_subs
-                    .entry(vertex)
-                    .or_default()
-                    .entry(sew.0)
-                    .or_insert(0);
-                *rc += 1;
-                if *rc == 1 {
-                    if let Some((f, ts)) = self.features.get(&vertex) {
-                        self.ctx.publish_sample(
-                            sew,
-                            &SampleMsg::FeatureUpdate {
-                                vertex,
-                                feature: f.clone(),
-                                ts: *ts,
-                                caused_at: 0,
-                                trace: TraceCtx::NONE,
-                            },
-                        );
-                    }
+            RescalePhase::Commit => {
+                let moved: Vec<(VertexId, u32)> = self
+                    .seeds
+                    .iter()
+                    .filter(|(v, &old)| table.owner_of(**v).0 != old)
+                    .map(|(v, &old)| (*v, old))
+                    .collect();
+                for (v, old) in moved {
+                    let new = table.owner_of(v);
+                    self.charge_seed(v, new);
+                    self.seeds.insert(v, new.0);
+                    self.discharge_seed(v, ServingWorkerId(old));
                 }
             }
-            ControlMsg::UnsubscribeFeature { vertex, sew } => {
-                let mut evict = false;
-                if let Some(m) = self.feat_subs.get_mut(&vertex) {
-                    if let Some(rc) = m.get_mut(&sew.0) {
-                        *rc = rc.saturating_sub(1);
-                        if *rc == 0 {
-                            m.remove(&sew.0);
-                            evict = true;
-                        }
-                    }
-                    if m.is_empty() {
-                        self.feat_subs.remove(&vertex);
-                    }
+            RescalePhase::Rebuild => {
+                let mut seeds: Vec<VertexId> = self.seeds.keys().copied().collect();
+                seeds.extend(self.reservoirs[0].iter().map(|(k, _)| k));
+                seeds.sort_unstable();
+                seeds.dedup();
+                for t in &mut self.sample_subs {
+                    t.clear();
                 }
-                if evict {
-                    self.ctx
-                        .publish_sample(sew, &SampleMsg::EvictFeature { vertex });
+                self.feat_subs.clear();
+                self.seeds.clear();
+                for v in seeds {
+                    self.ensure_seed_sub(v);
                 }
             }
+        }
+    }
+
+    fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            reservoirs: self
+                .reservoirs
+                .iter()
+                .map(|t| {
+                    t.iter()
+                        .map(|(k, r)| (k, r.neighbors().collect()))
+                        .collect()
+                })
+                .collect(),
+            sample_subs: self.sample_subs.clone(),
+            feat_subs: self.feat_subs.clone(),
+            seeds: self.seeds.clone(),
         }
     }
 
@@ -605,6 +789,12 @@ impl SamplerShard {
             let pairs: Vec<(u32, u32)> = m.iter().map(|(a, b)| (*a, *b)).collect();
             pairs.encode(&mut buf);
         }
+        // Seed ownership (who is charged with each implicit subscription).
+        (self.seeds.len() as u32).encode(&mut buf);
+        for (v, sew) in &self.seeds {
+            v.encode(&mut buf);
+            sew.encode(&mut buf);
+        }
         std::fs::write(self.checkpoint_path(dir), &buf)?;
         Ok(())
     }
@@ -645,6 +835,12 @@ impl SamplerShard {
             let pairs = Vec::<(u32, u32)>::decode(&mut buf)?;
             self.feat_subs.insert(v, pairs.into_iter().collect());
         }
+        let seeds = u32::decode(&mut buf)?;
+        for _ in 0..seeds {
+            let v = VertexId::decode(&mut buf)?;
+            let sew = u32::decode(&mut buf)?;
+            self.seeds.insert(v, sew);
+        }
         Ok(())
     }
 }
@@ -675,6 +871,13 @@ impl helios_actor::Actor for SamplerShard {
             ShardMsg::Restore(dir, ack) => {
                 let _ = ack.send(self.handle_restore(&dir));
             }
+            ShardMsg::Rescale { table, phase, ack } => {
+                self.handle_rescale(&table, phase);
+                let _ = ack.send(());
+            }
+            ShardMsg::Inspect(ack) => {
+                let _ = ack.send(self.snapshot());
+            }
         }
         if let Some(cell) = self.ctx.metrics.shard_busy_nanos.get(self.shard_idx) {
             cell.add(busy_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
@@ -685,41 +888,46 @@ impl helios_actor::Actor for SamplerShard {
 /// A running sampling worker: polling threads + sampling shard pool.
 pub struct SamplingWorker {
     id: SamplingWorkerId,
+    ctx: Arc<Ctx>,
     shards: Arc<ShardedPool<ShardMsg>>,
     metrics: Arc<SamplerMetrics>,
     stop: Arc<AtomicBool>,
+    /// Highest route-table epoch whose Prepare scan every shard has run.
+    prepared_epoch: Arc<AtomicU64>,
+    /// Highest route-table epoch whose Commit scan every shard has run.
+    committed_epoch: Arc<AtomicU64>,
     pollers: Vec<JoinHandle<()>>,
 }
 
 impl SamplingWorker {
-    /// Start sampling worker `id` of `m`, serving `n` serving workers.
-    /// Counters register as `sampler.*{worker=<id>}` in `registry`.
+    /// Start sampling worker `id` of `m`, routing seeds to serving
+    /// workers through `router`. Counters register as
+    /// `sampler.*{worker=<id>}` in `registry`.
+    #[allow(clippy::too_many_arguments)]
     pub fn start(
         id: SamplingWorkerId,
         config: &HeliosConfig,
         query: &KHopQuery,
         broker: &Arc<Broker>,
+        router: Arc<Router>,
         beacon: Beacon,
         registry: &Registry,
         recorder: &Arc<FlightRecorder>,
     ) -> Result<SamplingWorker> {
         let m = config.sampling_workers;
-        let n = config.serving_workers;
         let metrics = Arc::new(SamplerMetrics::registered(
             registry,
             id.0,
             config.sampling_threads,
         ));
-        let sample_topics = (0..n as u32)
-            .map(|s| broker.topic(&topics::samples(s)))
-            .collect::<Result<Vec<_>>>()?;
         let ctx = Arc::new(Ctx {
             worker: id,
             m,
-            n,
+            router,
             dag: query.dag(),
             seed_type: query.seed_type(),
-            sample_topics,
+            broker: Arc::clone(broker),
+            sample_topics: RwLock::new(FxHashMap::default()),
             control_topic: broker.topic(topics::CONTROL)?,
             metrics: Arc::clone(&metrics),
             recorder: Arc::clone(recorder),
@@ -822,11 +1030,89 @@ impl SamplingWorker {
             );
         }
 
+        let prepared_epoch = Arc::new(AtomicU64::new(0));
+        let committed_epoch = Arc::new(AtomicU64::new(0));
+
+        // Membership polling thread: applies Prepare/Commit rescale
+        // broadcasts. Each message is fanned out to every shard and the
+        // acks are awaited before the epoch watermark advances, so the
+        // deployment can tell when *all* shards of this worker have run a
+        // scan. Commit additionally installs the table (new traffic
+        // routes to new owners) and invalidates cached topic handles.
+        if let Ok(mut consumer) = broker.consumer(
+            &format!("saw-mbr-{}", id.0),
+            topics::MEMBERSHIP,
+            &[PartitionId(id.0)],
+        ) {
+            let shards = Arc::clone(&shards);
+            let stop = Arc::clone(&stop);
+            let ctx2 = Arc::clone(&ctx);
+            let prepared = Arc::clone(&prepared_epoch);
+            let committed = Arc::clone(&committed_epoch);
+            let poll_timeout = config.poll_timeout;
+            pollers.push(
+                std::thread::Builder::new()
+                    .name(format!("saw{}-poll-membership", id.0))
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            for rec in consumer.poll(64, poll_timeout) {
+                                let msg = match MembershipMsg::decode_from_slice(&rec.payload) {
+                                    Ok(m) => m,
+                                    Err(_) => continue,
+                                };
+                                let (phase, table) = match msg {
+                                    MembershipMsg::Prepare { table } => {
+                                        (RescalePhase::Prepare, Arc::new(table))
+                                    }
+                                    MembershipMsg::Commit { table } => {
+                                        (RescalePhase::Commit, Arc::new(table))
+                                    }
+                                };
+                                if matches!(phase, RescalePhase::Commit) {
+                                    ctx2.router.install(Arc::clone(&table));
+                                    ctx2.invalidate_sample_topics(table.workers() as u32);
+                                }
+                                let (tx, rx) = crossbeam::channel::bounded(shards.shards());
+                                for i in 0..shards.shards() {
+                                    shards.send_to(
+                                        i,
+                                        ShardMsg::Rescale {
+                                            table: Arc::clone(&table),
+                                            phase,
+                                            ack: tx.clone(),
+                                        },
+                                    );
+                                }
+                                drop(tx);
+                                for _ in 0..shards.shards() {
+                                    if rx.recv().is_err() {
+                                        break;
+                                    }
+                                }
+                                match phase {
+                                    RescalePhase::Prepare => {
+                                        prepared.fetch_max(table.epoch(), Ordering::SeqCst);
+                                    }
+                                    RescalePhase::Commit => {
+                                        committed.fetch_max(table.epoch(), Ordering::SeqCst);
+                                    }
+                                    RescalePhase::Rebuild => {}
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn membership poller"),
+            );
+        }
+
         Ok(SamplingWorker {
             id,
+            ctx,
             shards,
             metrics,
             stop,
+            prepared_epoch,
+            committed_epoch,
             pollers,
         })
     }
@@ -887,6 +1173,68 @@ impl SamplingWorker {
                 .map_err(|_| helios_types::HeliosError::Disconnected("restore ack".into()))??;
         }
         Ok(())
+    }
+
+    /// Highest route-table epoch whose Prepare scan has completed on
+    /// every shard of this worker.
+    pub fn prepared_epoch(&self) -> u64 {
+        self.prepared_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Highest route-table epoch whose Commit scan has completed on every
+    /// shard of this worker.
+    pub fn committed_epoch(&self) -> u64 {
+        self.committed_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Deep-copy every shard's sampling state (consistent per shard, not
+    /// across shards — quiesce first for a global view).
+    pub fn inspect(&self) -> Result<Vec<ShardSnapshot>> {
+        let (tx, rx) = crossbeam::channel::bounded(self.shards.shards());
+        for i in 0..self.shards.shards() {
+            self.shards.send_to(i, ShardMsg::Inspect(tx.clone()));
+        }
+        drop(tx);
+        let mut out = Vec::with_capacity(self.shards.shards());
+        for _ in 0..self.shards.shards() {
+            out.push(
+                rx.recv()
+                    .map_err(|_| helios_types::HeliosError::Disconnected("inspect ack".into()))?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Drop all subscriptions and re-derive them from reservoir contents
+    /// under the router's current table; blocks until every shard is
+    /// done. Used after restoring a checkpoint into a different worker
+    /// topology, before any traffic flows.
+    pub fn rebuild_subscriptions(&self) -> Result<()> {
+        let table = self.ctx.router.table();
+        let (tx, rx) = crossbeam::channel::bounded(self.shards.shards());
+        for i in 0..self.shards.shards() {
+            self.shards.send_to(
+                i,
+                ShardMsg::Rescale {
+                    table: Arc::clone(&table),
+                    phase: RescalePhase::Rebuild,
+                    ack: tx.clone(),
+                },
+            );
+        }
+        drop(tx);
+        for _ in 0..self.shards.shards() {
+            rx.recv()
+                .map_err(|_| helios_types::HeliosError::Disconnected("rebuild ack".into()))?;
+        }
+        Ok(())
+    }
+
+    /// Drop cached sample-topic handles outside the live worker set
+    /// (called by the deployment after deleting a departed worker's
+    /// topic, so a later re-creation is never shadowed by a stale handle).
+    pub fn invalidate_sample_topics(&self, live_workers: u32) {
+        self.ctx.invalidate_sample_topics(live_workers);
     }
 
     /// Stop polling and sampling threads (drains shard mailboxes first).

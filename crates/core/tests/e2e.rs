@@ -456,13 +456,15 @@ fn periodic_checkpoints_fire_and_are_restorable() {
             Err(_) => panic!("guard still holds the deployment"),
         }
     }
-    // Checkpoint files exist for every (worker, shard).
+    // Checkpoint files exist for every (worker, shard), plus the
+    // topology manifest.
     let files = std::fs::read_dir(&dir).unwrap().count();
     assert_eq!(
         files,
-        config.sampling_workers * config.sampling_threads,
-        "one checkpoint file per sampling shard"
+        config.sampling_workers * config.sampling_threads + 1,
+        "one checkpoint file per sampling shard plus manifest.ckpt"
     );
+    assert!(dir.join("manifest.ckpt").is_file());
     // And a fresh deployment can restore from them.
     let restored = HeliosDeployment::start_from_checkpoint(config, query, &dir).unwrap();
     restored.shutdown();

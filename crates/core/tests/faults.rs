@@ -6,6 +6,7 @@ use bytes::Bytes;
 use helios_core::sampler::topics;
 use helios_core::{HeliosConfig, HeliosDeployment};
 use helios_query::{KHopQuery, SamplingStrategy};
+use helios_telemetry::EventKind;
 use helios_types::{
     EdgeType, EdgeUpdate, GraphUpdate, Timestamp, VertexId, VertexType, VertexUpdate,
 };
@@ -133,11 +134,14 @@ fn dead_worker_detected_by_heartbeat() {
     helios.shutdown();
 }
 
-/// Restoring from a checkpoint written by a deployment with *more*
-/// sampling threads: shards with no matching file restore empty instead
-/// of failing, and fresh ingestion works.
+/// Restoring a checkpoint into a *different* topology (more serving
+/// workers, more sampling threads) is detected via the checkpoint
+/// manifest: a `TopologyMismatch` flight event is raised and every
+/// subscription is rebuilt from reservoir contents under the fresh
+/// routing table, so restored data is re-routed to the workers that now
+/// own it instead of being silently stranded on checkpoint-era owners.
 #[test]
-fn checkpoint_topology_mismatch_is_tolerated() {
+fn checkpoint_topology_mismatch_rebuilds_and_reroutes() {
     let dir = std::env::temp_dir().join(format!("helios-faults-ckpt-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     {
@@ -148,10 +152,40 @@ fn checkpoint_topology_mismatch_is_tolerated() {
         helios.checkpoint(&dir).unwrap();
         helios.shutdown();
     }
-    // Restart with MORE threads than were checkpointed.
-    let mut config = HeliosConfig::with_workers(1, 1);
+    // Restart with MORE serving workers and MORE threads than were
+    // checkpointed.
+    let mut config = HeliosConfig::with_workers(1, 2);
     config.sampling_threads = 4;
     let helios = HeliosDeployment::start_from_checkpoint(config, one_hop(), &dir).unwrap();
+    // The mismatch was recorded: checkpointed 1 serving worker, now 2.
+    let mismatches: Vec<_> = helios
+        .flight_recorder()
+        .events()
+        .into_iter()
+        .filter(|e| e.kind == EventKind::TopologyMismatch)
+        .collect();
+    assert_eq!(mismatches.len(), 1, "one TopologyMismatch event");
+    assert_eq!(mismatches[0].a, 1, "checkpointed serving workers");
+    assert_eq!(mismatches[0].b, 2, "configured serving workers");
+    // The rebuild republished every restored reservoir to its owner under
+    // the new table; wait for the pushes to land.
+    assert!(helios.quiesce(SETTLE), "rebuild pushes drain");
+    // Restored seeds serve their checkpointed neighbors from whichever
+    // worker the router now assigns them to — no stranded data.
+    for u in 1..=4u64 {
+        let seed = VertexId(u);
+        assert_eq!(
+            helios.serving_worker_for(seed).id(),
+            helios.router().owner_of(seed),
+            "front-end and router agree on the owner of seed {u}"
+        );
+        let sg = helios.serve(seed).unwrap();
+        assert_eq!(
+            sg.hops[0].flat().count(),
+            3,
+            "seed {u} serves its checkpointed hop-0 samples"
+        );
+    }
     // Fresh ingestion proceeds normally.
     helios
         .ingest_and_settle(

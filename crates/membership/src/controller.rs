@@ -1,0 +1,268 @@
+//! SLO-driven autoscaling decisions with hysteresis.
+//!
+//! The ops plane (PR 3) already produces the signals an autoscaler needs
+//! — per-(group, topic) consumer lag, the freshness SLO burn rate, and
+//! serve-latency histograms. [`ScaleController`] turns periodic
+//! observations of those signals into scale-out/scale-in decisions. It is
+//! pure decision logic (no threads, no clock): the deployment's
+//! autoscaler thread feeds it one [`ScaleSignals`] per tick and executes
+//! whatever it returns, so the hysteresis behavior is unit-testable
+//! tick by tick.
+
+/// One tick's worth of telemetry observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleSignals {
+    /// Current logical serving workers.
+    pub workers: usize,
+    /// Worst per-(group, topic) consumer lag over the sample queues.
+    pub max_sample_lag: u64,
+    /// Freshness SLO short-window burn rate (1.0 = burning budget exactly
+    /// as fast as it accrues); 0 when probing is off.
+    pub slo_short_burn: f64,
+    /// Serve p99 latency in milliseconds, worst replica.
+    pub serve_p99_ms: f64,
+}
+
+/// Thresholds and damping for the controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePolicy {
+    /// Never scale below this many logical workers.
+    pub min_workers: usize,
+    /// Never scale above this many logical workers.
+    pub max_workers: usize,
+    /// Sample-queue lag above which a tick counts as pressure.
+    pub out_lag: u64,
+    /// Sample-queue lag below which a tick counts as calm.
+    pub in_lag: u64,
+    /// SLO short burn above which a tick counts as pressure (calm
+    /// requires < half of this).
+    pub out_burn: f64,
+    /// Serve p99 above which a tick counts as pressure.
+    pub out_p99_ms: f64,
+    /// Serve p99 below which a tick counts as calm.
+    pub in_p99_ms: f64,
+    /// Consecutive pressure ticks required before scaling out.
+    pub sustain_out: u32,
+    /// Consecutive calm ticks required before scaling in (longer than
+    /// `sustain_out`: adding capacity is cheap, thrashing handoffs is not).
+    pub sustain_in: u32,
+    /// Ticks to ignore all signals after a decision (lets the handoff
+    /// finish and its transient lag drain before re-evaluating).
+    pub cooldown: u32,
+}
+
+impl Default for ScalePolicy {
+    fn default() -> Self {
+        ScalePolicy {
+            min_workers: 1,
+            max_workers: 8,
+            out_lag: 10_000,
+            in_lag: 100,
+            out_burn: 1.0,
+            out_p99_ms: 50.0,
+            in_p99_ms: 5.0,
+            sustain_out: 3,
+            sustain_in: 10,
+            cooldown: 10,
+        }
+    }
+}
+
+/// What the controller wants done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Scale out to this many logical workers.
+    Out(usize),
+    /// Scale in to this many logical workers.
+    In(usize),
+}
+
+impl ScaleDecision {
+    /// The target worker count either way.
+    pub fn target(&self) -> usize {
+        match *self {
+            ScaleDecision::Out(n) | ScaleDecision::In(n) => n,
+        }
+    }
+}
+
+/// Hysteresis state machine over [`ScaleSignals`] ticks.
+#[derive(Debug)]
+pub struct ScaleController {
+    policy: ScalePolicy,
+    hot_ticks: u32,
+    calm_ticks: u32,
+    cooldown: u32,
+}
+
+impl ScaleController {
+    /// A controller applying `policy`.
+    pub fn new(policy: ScalePolicy) -> ScaleController {
+        ScaleController {
+            policy,
+            hot_ticks: 0,
+            calm_ticks: 0,
+            cooldown: 0,
+        }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> &ScalePolicy {
+        &self.policy
+    }
+
+    /// Feed one tick of signals; returns a decision when pressure or calm
+    /// has been sustained long enough and no cooldown is pending. The
+    /// caller is expected to execute the decision (or at least attempt
+    /// it) — `observe` starts the cooldown either way.
+    pub fn observe(&mut self, s: &ScaleSignals) -> Option<ScaleDecision> {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            self.hot_ticks = 0;
+            self.calm_ticks = 0;
+            return None;
+        }
+        let p = &self.policy;
+        let pressure = s.max_sample_lag > p.out_lag
+            || s.slo_short_burn > p.out_burn
+            || s.serve_p99_ms > p.out_p99_ms;
+        let calm = s.max_sample_lag < p.in_lag
+            && s.slo_short_burn < p.out_burn / 2.0
+            && s.serve_p99_ms < p.in_p99_ms;
+        self.hot_ticks = if pressure { self.hot_ticks + 1 } else { 0 };
+        self.calm_ticks = if calm { self.calm_ticks + 1 } else { 0 };
+
+        if pressure && self.hot_ticks >= p.sustain_out && s.workers < p.max_workers {
+            self.hot_ticks = 0;
+            self.cooldown = p.cooldown;
+            return Some(ScaleDecision::Out(s.workers + 1));
+        }
+        if calm && self.calm_ticks >= p.sustain_in && s.workers > p.min_workers {
+            self.calm_ticks = 0;
+            self.cooldown = p.cooldown;
+            return Some(ScaleDecision::In(s.workers - 1));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot(workers: usize) -> ScaleSignals {
+        ScaleSignals {
+            workers,
+            max_sample_lag: 50_000,
+            slo_short_burn: 0.0,
+            serve_p99_ms: 1.0,
+        }
+    }
+
+    fn calm(workers: usize) -> ScaleSignals {
+        ScaleSignals {
+            workers,
+            max_sample_lag: 0,
+            slo_short_burn: 0.0,
+            serve_p99_ms: 1.0,
+        }
+    }
+
+    fn policy() -> ScalePolicy {
+        ScalePolicy {
+            sustain_out: 3,
+            sustain_in: 5,
+            cooldown: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn scale_out_requires_sustained_pressure() {
+        let mut c = ScaleController::new(policy());
+        assert_eq!(c.observe(&hot(2)), None);
+        assert_eq!(c.observe(&hot(2)), None);
+        // A single calm tick resets the streak.
+        assert_eq!(c.observe(&calm(2)), None);
+        assert_eq!(c.observe(&hot(2)), None);
+        assert_eq!(c.observe(&hot(2)), None);
+        assert_eq!(c.observe(&hot(2)), Some(ScaleDecision::Out(3)));
+    }
+
+    #[test]
+    fn cooldown_suppresses_decisions() {
+        let mut c = ScaleController::new(policy());
+        for _ in 0..2 {
+            assert_eq!(c.observe(&hot(2)), None);
+        }
+        assert_eq!(c.observe(&hot(2)), Some(ScaleDecision::Out(3)));
+        // 4 cooldown ticks eat even sustained pressure…
+        for _ in 0..4 {
+            assert_eq!(c.observe(&hot(3)), None);
+        }
+        // …then a fresh sustain window is required.
+        for _ in 0..2 {
+            assert_eq!(c.observe(&hot(3)), None);
+        }
+        assert_eq!(c.observe(&hot(3)), Some(ScaleDecision::Out(4)));
+    }
+
+    #[test]
+    fn scale_in_needs_longer_calm_and_respects_min() {
+        let mut c = ScaleController::new(policy());
+        for _ in 0..4 {
+            assert_eq!(c.observe(&calm(2)), None);
+        }
+        assert_eq!(c.observe(&calm(2)), Some(ScaleDecision::In(1)));
+        // Cooldown, then calm at min_workers never goes below.
+        for _ in 0..4 {
+            assert_eq!(c.observe(&calm(1)), None);
+        }
+        for _ in 0..20 {
+            assert_eq!(c.observe(&calm(1)), None);
+        }
+    }
+
+    #[test]
+    fn max_workers_caps_scale_out() {
+        let p = ScalePolicy {
+            max_workers: 3,
+            ..policy()
+        };
+        let mut c = ScaleController::new(p);
+        for _ in 0..20 {
+            assert_eq!(c.observe(&hot(3)), None);
+        }
+    }
+
+    #[test]
+    fn burn_and_p99_also_count_as_pressure() {
+        let mut c = ScaleController::new(policy());
+        let burn = ScaleSignals {
+            workers: 2,
+            max_sample_lag: 0,
+            slo_short_burn: 2.0,
+            serve_p99_ms: 0.5,
+        };
+        let slow = ScaleSignals {
+            workers: 2,
+            max_sample_lag: 0,
+            slo_short_burn: 0.0,
+            serve_p99_ms: 80.0,
+        };
+        assert_eq!(c.observe(&burn), None);
+        assert_eq!(c.observe(&slow), None);
+        assert_eq!(c.observe(&burn), Some(ScaleDecision::Out(3)));
+        // Moderate signals (neither pressure nor calm) never decide.
+        let mut c = ScaleController::new(policy());
+        let moderate = ScaleSignals {
+            workers: 2,
+            max_sample_lag: 5_000,
+            slo_short_burn: 0.4,
+            serve_p99_ms: 20.0,
+        };
+        for _ in 0..40 {
+            assert_eq!(c.observe(&moderate), None);
+        }
+    }
+}

@@ -44,7 +44,7 @@ pub use helios_metrics as metrics;
 
 pub use exposition::render_prometheus;
 pub use helios_metrics::{Histogram, Snapshot, StopwatchGuard, Table, ThroughputMeter};
-pub use ops::{HealthReport, OpsServer, OpsState};
+pub use ops::{DynRoutes, HealthReport, OpsServer, OpsState};
 pub use recorder::{EventKind, FlightEvent, FlightRecorder};
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
 pub use reporter::StatsReporter;

@@ -57,6 +57,22 @@ pub enum EventKind {
     /// `HeliosDeployment::quiesce` hit its deadline. `a` = remaining
     /// drain deficit (produced − consumed over all stages).
     QuiesceFailed,
+    /// A new routing-table epoch was committed. `a` = new epoch,
+    /// `b` = logical serving workers under the new table, `c` = slots
+    /// that changed owner relative to the previous table.
+    EpochBump,
+    /// A rescale handoff began. `a` = current epoch, `b` = current
+    /// logical workers, `c` = target logical workers.
+    HandoffStarted,
+    /// A rescale handoff finished and the new table is live.
+    /// `a` = committed epoch, `b` = logical workers now serving,
+    /// `c` = handoff duration in milliseconds.
+    HandoffCompleted,
+    /// `start_from_checkpoint` found a different worker topology than the
+    /// checkpoint was taken with. `a` = checkpointed logical serving
+    /// workers, `b` = configured logical serving workers, `c` =
+    /// checkpointed sampling workers.
+    TopologyMismatch,
 }
 
 impl EventKind {
@@ -72,6 +88,10 @@ impl EventKind {
             EventKind::FreshnessProbe => "freshness_probe",
             EventKind::SloBurn => "slo_burn",
             EventKind::QuiesceFailed => "quiesce_failed",
+            EventKind::EpochBump => "epoch_bump",
+            EventKind::HandoffStarted => "handoff_started",
+            EventKind::HandoffCompleted => "handoff_completed",
+            EventKind::TopologyMismatch => "topology_mismatch",
         }
     }
 }
