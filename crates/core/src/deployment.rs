@@ -148,6 +148,11 @@ pub struct HeliosDeployment {
     /// Serializes rescales: one `scale_to` (manual, ops-triggered or
     /// autoscaler-driven) at a time.
     pub(crate) rescale_lock: parking_lot::Mutex<()>,
+    /// Lowest epoch the next rescale attempt may use; advanced past every
+    /// attempt (committed *or* abandoned), so a retry never reuses an
+    /// abandoned attempt's epoch and its watermarks can only be satisfied
+    /// by the retry's own scans. Only touched under `rescale_lock`.
+    pub(crate) next_rescale_epoch: std::sync::atomic::AtomicU64,
     /// Post-construction ops endpoints (`/scale`); live even when the ops
     /// server is disabled so registration is always safe.
     pub(crate) dyn_routes: Arc<DynRoutes>,
@@ -254,16 +259,22 @@ impl HeliosDeployment {
             sampling.push(worker);
         }
 
-        // A checkpoint taken under a different topology: the restored
-        // subscription tables reference the old worker layout, so raise a
-        // flight event and re-derive every subscription from reservoir
-        // contents under the fresh epoch-0 table (satellite of the
-        // elastic-membership work; no traffic has flowed yet).
+        // A checkpoint taken under a different topology OR a different
+        // routing table: the restored subscription tables are charged to
+        // the checkpoint-era owners, so raise a flight event and re-derive
+        // every subscription from reservoir contents under the fresh
+        // epoch-0 table (satellite of the elastic-membership work; no
+        // traffic has flowed yet). The table comparison — not just worker
+        // counts — catches a checkpoint taken after a rescale (epoch > 0,
+        // rebalanced assignment, or different `route_slots`) that happens
+        // to land on the same logical worker count this deployment starts
+        // with: its slot→worker assignment still differs from the
+        // deterministic epoch-0 table the router boots from.
         if let Some(dir) = restore_dir {
             match std::fs::read(dir.join(CheckpointManifest::FILE)) {
                 Ok(raw) => {
                     let manifest = CheckpointManifest::decode_from_slice(&raw)?;
-                    let mismatch = manifest.serving_workers as usize != config.serving_workers
+                    let mismatch = manifest.table != *router.table()
                         || manifest.sampling_workers as usize != config.sampling_workers
                         || manifest.sampling_threads as usize != config.sampling_threads;
                     if mismatch {
@@ -348,6 +359,7 @@ impl HeliosDeployment {
             recorder,
             slo,
             rescale_lock: parking_lot::Mutex::new(()),
+            next_rescale_epoch: std::sync::atomic::AtomicU64::new(1),
             dyn_routes,
             prober,
             ops,

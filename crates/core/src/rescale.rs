@@ -26,6 +26,12 @@
 //! *after* the commit watermark, so the router never points a query at a
 //! worker that is not in the set.
 //!
+//! A handoff that misses its watermark deadline is **abandoned**: routing
+//! stays on the old table, an `Abort` broadcast discharges the charges
+//! the Prepare scans made, and the attempt's epoch is burned — the next
+//! attempt allocates a strictly larger one, so its watermarks can only be
+//! satisfied by its own scans.
+//!
 //! [`HeliosDeployment::start_autoscaler`] drives `scale_to` from
 //! telemetry: a [`ScaleController`] watches consumer lag, the freshness
 //! SLO burn rate and serve p99 per tick and issues hysteresis-damped
@@ -64,9 +70,12 @@ impl HeliosDeployment {
     /// current one when `target` already matches).
     ///
     /// On timeout ([`crate::HeliosConfig::rescale_timeout`]) the rescale
-    /// is abandoned *before* commit: routing is untouched, and a
-    /// scale-out's extra prepared workers stay warm in the serving set —
-    /// harmless, and a retry picks them up.
+    /// is abandoned *before* commit: routing is untouched, the attempt's
+    /// pending subscription charges are rolled back with an `Abort`
+    /// broadcast, and a scale-out's extra prepared workers stay warm in
+    /// the serving set — harmless, and a retry picks them up. Every
+    /// attempt uses a fresh epoch (never reusing an abandoned one), so a
+    /// retry's watermarks can only be satisfied by its own scans.
     pub fn scale_to(&self, target: usize) -> Result<u64> {
         let _guard = self.rescale_lock.lock();
         if target == 0 {
@@ -94,8 +103,18 @@ impl HeliosDeployment {
             cur as u64,
             target as u64,
         );
-        let new_table = Arc::new(cur_table.rebalanced(target));
-        let epoch = new_table.epoch();
+        // Allocate an attempt-unique epoch: at least cur+1, and strictly
+        // above every previous attempt's. An abandoned attempt leaves the
+        // samplers' prepare/commit watermarks at its epoch; reusing it
+        // would let a retry's watermark pass off the *abandoned* attempt's
+        // scans and commit before the new owners are warm.
+        let epoch = self
+            .next_rescale_epoch
+            .load(std::sync::atomic::Ordering::SeqCst)
+            .max(cur_table.epoch() + 1);
+        self.next_rescale_epoch
+            .store(epoch + 1, std::sync::atomic::Ordering::SeqCst);
+        let new_table = Arc::new(cur_table.rebalanced_at(target, epoch));
 
         // Scale-out: bring the joining workers up (queue, cache, threads)
         // and extend the serving set BEFORE any routing change, so the
@@ -137,13 +156,33 @@ impl HeliosDeployment {
 
         // Phase 1: Prepare. New owners of moved seeds get charged (cache
         // warm-up through the idempotent snapshot path); routing unchanged.
-        self.broadcast_membership(&MembershipMsg::Prepare {
-            table: (*new_table).clone(),
-        })?;
-        self.await_watermark(deadline, "prepare scan", || {
-            self.sampling.iter().all(|w| w.prepared_epoch() >= epoch)
-        })?;
-        self.await_catch_up(deadline)?;
+        // On abandonment, broadcast Abort so samplers discharge the
+        // attempt's pending charges: per-partition FIFO runs that scan
+        // after this attempt's Prepare and before any retry's, so the
+        // abandoned table's owners don't keep receiving fan-out forever.
+        let prepared = self
+            .broadcast_membership(&MembershipMsg::Prepare {
+                table: (*new_table).clone(),
+            })
+            .and_then(|()| {
+                self.await_watermark(deadline, "prepare scan", || {
+                    self.sampling.iter().all(|w| w.prepared_epoch() >= epoch)
+                })
+            })
+            .and_then(|()| self.await_catch_up(deadline));
+        if let Err(e) = prepared {
+            let _ = self.broadcast_membership(&MembershipMsg::Abort {
+                table: (*new_table).clone(),
+            });
+            self.recorder.record(
+                EventKind::HandoffAborted,
+                u32::MAX,
+                epoch,
+                target as u64,
+                started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
+            );
+            return Err(e);
+        }
 
         // Phase 2: Commit. Samplers install the table (the router is
         // shared with the front-end, so queries repoint instantly) and
@@ -165,11 +204,16 @@ impl HeliosDeployment {
             new_table.moved_slots(&cur_table) as u64,
         );
 
-        // Scale-in: the committed table routes nothing at the departed
-        // workers anymore, so truncate the set, stop them, and delete
-        // their queues (purging offsets, so a later scale-out's re-created
-        // topic starts clean).
-        if target < cur {
+        // Scale-in: the committed table routes nothing at any worker
+        // >= target, so truncate the set, stop the removed workers, and
+        // delete their queues (purging offsets, so a later scale-out's
+        // re-created topic starts clean). The removed range is derived
+        // from the *set* size, not the previously routed count `cur`: an
+        // abandoned scale-out can leave warm spares above `cur`, and
+        // truncation removes those too — their topics must go with them
+        // or they'd linger with no consumer.
+        let have = self.serving.read().logical();
+        if target < have {
             let removed: Vec<Arc<ServingWorker>> = {
                 let mut guard = self.serving.write();
                 let mut workers = guard.workers.clone();
@@ -185,7 +229,7 @@ impl HeliosDeployment {
                 self.coordinator
                     .deregister_worker(&format!("sew{}-r{}", w.id().0, w.replica()));
             }
-            for s in target as u32..cur as u32 {
+            for s in target as u32..have as u32 {
                 let _ = self.broker.delete_topic(&topics::samples(s));
             }
             for w in &self.sampling {
@@ -273,7 +317,14 @@ impl HeliosDeployment {
     /// or unparseable target.
     pub fn register_scale_endpoint(self: &Arc<Self>) {
         let weak = Arc::downgrade(self);
+        // One endpoint-initiated rescale at a time. An atomic claim (not
+        // a dropped `try_lock` probe) spans the busy-check *and* the
+        // spawned rescale: of two concurrent requests exactly one wins
+        // the claim and gets 202; the loser gets 409 instead of silently
+        // queueing a second rescale behind the first.
+        let inflight = Arc::new(std::sync::atomic::AtomicBool::new(false));
         self.dyn_routes.register("/scale", move |_method, query| {
+            use std::sync::atomic::Ordering;
             let Some(target) = parse_target(query) else {
                 return (
                     400,
@@ -288,16 +339,33 @@ impl HeliosDeployment {
                     "deployment shut down\n".to_string(),
                 );
             };
-            if deployment.rescale_lock.try_lock().is_none() {
+            let busy = inflight
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err();
+            // Advisory: also report 409 while a directly-invoked or
+            // autoscaler-driven rescale holds the lock.
+            if busy || deployment.rescale_lock.try_lock().is_none() {
+                if !busy {
+                    inflight.store(false, Ordering::SeqCst);
+                }
                 return (
                     409,
                     "text/plain".to_string(),
                     "rescale already in progress\n".to_string(),
                 );
             }
+            let claim = Arc::clone(&inflight);
             let _ = std::thread::Builder::new()
                 .name("helios-scale".into())
                 .spawn(move || {
+                    // Release the claim even if scale_to panics.
+                    struct Release(Arc<std::sync::atomic::AtomicBool>);
+                    impl Drop for Release {
+                        fn drop(&mut self) {
+                            self.0.store(false, std::sync::atomic::Ordering::SeqCst);
+                        }
+                    }
+                    let _release = Release(claim);
                     let _ = deployment.scale_to(target);
                 });
             (

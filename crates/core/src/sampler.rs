@@ -218,6 +218,10 @@ enum RescalePhase {
     /// Move moved seeds fully: charge new owner (a no-op after Prepare),
     /// repoint `seeds`, discharge the old owner.
     Commit,
+    /// Undo an abandoned Prepare: discharge the pending table's new
+    /// owners of would-move seeds (a no-op for anything already
+    /// committed), so a timed-out handoff leaks no subscriptions.
+    Abort,
     /// Drop every subscription and re-derive them from reservoir contents
     /// under the current table (checkpoint restored into a different
     /// topology).
@@ -634,9 +638,10 @@ impl SamplerShard {
     /// live traffic keeps flowing to the old owners. `Commit` makes the
     /// move authoritative: charge (no-op when prepared), repoint `seeds`,
     /// discharge the old owner — the refcounted unsubscribe cascade then
-    /// strips everything only the old owner pinned. `Rebuild` re-derives
-    /// the whole subscription tree from reservoir contents under the
-    /// current table (topology-mismatched restore).
+    /// strips everything only the old owner pinned. `Abort` undoes an
+    /// abandoned `Prepare` by discharging the pending owners it charged.
+    /// `Rebuild` re-derives the whole subscription tree from reservoir
+    /// contents under the current table (topology-mismatched restore).
     fn handle_rescale(&mut self, table: &RouteTable, phase: RescalePhase) {
         match phase {
             RescalePhase::Prepare => {
@@ -662,6 +667,22 @@ impl SamplerShard {
                     self.charge_seed(v, new);
                     self.seeds.insert(v, new.0);
                     self.discharge_seed(v, ServingWorkerId(old));
+                }
+            }
+            RescalePhase::Abort => {
+                // Exact mirror of Prepare: every seed the abandoned table
+                // would have moved had its pending owner charged; drop
+                // that charge. Seeds it never moved — or that a Commit of
+                // this very table already repointed — fail the filter (or
+                // the discharge guard) and are untouched.
+                let moved: Vec<VertexId> = self
+                    .seeds
+                    .iter()
+                    .filter(|(v, &cur)| table.owner_of(**v).0 != cur)
+                    .map(|(v, _)| *v)
+                    .collect();
+                for v in moved {
+                    self.discharge_seed(v, table.owner_of(v));
                 }
             }
             RescalePhase::Rebuild => {
@@ -1067,6 +1088,9 @@ impl SamplingWorker {
                                     MembershipMsg::Commit { table } => {
                                         (RescalePhase::Commit, Arc::new(table))
                                     }
+                                    MembershipMsg::Abort { table } => {
+                                        (RescalePhase::Abort, Arc::new(table))
+                                    }
                                 };
                                 if matches!(phase, RescalePhase::Commit) {
                                     ctx2.router.install(Arc::clone(&table));
@@ -1096,7 +1120,11 @@ impl SamplingWorker {
                                     RescalePhase::Commit => {
                                         committed.fetch_max(table.epoch(), Ordering::SeqCst);
                                     }
-                                    RescalePhase::Rebuild => {}
+                                    // Aborts are fire-and-forget: nothing
+                                    // awaits them (FIFO ordering alone
+                                    // guarantees they run before a retry's
+                                    // Prepare scan).
+                                    RescalePhase::Abort | RescalePhase::Rebuild => {}
                                 }
                             }
                         }

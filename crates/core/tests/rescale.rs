@@ -285,6 +285,73 @@ fn rescale_soak_cycles_stay_cache_equivalent() {
     helios.shutdown();
 }
 
+/// An abandoned handoff must leave no trace: an impossible deadline makes
+/// every attempt time out before its prepare watermark, and afterwards
+/// routing is untouched, a `HandoffAborted` event carries each attempt's
+/// epoch (strictly increasing — abandoned epochs are burned, never
+/// reused), serves still succeed, and the Abort broadcasts discharge the
+/// charges the abandoned Prepare scans made, so samplers converge back to
+/// subscriptions for the original two workers only.
+#[test]
+fn abandoned_rescale_rolls_back_and_burns_epochs() {
+    let mut config = HeliosConfig::with_workers(2, 2);
+    // Smallest valid timeout: the deadline expires before the samplers
+    // can possibly ack a prepare scan (that takes a poll round-trip).
+    config.rescale_timeout = Duration::from_nanos(1);
+    let helios = HeliosDeployment::start(config, query()).unwrap();
+    let chunks = workload(2);
+    helios.ingest_batch(&chunks[0]).unwrap();
+    helios.ingest_batch(&chunks[1]).unwrap();
+    assert!(helios.quiesce(SETTLE));
+
+    assert!(helios.scale_to(4).is_err(), "zero deadline must abandon");
+    assert!(helios.scale_to(3).is_err(), "retry must abandon too");
+
+    // Routing never moved off the initial table.
+    assert_eq!(helios.route_epoch(), 0);
+    assert_eq!(helios.router().table().workers(), 2);
+    // Every attempt burned its own epoch: 1, then 2 — the retry's
+    // watermarks can never be satisfied by the first attempt's scans.
+    let aborted: Vec<u64> = helios
+        .flight_recorder()
+        .events()
+        .into_iter()
+        .filter(|e| e.kind == EventKind::HandoffAborted)
+        .map(|e| e.a)
+        .collect();
+    assert_eq!(aborted, vec![1, 2]);
+    // Queries are unaffected.
+    for u in 1..=USERS {
+        helios.serve(VertexId(u)).unwrap();
+    }
+    // The Abort broadcasts roll the abandoned Prepare charges back:
+    // samplers converge to holding subscriptions for workers 0/1 only
+    // (the prepared-but-never-committed owners 2/3 are discharged).
+    let deadline = std::time::Instant::now() + SETTLE;
+    'converge: loop {
+        let stale = helios
+            .sampling_workers()
+            .iter()
+            .flat_map(|w| w.inspect().unwrap())
+            .any(|snap| {
+                snap.sample_subs
+                    .iter()
+                    .chain([&snap.feat_subs])
+                    .flat_map(|subs| subs.values())
+                    .any(|by_sew| by_sew.keys().any(|sew| *sew >= 2))
+            });
+        if !stale {
+            break 'converge;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "abandoned charges never discharged"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    helios.shutdown();
+}
+
 /// Minimal test-side HTTP client (one request per connection).
 fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
     let mut s = TcpStream::connect(addr).unwrap();

@@ -72,6 +72,15 @@ impl RouteTable {
     /// the balanced target; only the excess (and every slot of a removed
     /// worker) is reassigned.
     pub fn rebalanced(&self, new_workers: usize) -> RouteTable {
+        self.rebalanced_at(new_workers, self.epoch + 1)
+    }
+
+    /// [`RouteTable::rebalanced`] with an explicit (strictly newer) epoch.
+    /// Rescale attempts use this to give every attempt a unique epoch, so
+    /// a retry after an abandoned handoff can never satisfy a prepare or
+    /// commit watermark with the abandoned attempt's scans.
+    pub fn rebalanced_at(&self, new_workers: usize, epoch: u64) -> RouteTable {
+        assert!(epoch > self.epoch, "rebalance must advance the epoch");
         let slots = self.assignment.len();
         assert!(
             new_workers > 0 && slots >= new_workers,
@@ -119,7 +128,7 @@ impl RouteTable {
         }
         debug_assert!(pool.next().is_none());
         RouteTable {
-            epoch: self.epoch + 1,
+            epoch,
             workers: n as u32,
             assignment,
         }
@@ -222,6 +231,7 @@ impl std::fmt::Debug for Router {
 
 const MBR_PREPARE: u8 = 0;
 const MBR_COMMIT: u8 = 1;
+const MBR_ABORT: u8 = 2;
 
 /// Membership protocol messages, broadcast by the deployment to every
 /// partition of the `membership` topic (one partition per sampling
@@ -232,11 +242,17 @@ const MBR_COMMIT: u8 = 1;
 ///   while live traffic keeps routing by the old table.
 /// * `Commit` — after the catch-up watermark, samplers swap their router
 ///   to the new table and discharge the old owners of moved seeds.
+/// * `Abort` — a Prepare that will never commit (the handoff timed out):
+///   samplers discharge the pending owners it charged, so an abandoned
+///   attempt leaks no subscriptions. Per-partition FIFO ordering makes
+///   this safe to send at any point after the matching Prepare: it runs
+///   after that Prepare's scan and before any retry's, and after a
+///   Commit of the same table it matches nothing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MembershipMsg {
     /// Phase 1: start charging new owners per `table` (no unsubscribes).
     Prepare {
-        /// The pending table (epoch = current + 1).
+        /// The pending table (epoch > current).
         table: RouteTable,
     },
     /// Phase 2: route by `table`, discharge old owners of moved seeds.
@@ -244,29 +260,33 @@ pub enum MembershipMsg {
         /// The now-authoritative table.
         table: RouteTable,
     },
+    /// Roll back an abandoned Prepare: discharge `table`'s pending owners.
+    Abort {
+        /// The abandoned attempt's table.
+        table: RouteTable,
+    },
 }
 
 impl MembershipMsg {
-    /// The table carried by either phase.
+    /// The table carried by any phase.
     pub fn table(&self) -> &RouteTable {
         match self {
-            MembershipMsg::Prepare { table } | MembershipMsg::Commit { table } => table,
+            MembershipMsg::Prepare { table }
+            | MembershipMsg::Commit { table }
+            | MembershipMsg::Abort { table } => table,
         }
     }
 }
 
 impl Encode for MembershipMsg {
     fn encode(&self, buf: &mut BytesMut) {
-        match self {
-            MembershipMsg::Prepare { table } => {
-                buf.extend_from_slice(&[MBR_PREPARE]);
-                table.encode(buf);
-            }
-            MembershipMsg::Commit { table } => {
-                buf.extend_from_slice(&[MBR_COMMIT]);
-                table.encode(buf);
-            }
-        }
+        let (tag, table) = match self {
+            MembershipMsg::Prepare { table } => (MBR_PREPARE, table),
+            MembershipMsg::Commit { table } => (MBR_COMMIT, table),
+            MembershipMsg::Abort { table } => (MBR_ABORT, table),
+        };
+        buf.extend_from_slice(&[tag]);
+        table.encode(buf);
     }
 }
 
@@ -277,6 +297,9 @@ impl Decode for MembershipMsg {
                 table: RouteTable::decode(buf)?,
             }),
             MBR_COMMIT => Ok(MembershipMsg::Commit {
+                table: RouteTable::decode(buf)?,
+            }),
+            MBR_ABORT => Ok(MembershipMsg::Abort {
                 table: RouteTable::decode(buf)?,
             }),
             t => Err(HeliosError::Codec(format!("invalid MembershipMsg tag {t}"))),
@@ -353,6 +376,27 @@ mod tests {
     }
 
     #[test]
+    fn rebalanced_at_skips_epochs() {
+        let t = RouteTable::initial(2, 16);
+        // An abandoned attempt burned epoch 1; the retry takes epoch 2.
+        let retry = t.rebalanced_at(3, 2);
+        assert_eq!(retry.epoch(), 2);
+        assert_eq!(retry.workers(), 3);
+        assert_eq!(
+            retry.assignment(),
+            t.rebalanced(3).assignment(),
+            "explicit epoch does not change the assignment math"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "advance the epoch")]
+    fn rebalanced_at_rejects_stale_epoch() {
+        let t = RouteTable::initial(2, 16).rebalanced(3);
+        let _ = t.rebalanced_at(2, 1);
+    }
+
+    #[test]
     fn roundtrip_wire_messages() {
         let table = RouteTable::initial(2, 16).rebalanced(3);
         for msg in [
@@ -360,6 +404,9 @@ mod tests {
                 table: table.clone(),
             },
             MembershipMsg::Commit {
+                table: table.clone(),
+            },
+            MembershipMsg::Abort {
                 table: table.clone(),
             },
         ] {

@@ -68,6 +68,11 @@ pub enum EventKind {
     /// `a` = committed epoch, `b` = logical workers now serving,
     /// `c` = handoff duration in milliseconds.
     HandoffCompleted,
+    /// A rescale handoff was abandoned before commit (watermark timeout);
+    /// routing is unchanged and the attempt's pending charges were rolled
+    /// back. `a` = the abandoned attempt's epoch, `b` = target logical
+    /// workers, `c` = elapsed milliseconds at abandonment.
+    HandoffAborted,
     /// `start_from_checkpoint` found a different worker topology than the
     /// checkpoint was taken with. `a` = checkpointed logical serving
     /// workers, `b` = configured logical serving workers, `c` =
@@ -91,6 +96,7 @@ impl EventKind {
             EventKind::EpochBump => "epoch_bump",
             EventKind::HandoffStarted => "handoff_started",
             EventKind::HandoffCompleted => "handoff_completed",
+            EventKind::HandoffAborted => "handoff_aborted",
             EventKind::TopologyMismatch => "topology_mismatch",
         }
     }
