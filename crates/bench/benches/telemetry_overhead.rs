@@ -9,7 +9,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use helios_core::{HeliosConfig, HeliosDeployment};
 use helios_query::{KHopQuery, SamplingStrategy};
-use helios_telemetry::{clear_spans, set_tracing, span, Registry, TraceCtx};
+use helios_telemetry::{
+    clear_spans, set_trace_sample_rate, set_tracing, span, Registry, TraceCtx,
+};
 use helios_types::{
     EdgeType, EdgeUpdate, GraphUpdate, Timestamp, VertexId, VertexType, VertexUpdate,
 };
@@ -135,16 +137,43 @@ fn bench_serve_path(c: &mut Criterion) {
         set_tracing(false);
         clear_spans();
     });
+
+    // The production configuration: tracing left on with 1% head
+    // sampling. The acceptance bound is within 5% of tracing_disabled —
+    // 99 of 100 serves pay only the per-span sample check.
+    g.bench_function("tracing_sampled_1pct", |b| {
+        set_tracing(true);
+        set_trace_sample_rate(0.01);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            if i.is_multiple_of(1024) {
+                clear_spans();
+            }
+            helios.serve(VertexId(i % 64)).unwrap()
+        });
+        set_tracing(false);
+        set_trace_sample_rate(1.0);
+        clear_spans();
+    });
     g.finish();
     helios.shutdown();
 }
 
+/// `HELIOS_BENCH_QUICK=1` shrinks the run to a CI smoke: correctness of
+/// the bench harness (it builds, runs, and the instrumented paths don't
+/// panic), not statistical confidence.
+fn config() -> Criterion {
+    let quick = helios_telemetry::env_flag("HELIOS_BENCH_QUICK");
+    let c = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(if quick { 50 } else { 300 }))
+        .sample_size(if quick { 10 } else { 20 });
+    c.measurement_time(std::time::Duration::from_millis(if quick { 200 } else { 1000 }))
+}
+
 criterion_group!(
     name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(1))
-        .sample_size(20);
+    config = config();
     targets = bench_primitives, bench_serve_path
 );
 criterion_main!(benches);

@@ -121,6 +121,19 @@ pub struct HeliosConfig {
     /// Deadline for one `scale_to` handoff to reach its catch-up
     /// watermark before the rescale is abandoned.
     pub rescale_timeout: Duration,
+    /// Probability in `[0, 1]` that a request/update with no upstream
+    /// trace context starts a new trace (head sampling). `1.0` traces
+    /// everything (tests), `0.01` is a production-style rate. The
+    /// `HELIOS_TRACE_SAMPLE` environment variable overrides this *and*
+    /// force-enables tracing, so a running binary can be sampled without
+    /// a code change.
+    pub trace_sample: f64,
+    /// A trace whose root span is slower than this is retained in the
+    /// tail-sampled trace store (`/traces`) even if nothing flagged it.
+    pub trace_slow_threshold: Duration,
+    /// Capacity of the retained-trace store backing `/traces`. Boring
+    /// traces are evicted first once full.
+    pub retained_traces: usize,
 }
 
 impl Default for HeliosConfig {
@@ -154,6 +167,9 @@ impl Default for HeliosConfig {
             route_slots: 64,
             health_worker_timeout: Some(Duration::from_secs(5)),
             rescale_timeout: Duration::from_secs(30),
+            trace_sample: 1.0,
+            trace_slow_threshold: Duration::from_millis(10),
+            retained_traces: 256,
         }
     }
 }
@@ -240,6 +256,21 @@ impl HeliosConfig {
         if self.rescale_timeout.is_zero() {
             return Err(InvalidConfig("rescale timeout must be positive".into()));
         }
+        if !self.trace_sample.is_finite() || !(0.0..=1.0).contains(&self.trace_sample) {
+            return Err(InvalidConfig(
+                "trace sample rate must be a probability in [0, 1]".into(),
+            ));
+        }
+        if self.trace_slow_threshold.is_zero() {
+            return Err(InvalidConfig(
+                "trace slow threshold must be positive".into(),
+            ));
+        }
+        if self.retained_traces == 0 {
+            return Err(InvalidConfig(
+                "retained-trace store needs a positive capacity".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -287,6 +318,11 @@ mod tests {
             |c: &mut HeliosConfig| c.route_slots = 1,
             |c: &mut HeliosConfig| c.health_worker_timeout = Some(Duration::ZERO),
             |c: &mut HeliosConfig| c.rescale_timeout = Duration::ZERO,
+            |c: &mut HeliosConfig| c.trace_sample = -0.1,
+            |c: &mut HeliosConfig| c.trace_sample = 1.5,
+            |c: &mut HeliosConfig| c.trace_sample = f64::NAN,
+            |c: &mut HeliosConfig| c.trace_slow_threshold = Duration::ZERO,
+            |c: &mut HeliosConfig| c.retained_traces = 0,
         ] {
             let mut c = HeliosConfig::default();
             f(&mut c);

@@ -10,9 +10,10 @@ use helios_graphstore::PartitionPolicy;
 use helios_membership::{RouteTable, Router};
 use helios_mq::{Broker, TopicConfig};
 use helios_query::{KHopQuery, SampledSubgraph};
+use helios_metrics::Histogram;
 use helios_telemetry::{
     span, DynRoutes, EventKind, FlightRecorder, HealthReport, OpsServer, OpsState, Registry,
-    RegistrySnapshot, SloTracker, StatsReporter, TraceCtx,
+    RegistrySnapshot, RetainedTraces, SloTracker, StatsReporter, TraceCtx,
 };
 use helios_types::{
     hash::route, Decode, Encode, GraphUpdate, HeliosError, PartitionId, Result, SamplingWorkerId,
@@ -142,6 +143,13 @@ pub struct HeliosDeployment {
     reporter: Option<StatsReporter>,
     /// Always-on ring of recent pipeline events, dumped on anomalies.
     pub(crate) recorder: Arc<FlightRecorder>,
+    /// Tail-sampled trace store behind `/traces`: keeps slow, errored and
+    /// timed-out traces, evicting boring ones first.
+    retained: Arc<RetainedTraces>,
+    /// Front-end routing time (owner lookup + replica pick), the serve
+    /// path's "route" stage — an add-on to `serving.latency`, which the
+    /// per-stage histograms sum to.
+    route_latency: Arc<Histogram>,
     /// End-to-end freshness SLO fed by the prober (empty when probing is
     /// disabled; burn rates read 0 with no samples).
     pub(crate) slo: Arc<SloTracker>,
@@ -209,6 +217,27 @@ impl HeliosDeployment {
 
         // Serving workers first so sample topics have consumers early.
         let telemetry = Arc::new(Registry::new());
+
+        // Tracing control. The HELIOS_TRACE_SAMPLE env override wins over
+        // the config rate *and* force-enables tracing, so a deployed
+        // binary can be head-sampled without a code change; otherwise the
+        // config rate applies whenever tracing is switched on.
+        match helios_telemetry::trace_sample_env() {
+            Some(rate) => {
+                helios_telemetry::set_tracing(true);
+                helios_telemetry::set_trace_sample_rate(rate);
+            }
+            None => helios_telemetry::set_trace_sample_rate(config.trace_sample),
+        }
+        let retained = Arc::new(RetainedTraces::new(
+            config.retained_traces,
+            config
+                .trace_slow_threshold
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64,
+        ));
+        let route_latency = telemetry.histogram("router.route_latency", &[]);
+
         let recorder = FlightRecorder::new(config.flight_recorder_capacity);
         recorder.set_dump_dir(config.flight_dump_dir.clone());
         let slo = Arc::new(SloTracker::new(
@@ -307,6 +336,7 @@ impl HeliosDeployment {
                 &coordinator,
                 &recorder,
                 &slo,
+                &retained,
             )
         });
 
@@ -321,6 +351,7 @@ impl HeliosDeployment {
                 &telemetry,
                 &slo,
                 &recorder,
+                &retained,
             )
         });
 
@@ -339,6 +370,7 @@ impl HeliosDeployment {
                     &coordinator,
                     &recorder,
                     &dyn_routes,
+                    &retained,
                 )
                 .map_err(HeliosError::Io)?,
             ),
@@ -357,6 +389,8 @@ impl HeliosDeployment {
             telemetry,
             reporter,
             recorder,
+            retained,
+            route_latency,
             slo,
             rescale_lock: parking_lot::Mutex::new(()),
             next_rescale_epoch: std::sync::atomic::AtomicU64::new(1),
@@ -409,6 +443,7 @@ impl HeliosDeployment {
         telemetry: &Arc<Registry>,
         slo: &Arc<SloTracker>,
         recorder: &Arc<FlightRecorder>,
+        retained: &Arc<RetainedTraces>,
     ) -> FreshnessProber {
         let seed_type = query.seed_type();
         let m = config.sampling_workers;
@@ -425,6 +460,7 @@ impl HeliosDeployment {
         let probes = telemetry.counter("e2e.freshness_probes", &[]);
         let slo = Arc::clone(slo);
         let recorder = Arc::clone(recorder);
+        let retained = Arc::clone(retained);
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
@@ -433,6 +469,11 @@ impl HeliosDeployment {
                 let mut seq: u64 = 0;
                 while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
                     seq += 1;
+                    // Each probe is its own (sampled) trace, so a timed-out
+                    // probe's marker-to-visible journey is retained and
+                    // inspectable via `/traces` next to slow serves.
+                    let probe_span = span("probe.freshness", TraceCtx::root());
+                    let probe_trace = probe_span.ctx().trace;
                     // Feature value = sequence number, so visibility of
                     // *this* probe (not an older one) is checkable. f32
                     // is exact below 2^24 — far beyond any probe count.
@@ -485,7 +526,14 @@ impl HeliosDeployment {
                         // Timeouts burn the SLO budget at the timeout bound.
                         slo.record(latency_ns.max(1));
                         recorder.record(EventKind::FreshnessProbe, u32::MAX, seq, 0, 1);
+                        // A timed-out probe is exactly the trace an operator
+                        // wants kept: flag it so the sweep retains it even
+                        // though its root span may not cross the slow bar.
+                        retained.flag(probe_trace, "timeout");
                     }
+                    // Close the probe span before idling — the span measures
+                    // inject-to-visible (or -timeout), not the interval sleep.
+                    drop(probe_span);
                     let wake = injected + fc.interval;
                     while Instant::now() < wake && !stop2.load(std::sync::atomic::Ordering::Relaxed)
                     {
@@ -518,10 +566,12 @@ impl HeliosDeployment {
         coordinator: &Coordinator,
         recorder: &Arc<FlightRecorder>,
         dyn_routes: &Arc<DynRoutes>,
+        retained: &Arc<RetainedTraces>,
     ) -> std::io::Result<OpsServer> {
         let registry = Arc::clone(telemetry);
         let mut state = OpsState::new(move || registry.snapshot())
             .recorder(Arc::clone(recorder))
+            .retained_traces(Arc::clone(retained))
             .routes(Arc::clone(dyn_routes));
 
         // Membership probe: a registered worker that stopped heartbeating
@@ -647,9 +697,11 @@ impl HeliosDeployment {
         coordinator: &Coordinator,
         recorder: &Arc<FlightRecorder>,
         slo: &Arc<SloTracker>,
+        retained: &Arc<RetainedTraces>,
     ) -> StatsReporter {
         let registry = Arc::clone(telemetry);
         let broker = Arc::clone(broker);
+        let retained = Arc::clone(retained);
         let probes: Vec<(String, Box<dyn Fn() -> usize + Send + Sync>)> = sampling
             .iter()
             .map(|w| (w.id().0.to_string(), Box::new(w.backlog_probe()) as _))
@@ -673,6 +725,22 @@ impl HeliosDeployment {
                 max_lag = max_lag.max(e.lag);
             }
             recorder.record(EventKind::LagSample, u32::MAX, total_lag, max_lag, 0);
+            // Queue *time* next to queue *depth*: fold every worker's
+            // `mq.dwell{topic,…}` histogram into p50/p99 gauges so the
+            // report line (and the bench snapshot) show how long records
+            // sat in the broker, not just how many.
+            if let Some(dwell) = registry.snapshot().histogram_total("mq.dwell") {
+                registry
+                    .gauge("mq.dwell_p50_ns", &[])
+                    .set(dwell.percentile(50.0).min(i64::MAX as u64) as i64);
+                registry
+                    .gauge("mq.dwell_p99_ns", &[])
+                    .set(dwell.percentile(99.0).min(i64::MAX as u64) as i64);
+            }
+            // Tail-sampling sweep: fold freshly journaled spans into the
+            // retained-trace store so `/traces` stays current without an
+            // explicit drain.
+            retained.sweep();
             for (worker, probe) in &probes {
                 registry
                     .gauge("actor.mailbox_depth", &[("worker", worker)])
@@ -804,6 +872,14 @@ impl HeliosDeployment {
         &self.recorder
     }
 
+    /// The tail-sampled trace store behind `/traces`: slow, errored and
+    /// timed-out traces, boring ones evicted first. Swept periodically by
+    /// the stats reporter; call [`RetainedTraces::sweep`] for an
+    /// up-to-the-moment view (tests do, deterministically).
+    pub fn retained_traces(&self) -> &Arc<RetainedTraces> {
+        &self.retained
+    }
+
     /// The end-to-end freshness SLO tracker. Only fed while freshness
     /// probing is configured; otherwise empty (burn rates read 0).
     pub fn freshness_slo(&self) -> &Arc<SloTracker> {
@@ -929,8 +1005,10 @@ impl HeliosDeployment {
     /// `router.serve` root span with the worker's spans nested under it.
     pub fn serve(&self, seed: VertexId) -> Result<SampledSubgraph> {
         let router_span = span("router.serve", TraceCtx::root());
-        self.serving_worker_for(seed)
-            .serve_traced(seed, router_span.ctx())
+        let worker = self.route_timed(seed, router_span.ctx());
+        let result = worker.serve_traced(seed, router_span.ctx());
+        self.flag_serve_error(router_span.ctx().trace, &result);
+        result
     }
 
     /// Serve through the owning worker's bounded serving-thread pool
@@ -938,8 +1016,32 @@ impl HeliosDeployment {
     /// the scalability experiments measure.
     pub fn serve_queued(&self, seed: VertexId) -> Result<SampledSubgraph> {
         let router_span = span("router.serve", TraceCtx::root());
-        self.serving_worker_for(seed)
-            .serve_queued_traced(seed, router_span.ctx())
+        let worker = self.route_timed(seed, router_span.ctx());
+        let result = worker.serve_queued_traced(seed, router_span.ctx());
+        self.flag_serve_error(router_span.ctx().trace, &result);
+        result
+    }
+
+    /// The "route" stage of the serve path: owner lookup + replica pick,
+    /// timed into `router.route_latency` and spanned when traced. Kept as
+    /// its own histogram (not a `serving.stage_latency` label) so the
+    /// per-stage sum identity against `serving.latency` stays exact —
+    /// routing happens before the worker's end-to-end clock starts.
+    fn route_timed(&self, seed: VertexId, ctx: TraceCtx) -> Arc<ServingWorker> {
+        let route_start = Instant::now();
+        let worker = {
+            let _route_span = span("router.route", ctx);
+            self.serving_worker_for(seed)
+        };
+        self.route_latency.record_duration(route_start.elapsed());
+        worker
+    }
+
+    /// Flag a failed serve's trace so the tail sweep retains it.
+    fn flag_serve_error(&self, trace: u64, result: &Result<SampledSubgraph>) {
+        if result.is_err() {
+            self.retained.flag(trace, "error");
+        }
     }
 
     /// Trigger TTL expiry everywhere (paper: periodic stale-data removal).

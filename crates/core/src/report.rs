@@ -23,6 +23,9 @@ pub struct ServingReport {
     pub serve_p99_ms: f64,
     /// Ingestion latency P99, milliseconds (0 when nothing recorded).
     pub ingestion_p99_ms: f64,
+    /// Sample-queue dwell P99, milliseconds — how long applied records
+    /// sat in the broker (0 when nothing recorded).
+    pub mq_dwell_p99_ms: f64,
     /// Cache footprint in bytes (memory + disk).
     pub cache_bytes: u64,
 }
@@ -38,6 +41,9 @@ pub struct SamplingReport {
     pub control_processed: u64,
     /// Sample/feature messages published.
     pub published: u64,
+    /// Update-queue dwell P99, milliseconds — how long consumed updates
+    /// sat in the broker (0 when nothing recorded).
+    pub update_dwell_p99_ms: f64,
     /// Critical-path busy seconds (busiest sampling thread).
     pub max_shard_busy_secs: f64,
 }
@@ -65,6 +71,7 @@ impl DeploymentReport {
                 updates_processed: m.updates_processed.get(),
                 control_processed: m.control_processed.get(),
                 published: m.published.get(),
+                update_dwell_p99_ms: m.update_dwell.percentile_ms(99.0),
                 max_shard_busy_secs: m.max_shard_busy_nanos() as f64 / 1e9,
             })
             .collect();
@@ -80,6 +87,7 @@ impl DeploymentReport {
                 serve_avg_ms: w.serve_latency().mean_ms(),
                 serve_p99_ms: w.serve_latency().percentile_ms(99.0),
                 ingestion_p99_ms: w.ingestion_latency().percentile_ms(99.0),
+                mq_dwell_p99_ms: w.mq_dwell().percentile_ms(99.0),
                 cache_bytes: w.cache_bytes(),
             })
             .collect();
@@ -109,20 +117,26 @@ impl fmt::Display for DeploymentReport {
         for s in &self.sampling {
             writeln!(
                 f,
-                "  SAW{}: {} updates, {} control, {} published, busy {:.2}s",
-                s.saw, s.updates_processed, s.control_processed, s.published, s.max_shard_busy_secs
+                "  SAW{}: {} updates (dwell p99 {:.3} ms), {} control, {} published, busy {:.2}s",
+                s.saw,
+                s.updates_processed,
+                s.update_dwell_p99_ms,
+                s.control_processed,
+                s.published,
+                s.max_shard_busy_secs
             )?;
         }
         for s in &self.serving {
             writeln!(
                 f,
-                "  SEW{}r{}: {} served (avg {:.3} ms / p99 {:.3} ms), {} applied, {} decode errors, cache {} KB",
+                "  SEW{}r{}: {} served (avg {:.3} ms / p99 {:.3} ms), {} applied (dwell p99 {:.3} ms), {} decode errors, cache {} KB",
                 s.sew,
                 s.replica,
                 s.served,
                 s.serve_avg_ms,
                 s.serve_p99_ms,
                 s.applied,
+                s.mq_dwell_p99_ms,
                 s.decode_errors,
                 s.cache_bytes / 1024
             )?;

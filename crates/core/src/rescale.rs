@@ -266,10 +266,15 @@ impl HeliosDeployment {
         done: impl Fn() -> bool,
     ) -> Result<()> {
         loop {
-            if done() {
+            // Deadline first: a watermark reached *after* the deadline
+            // still abandons. Checking `done()` first would let an
+            // expired attempt race through whenever the samplers happen
+            // to ack between the broadcast and the first check.
+            let expired = Instant::now() >= deadline;
+            if done() && !expired {
                 return Ok(());
             }
-            if Instant::now() >= deadline {
+            if expired {
                 return Err(HeliosError::Timeout(format!(
                     "rescale abandoned: {what} watermark not reached"
                 )));

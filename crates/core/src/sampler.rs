@@ -22,6 +22,7 @@ use crate::messages::{now_nanos, ControlMsg, SampleEntryLite, SampleMsg, UpdateE
 use crate::to_reservoir_strategy;
 use helios_actor::{Beacon, ShardedPool};
 use helios_membership::{MembershipMsg, RouteTable, Router};
+use helios_metrics::Histogram;
 use helios_mq::Broker;
 use helios_query::{KHopQuery, QueryDag};
 use helios_sampling::{ReservoirOutcome, ReservoirTable, SampleEntry};
@@ -74,6 +75,17 @@ pub struct SamplerMetrics {
     /// time a truly parallel deployment would take — the scalability
     /// experiments report throughput against it ("simulated-parallel").
     pub shard_busy_nanos: Vec<Arc<Counter>>,
+    /// Time update records spent in the updates topic before this worker
+    /// polled them (`mq.dwell{topic=updates}`), from the produce stamp on
+    /// the wire record.
+    pub update_dwell: Arc<Histogram>,
+    /// Shard time spent mutating local state per update (reservoir offer,
+    /// feature upsert) — the update path's "sampler-apply" stage.
+    pub apply_latency: Arc<Histogram>,
+    /// Shard time spent fanning the change out to subscribers (sample
+    /// publishes + control ripple) — the "samples-propagate" stage.
+    /// `apply + propagate` = total shard processing time per update.
+    pub propagate_latency: Arc<Histogram>,
 }
 
 impl SamplerMetrics {
@@ -87,6 +99,9 @@ impl SamplerMetrics {
             control_processed: Arc::new(Counter::new()),
             published: Arc::new(Counter::new()),
             shard_busy_nanos: (0..threads).map(|_| Arc::new(Counter::new())).collect(),
+            update_dwell: Arc::new(Histogram::new()),
+            apply_latency: Arc::new(Histogram::new()),
+            propagate_latency: Arc::new(Histogram::new()),
         }
     }
 
@@ -106,6 +121,9 @@ impl SamplerMetrics {
                     registry.counter("sampler.shard_busy_nanos", &[("worker", &w), ("shard", &s)])
                 })
                 .collect(),
+            update_dwell: registry.histogram("mq.dwell", &[("topic", "updates"), ("worker", &w)]),
+            apply_latency: registry.histogram("sampler.apply_latency", labels),
+            propagate_latency: registry.histogram("sampler.propagate_latency", labels),
         }
     }
 
@@ -285,6 +303,9 @@ struct SamplerShard {
     /// the seeds whose owner changed.
     seeds: FxHashMap<VertexId, u32>,
     rng: StdRng,
+    /// Nanoseconds the current update spent fanning out to subscribers
+    /// (reset per update; see `apply_latency`/`propagate_latency`).
+    propagate_ns: u64,
 }
 
 impl SamplerShard {
@@ -306,6 +327,7 @@ impl SamplerShard {
             feat_subs: SubTable::default(),
             seeds: FxHashMap::default(),
             rng: StdRng::seed_from_u64(seed ^ 0x4845_4C49_4F53_u64),
+            propagate_ns: 0,
         }
     }
 
@@ -330,7 +352,9 @@ impl SamplerShard {
             // arrive, the hop-0 samples — to answer requests on v).
             self.ensure_seed_sub(v.id);
         }
+        let mut fanout_ns = 0u64;
         if let Some(subs) = self.feat_subs.get(&v.id) {
+            let fanout_start = std::time::Instant::now();
             let msg = SampleMsg::FeatureUpdate {
                 vertex: v.id,
                 feature: v.feature.clone(),
@@ -341,7 +365,9 @@ impl SamplerShard {
             for &sew in subs.keys() {
                 self.ctx.publish_sample(ServingWorkerId(sew), &msg);
             }
+            fanout_ns = fanout_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         }
+        self.propagate_ns += fanout_ns;
     }
 
     fn handle_edge(&mut self, e: &EdgeUpdate, caused_at: u64, trace: TraceCtx) {
@@ -392,6 +418,7 @@ impl SamplerShard {
         if subs.is_empty() {
             return;
         }
+        let fanout_start = std::time::Instant::now();
         let _fanout_span = span("sampler.fanout", trace);
         self.ctx.recorder.record(
             EventKind::HopExpanded,
@@ -443,6 +470,7 @@ impl SamplerShard {
             }
         }
         self.ctx.send_controls(controls);
+        self.propagate_ns += fanout_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
     }
 
     // ---- subscription handling (§5.3) ----
@@ -875,10 +903,19 @@ impl helios_actor::Actor for SamplerShard {
             ShardMsg::Update(env) => {
                 let shard_span = span("sampler.shard", env.trace);
                 let trace = shard_span.ctx();
+                self.propagate_ns = 0;
                 match &env.update {
                     GraphUpdate::Vertex(v) => self.handle_vertex(v, env.enqueued_at, trace),
                     GraphUpdate::Edge(e) => self.handle_edge(e, env.enqueued_at, trace),
                 }
+                // Split the shard's processing time into local-state
+                // mutation ("sampler-apply") and subscriber fan-out
+                // ("samples-propagate"); the handlers accumulated the
+                // fan-out share in `propagate_ns`.
+                let total = busy_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                let propagate = self.propagate_ns.min(total);
+                self.ctx.metrics.apply_latency.record(total - propagate);
+                self.ctx.metrics.propagate_latency.record(propagate);
                 self.ctx.metrics.updates_processed.incr();
             }
             ShardMsg::Control(c) => {
@@ -983,7 +1020,13 @@ impl SamplingWorker {
                         while !stop.load(Ordering::Relaxed) {
                             beacon2.beat();
                             let recs = consumer.poll(poll_batch, poll_timeout);
+                            let consumed_at = if recs.is_empty() { 0 } else { now_nanos() };
                             for rec in recs {
+                                if rec.produced_at > 0 {
+                                    metrics
+                                        .update_dwell
+                                        .record(consumed_at.saturating_sub(rec.produced_at));
+                                }
                                 match UpdateEnvelope::decode_from_slice(&rec.payload) {
                                     Ok(mut env) => {
                                         let key = env.update.routing_vertex().raw();

@@ -55,6 +55,19 @@ pub struct ServingWorker {
     features: KvStore,
     serve_latency: Arc<Histogram>,
     ingestion_latency: Arc<Histogram>,
+    /// Per-stage serve-path attribution (`serving.stage_latency{stage=…}`):
+    /// `cache_lookup + hop_expand + feature_gather + encode` covers the
+    /// whole of `serve_traced`, so these sum to `serving.latency`.
+    stage_cache_lookup: Arc<Histogram>,
+    stage_hop_expand: Arc<Histogram>,
+    stage_feature_gather: Arc<Histogram>,
+    stage_encode: Arc<Histogram>,
+    /// Queued-path extra: enqueue → pickup by a serving thread.
+    queue_wait: Arc<Histogram>,
+    /// Update-path attribution: sample-queue dwell (produce → consume
+    /// stamp on the wire record) and batch cache-apply time.
+    mq_dwell: Arc<Histogram>,
+    cache_apply_latency: Arc<Histogram>,
     served: Arc<Counter>,
     applied: Arc<Counter>,
     decode_errors: Arc<Counter>,
@@ -73,6 +86,9 @@ pub struct ServingWorker {
 type ServeRequest = (
     VertexId,
     TraceCtx,
+    // Enqueue instant: lets the picking serving thread attribute the
+    // queue wait (`serving.queue_wait`).
+    std::time::Instant,
     crossbeam::channel::Sender<Result<SampledSubgraph>>,
 );
 
@@ -117,6 +133,13 @@ impl ServingWorker {
                 ("table", table),
             ]
         };
+        let stage_labels = |stage: &'static str| {
+            [
+                ("worker", w.as_str()),
+                ("replica", r.as_str()),
+                ("stage", stage),
+            ]
+        };
         let (serve_tx, serve_rx) = crossbeam::channel::unbounded::<ServeRequest>();
         let worker = Arc::new(ServingWorker {
             id,
@@ -126,6 +149,23 @@ impl ServingWorker {
             features: KvStore::open(kv_config("features"))?,
             serve_latency: registry.histogram("serving.latency", labels),
             ingestion_latency: registry.histogram("serving.ingestion_latency", labels),
+            stage_cache_lookup: registry
+                .histogram("serving.stage_latency", &stage_labels("cache_lookup")),
+            stage_hop_expand: registry
+                .histogram("serving.stage_latency", &stage_labels("hop_expand")),
+            stage_feature_gather: registry
+                .histogram("serving.stage_latency", &stage_labels("feature_gather")),
+            stage_encode: registry.histogram("serving.stage_latency", &stage_labels("encode")),
+            queue_wait: registry.histogram("serving.queue_wait", labels),
+            mq_dwell: registry.histogram(
+                "mq.dwell",
+                &[
+                    ("topic", "samples"),
+                    ("worker", w.as_str()),
+                    ("replica", r.as_str()),
+                ],
+            ),
+            cache_apply_latency: registry.histogram("serving.cache_apply_latency", labels),
             served: registry.counter("serving.served", labels),
             applied: registry.counter("serving.applied", labels),
             decode_errors: registry.counter("serving.decode_errors", labels),
@@ -185,7 +225,8 @@ impl ServingWorker {
                 std::thread::Builder::new()
                     .name(format!("sew{}r{replica}-serve-{t}", id.0))
                     .spawn(move || {
-                        while let Ok((seed, trace, reply)) = rx.recv() {
+                        while let Ok((seed, trace, enqueued, reply)) = rx.recv() {
+                            w.queue_wait.record_duration(enqueued.elapsed());
                             let _ = reply.send(w.serve_traced(seed, trace));
                         }
                     })
@@ -227,7 +268,12 @@ impl ServingWorker {
                             }
                             batch.clear();
                             let mut errors = 0u64;
+                            let consumed_at = now_nanos();
                             for rec in &recs {
+                                if rec.produced_at > 0 {
+                                    w.mq_dwell
+                                        .record(consumed_at.saturating_sub(rec.produced_at));
+                                }
                                 match SampleMsg::decode_from_slice(&rec.payload) {
                                     Ok(msg) => batch.push(msg),
                                     Err(_) => errors += 1,
@@ -235,7 +281,9 @@ impl ServingWorker {
                             }
                             // The whole poll batch lands in the cache with
                             // one write-lock acquisition per kvstore shard.
+                            let apply_start = std::time::Instant::now();
                             w.apply_batch(&batch);
+                            w.cache_apply_latency.record_duration(apply_start.elapsed());
                             w.applied.add(batch.len() as u64);
                             if errors > 0 {
                                 w.decode_errors.add(errors);
@@ -281,9 +329,10 @@ impl ServingWorker {
     pub fn apply_batch(&self, msgs: &[SampleMsg]) {
         let mut sample_ops: Vec<WriteOp> = Vec::new();
         let mut feature_ops: Vec<WriteOp> = Vec::new();
-        let mut caused: Vec<u64> = Vec::new();
+        let mut caused: Vec<(u64, u64)> = Vec::new();
         for msg in msgs {
-            let _apply_span = span("serving.cache_apply", msg.trace());
+            let trace = msg.trace();
+            let _apply_span = span("serving.cache_apply", trace);
             match msg {
                 SampleMsg::SampleUpdate {
                     hop,
@@ -301,7 +350,7 @@ impl ServingWorker {
                         .unwrap_or(Timestamp::ZERO);
                     sample_ops.push(WriteOp::put(sample_key(*hop, *key), buf.freeze(), ts));
                     if *caused_at > 0 {
-                        caused.push(*caused_at);
+                        caused.push((*caused_at, trace.trace));
                     }
                 }
                 SampleMsg::Evict { hop, key } => {
@@ -318,7 +367,7 @@ impl ServingWorker {
                     feature.encode(&mut buf);
                     feature_ops.push(WriteOp::put(feature_key(*vertex), buf.freeze(), *ts));
                     if *caused_at > 0 {
-                        caused.push(*caused_at);
+                        caused.push((*caused_at, trace.trace));
                     }
                 }
                 SampleMsg::EvictFeature { vertex } => {
@@ -334,16 +383,17 @@ impl ServingWorker {
         }
         // Ingestion latency is "enqueue → visible in cache", so the stamps
         // are recorded only after the batch has landed.
-        for at in caused {
-            self.record_ingestion(at);
+        for (at, trace) in caused {
+            self.record_ingestion(at, trace);
         }
     }
 
-    fn record_ingestion(&self, caused_at: u64) {
+    fn record_ingestion(&self, caused_at: u64, trace: u64) {
         if caused_at > 0 {
             let now = now_nanos();
             if now > caused_at {
-                self.ingestion_latency.record(now - caused_at);
+                self.ingestion_latency
+                    .record_with_exemplar(now - caused_at, trace);
             }
         }
     }
@@ -370,13 +420,21 @@ impl ServingWorker {
         let mut result = SampledSubgraph::new(seed);
         let mut frontier = vec![seed];
         for hop_idx in 0..self.query.hops() {
-            let _hop_span = span("serving.hop", ctx);
             let hop = QueryHopId(hop_idx as u16);
-            // One shard-grouped multi_get over the whole frontier: the
-            // sample table's shard locks are taken once per hop, not once
-            // per vertex.
+            // Stage: cache lookup. One shard-grouped multi_get over the
+            // whole frontier — the sample table's shard locks are taken
+            // once per hop, not once per vertex.
+            let lookup_start = std::time::Instant::now();
+            let lookup_span = span("serving.cache_lookup", ctx);
             let keys: Vec<[u8; 10]> = frontier.iter().map(|&v| sample_key(hop, v)).collect();
             let values = self.samples.multi_get(&keys)?;
+            drop(lookup_span);
+            self.stage_cache_lookup
+                .record_duration(lookup_start.elapsed());
+            // Stage: hop expand. Decode the sampled neighbor lists and
+            // build the next frontier.
+            let expand_start = std::time::Instant::now();
+            let expand_span = span("serving.hop_expand", ctx);
             let mut hs = HopSamples::default();
             hs.groups.reserve(frontier.len());
             let mut next = Vec::new();
@@ -401,34 +459,48 @@ impl ServingWorker {
             self.sample_misses.add(misses);
             result.hops.push(hs);
             frontier = next;
+            drop(expand_span);
+            self.stage_hop_expand
+                .record_duration(expand_start.elapsed());
             if frontier.is_empty() {
                 break;
             }
         }
-        {
-            let _feat_span = span("serving.features", ctx);
-            // `all_vertices` deduplicates, so a vertex sampled under many
-            // parents costs one feature lookup; the whole set is fetched
-            // with a single multi_get.
-            let vertices: Vec<VertexId> = result.all_vertices().into_iter().collect();
-            let keys: Vec<[u8; 8]> = vertices.iter().map(|&v| feature_key(v)).collect();
-            let values = self.features.multi_get(&keys)?;
-            let (mut hits, mut misses) = (0u64, 0u64);
-            for (v, value) in vertices.into_iter().zip(values) {
-                match value {
-                    Some(raw) => {
-                        hits += 1;
-                        if let Ok(f) = Vec::<f32>::decode_from_slice(&raw) {
-                            result.features.insert(v, f);
-                        }
+        // Stage: feature gather. `all_vertices` deduplicates, so a vertex
+        // sampled under many parents costs one feature lookup; the whole
+        // set is fetched with a single multi_get.
+        let gather_start = std::time::Instant::now();
+        let gather_span = span("serving.feature_gather", ctx);
+        let vertices: Vec<VertexId> = result.all_vertices().into_iter().collect();
+        let keys: Vec<[u8; 8]> = vertices.iter().map(|&v| feature_key(v)).collect();
+        let values = self.features.multi_get(&keys)?;
+        drop(gather_span);
+        self.stage_feature_gather
+            .record_duration(gather_start.elapsed());
+        // Stage: encode. Decode the fetched feature vectors into the
+        // result subgraph handed back to the model runner.
+        let encode_start = std::time::Instant::now();
+        let encode_span = span("serving.encode", ctx);
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for (v, value) in vertices.into_iter().zip(values) {
+            match value {
+                Some(raw) => {
+                    hits += 1;
+                    if let Ok(f) = Vec::<f32>::decode_from_slice(&raw) {
+                        result.features.insert(v, f);
                     }
-                    None => misses += 1,
                 }
+                None => misses += 1,
             }
-            self.feature_hits.add(hits);
-            self.feature_misses.add(misses);
         }
-        self.serve_latency.record_duration(start.elapsed());
+        self.feature_hits.add(hits);
+        self.feature_misses.add(misses);
+        drop(encode_span);
+        self.stage_encode.record_duration(encode_start.elapsed());
+        // The end-to-end observation carries the trace id as an exemplar
+        // (0 — untraced — degrades to a plain record).
+        self.serve_latency
+            .record_duration_with_exemplar(start.elapsed(), root.trace);
         self.served.incr();
         Ok(result)
     }
@@ -472,7 +544,7 @@ impl ServingWorker {
                     .as_ref()
                     .ok_or(helios_types::HeliosError::ShuttingDown)?;
                 sender
-                    .send((seed, queue_span.ctx(), tx.clone()))
+                    .send((seed, queue_span.ctx(), std::time::Instant::now(), tx.clone()))
                     .map_err(|_| helios_types::HeliosError::ShuttingDown)?;
             }
             rx.recv()
@@ -515,6 +587,13 @@ impl ServingWorker {
     /// visible), Fig. 17.
     pub fn ingestion_latency(&self) -> &Histogram {
         &self.ingestion_latency
+    }
+
+    /// Sample-queue dwell-time histogram: broker-append to updater-poll
+    /// per record, from the wire `produced_at` stamp. The mq slice of the
+    /// ingestion latency.
+    pub fn mq_dwell(&self) -> &Histogram {
+        &self.mq_dwell
     }
 
     /// Cache size statistics: (sample table, feature table) — Fig. 16.

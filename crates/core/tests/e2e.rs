@@ -592,7 +592,8 @@ fn traces_follow_request_and_update_paths() {
     set_tracing(false);
     let spans = drain_spans();
 
-    // One inference request: router.serve → serving.serve → serving.hop.
+    // One inference request: router.serve → serving.serve → per-stage
+    // grandchildren (cache lookup, hop expansion, feature gather, encode).
     let router = spans
         .iter()
         .find(|s| s.name == "router.serve")
@@ -602,11 +603,18 @@ fn traces_follow_request_and_update_paths() {
         .find(|s| s.name == "serving.serve" && s.trace == router.trace)
         .expect("serving.serve child");
     assert_eq!(serve.parent, router.span, "serve nests under the router");
-    let hop = spans
-        .iter()
-        .find(|s| s.name == "serving.hop" && s.trace == router.trace)
-        .expect("serving.hop grandchild");
-    assert_eq!(hop.parent, serve.span);
+    for stage in [
+        "serving.cache_lookup",
+        "serving.hop_expand",
+        "serving.feature_gather",
+        "serving.encode",
+    ] {
+        let st = spans
+            .iter()
+            .find(|s| s.name == stage && s.trace == router.trace)
+            .unwrap_or_else(|| panic!("{stage} grandchild"));
+        assert_eq!(st.parent, serve.span, "{stage} nests under the serve");
+    }
 
     // One graph update: sampler.poll → sampler.shard → sampler.reservoir,
     // then serving.cache_apply on the same trace across threads and

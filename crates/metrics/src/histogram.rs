@@ -8,6 +8,7 @@
 //! one shift, one relaxed atomic increment.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 const SUB_BUCKET_BITS: u32 = 6;
@@ -40,6 +41,15 @@ fn bucket_upper_bound(idx: usize) -> u64 {
     ((SUB_BUCKETS as u64) + sub + 1) << shift
 }
 
+/// One exemplar slot: the trace id and value of a recent sample that
+/// landed in this bucket. Written with relaxed stores (value first, then
+/// trace); a torn pair under contention is acceptable for exemplars —
+/// both halves still come from real samples in this bucket.
+struct ExemplarSlot {
+    trace: AtomicU64,
+    value: AtomicU64,
+}
+
 /// Concurrent latency histogram. Clone-free sharing via `&`/`Arc`.
 pub struct Histogram {
     buckets: Box<[AtomicU64; BUCKETS]>,
@@ -47,6 +57,9 @@ pub struct Histogram {
     sum: AtomicU64,
     max: AtomicU64,
     min: AtomicU64,
+    // Lazily allocated on the first `record_with_exemplar` call, so
+    // histograms that never see traced samples pay nothing.
+    exemplars: OnceLock<Box<[ExemplarSlot]>>,
 }
 
 impl Default for Histogram {
@@ -67,6 +80,7 @@ impl Histogram {
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
+            exemplars: OnceLock::new(),
         }
     }
 
@@ -78,6 +92,38 @@ impl Histogram {
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
+    }
+
+    /// Record a value and, when `trace_id != 0`, remember it as the
+    /// bucket's exemplar — the OpenMetrics exposition attaches it to the
+    /// matching `_bucket` line so a dashboard bucket links to the exact
+    /// causal trace. With `trace_id == 0` this is plain [`Histogram::record`].
+    #[inline]
+    pub fn record_with_exemplar(&self, value: u64, trace_id: u64) {
+        self.record(value);
+        if trace_id != 0 {
+            let slots = self.exemplar_slots();
+            let slot = &slots[bucket_index(value)];
+            slot.value.store(value, Ordering::Relaxed);
+            slot.trace.store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// Duration flavour of [`Histogram::record_with_exemplar`].
+    #[inline]
+    pub fn record_duration_with_exemplar(&self, d: Duration, trace_id: u64) {
+        self.record_with_exemplar(d.as_nanos().min(u128::from(u64::MAX)) as u64, trace_id);
+    }
+
+    fn exemplar_slots(&self) -> &[ExemplarSlot] {
+        self.exemplars.get_or_init(|| {
+            (0..BUCKETS)
+                .map(|_| ExemplarSlot {
+                    trace: AtomicU64::new(0),
+                    value: AtomicU64::new(0),
+                })
+                .collect()
+        })
     }
 
     /// Record a [`Duration`] in nanoseconds.
@@ -100,6 +146,12 @@ impl Histogram {
         self.sum.store(0, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
         self.min.store(u64::MAX, Ordering::Relaxed);
+        if let Some(slots) = self.exemplars.get() {
+            for s in slots.iter() {
+                s.trace.store(0, Ordering::Relaxed);
+                s.value.store(0, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Take a consistent-enough snapshot for reporting. (Relaxed loads:
@@ -112,8 +164,28 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let count: u64 = counts.iter().sum();
+        let exemplars = match self.exemplars.get() {
+            None => Vec::new(),
+            Some(slots) => slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    let trace = s.trace.load(Ordering::Relaxed);
+                    if trace == 0 {
+                        None
+                    } else {
+                        Some((
+                            bucket_upper_bound(i),
+                            trace,
+                            s.value.load(Ordering::Relaxed),
+                        ))
+                    }
+                })
+                .collect(),
+        };
         Snapshot {
             counts,
+            exemplars,
             count,
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
@@ -135,6 +207,16 @@ impl Histogram {
             let n = b.load(Ordering::Relaxed);
             if n > 0 {
                 a.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        if let Some(theirs) = other.exemplars.get() {
+            let ours = self.exemplar_slots();
+            for (a, b) in ours.iter().zip(theirs.iter()) {
+                let trace = b.trace.load(Ordering::Relaxed);
+                if trace != 0 {
+                    a.value.store(b.value.load(Ordering::Relaxed), Ordering::Relaxed);
+                    a.trace.store(trace, Ordering::Relaxed);
+                }
             }
         }
         let other_count = other.count.load(Ordering::Relaxed);
@@ -161,11 +243,23 @@ impl Histogram {
     }
 }
 
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
 /// Immutable snapshot of a histogram, supporting percentile queries and
 /// merging across workers.
 #[derive(Clone, Debug)]
 pub struct Snapshot {
     counts: Vec<u64>,
+    // `(bucket_upper_bound, trace_id, value)` for every bucket that has
+    // an exemplar, in increasing bound order.
+    exemplars: Vec<(u64, u64, u64)>,
     /// Total number of samples.
     pub count: u64,
     /// Sum of all recorded values.
@@ -231,9 +325,23 @@ impl Snapshot {
         self.percentile(p) as f64 / 1e6
     }
 
+    /// `(bucket_upper_bound, trace_id, value)` exemplars captured via
+    /// [`Histogram::record_with_exemplar`], in increasing bound order.
+    pub fn exemplars(&self) -> &[(u64, u64, u64)] {
+        &self.exemplars
+    }
+
     /// Merge another snapshot into this one (e.g. across serving workers).
     pub fn merge(&mut self, other: &Snapshot) {
         assert_eq!(self.counts.len(), other.counts.len());
+        // Exemplars: keep ours on a per-bucket conflict, adopt theirs for
+        // buckets we have none (either side's is a real recent sample).
+        for &(bound, trace, value) in &other.exemplars {
+            match self.exemplars.binary_search_by_key(&bound, |e| e.0) {
+                Ok(_) => {}
+                Err(pos) => self.exemplars.insert(pos, (bound, trace, value)),
+            }
+        }
         self.min = match (self.count == 0, other.count == 0) {
             (true, true) => 0,
             (true, false) => other.min,
@@ -261,6 +369,56 @@ mod tests {
         assert_eq!(s.percentile(99.0), 0);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.min, 0);
+        assert!(s.exemplars().is_empty());
+    }
+
+    #[test]
+    fn exemplars_track_buckets() {
+        let h = Histogram::new();
+        h.record(1000); // no exemplar
+        h.record_with_exemplar(1000, 0); // trace 0 records no exemplar
+        assert!(h.snapshot().exemplars().is_empty());
+        h.record_with_exemplar(1000, 42);
+        h.record_with_exemplar(1_000_000, 43);
+        h.record_with_exemplar(1_000_001, 44); // same bucket: replaces 43
+        let s = h.snapshot();
+        let ex = s.exemplars();
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].1, 42);
+        assert_eq!(ex[0].2, 1000);
+        assert!(ex[0].0 >= 1000, "bound covers the sample");
+        assert_eq!(ex[1].1, 44);
+        assert_eq!(ex[1].2, 1_000_001);
+        assert!(ex[0].0 < ex[1].0, "exemplars sorted by bucket bound");
+        // Exemplar bounds line up with exposed cumulative bucket bounds.
+        let bucket_bounds: Vec<u64> = s.cumulative_buckets().iter().map(|&(b, _)| b).collect();
+        assert!(ex.iter().all(|e| bucket_bounds.contains(&e.0)));
+        // Reset clears them.
+        h.reset();
+        assert!(h.snapshot().exemplars().is_empty());
+    }
+
+    #[test]
+    fn exemplars_survive_snapshot_and_live_merge() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_with_exemplar(500, 7);
+        b.record_with_exemplar(2_000_000, 8);
+        b.record_with_exemplar(500, 9); // conflicts with a's bucket
+        let mut sa = a.snapshot();
+        let sb = b.snapshot();
+        sa.merge(&sb);
+        let ex = sa.exemplars();
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].1, 7, "ours wins on a per-bucket conflict");
+        assert_eq!(ex[1].1, 8, "theirs adopted where we had none");
+        // Live merge: other's exemplars copied in.
+        a.merge(&b);
+        let ex = a.snapshot();
+        let ex = ex.exemplars();
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].1, 9, "live merge overwrites with other's slot");
+        assert_eq!(ex[1].1, 8);
     }
 
     #[test]

@@ -71,6 +71,7 @@ impl Partition {
             offset,
             key,
             payload,
+            produced_at: crate::record::now_nanos(),
         };
         inner.bytes += rec.footprint();
         inner.log.push_back(rec);
@@ -90,11 +91,14 @@ impl Partition {
         let mut inner = self.inner.lock();
         let offset = inner.next_offset;
         inner.next_offset += 1;
+        // Restored records predate this process; without a durable stamp
+        // the dwell time is unknowable, so mark it as such.
         let rec = Record {
             partition: self.id,
             offset,
             key,
             payload,
+            produced_at: 0,
         };
         inner.bytes += rec.footprint();
         inner.log.push_back(rec);
@@ -199,6 +203,16 @@ mod tests {
         assert_eq!(recs.len(), 5);
         assert_eq!(recs[0].offset, 15);
         assert_eq!(next, 20);
+    }
+
+    #[test]
+    fn append_stamps_produce_time_but_restore_does_not() {
+        let p = Partition::new(PartitionId(0), 0);
+        p.append(0, bytes("fresh")).unwrap();
+        p.restore(1, bytes("recovered"));
+        let (recs, _) = p.fetch(0, 10);
+        assert!(recs[0].produced_at > 0, "appended records carry a stamp");
+        assert_eq!(recs[1].produced_at, 0, "restored records have no stamp");
     }
 
     #[test]

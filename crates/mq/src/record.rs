@@ -14,6 +14,10 @@ pub struct Record {
     pub key: u64,
     /// Opaque payload.
     pub payload: Bytes,
+    /// Wall-clock nanoseconds (`UNIX_EPOCH`) at append time, or 0 when
+    /// unknown (e.g. records restored from a durable segment). Consumers
+    /// subtract this from their own clock to attribute mq dwell time.
+    pub produced_at: u64,
 }
 
 impl Record {
@@ -21,6 +25,15 @@ impl Record {
     pub fn footprint(&self) -> usize {
         std::mem::size_of::<Self>() + self.payload.len()
     }
+}
+
+/// Wall-clock nanoseconds since `UNIX_EPOCH`, saturating at 0 if the
+/// clock is before the epoch. Used for produce-time stamps.
+pub(crate) fn now_nanos() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -34,6 +47,7 @@ mod tests {
             offset: 0,
             key: 1,
             payload: Bytes::from(vec![0u8; 100]),
+            produced_at: now_nanos(),
         };
         assert!(r.footprint() >= 100);
     }

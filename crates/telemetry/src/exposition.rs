@@ -59,8 +59,10 @@ fn escape_label_value(v: &str) -> String {
 }
 
 /// Split a rendered registry key (`name{k=v,k2=v2}` or bare `name`) into
-/// the instrument name and its label pairs.
-pub fn parse_key(key: &str) -> (&str, Vec<(&str, &str)>) {
+/// the instrument name and its label pairs, undoing the backslash
+/// escaping [`crate::registry::render_key`] applies to `,`, `=` and `\`
+/// inside label values.
+pub fn parse_key(key: &str) -> (&str, Vec<(String, String)>) {
     let name = instrument_name(key);
     let mut labels = Vec::new();
     if let Some(block) = key
@@ -68,10 +70,37 @@ pub fn parse_key(key: &str) -> (&str, Vec<(&str, &str)>) {
         .and_then(|r| r.strip_prefix('{'))
         .and_then(|r| r.strip_suffix('}'))
     {
-        for pair in block.split(',') {
-            if let Some((k, v)) = pair.split_once('=') {
-                labels.push((k, v));
+        let (mut k, mut v) = (String::new(), String::new());
+        let mut in_value = false;
+        let mut chars = block.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => {
+                    let cur = if in_value { &mut v } else { &mut k };
+                    cur.push(chars.next().unwrap_or('\\'));
+                }
+                '=' if !in_value => in_value = true,
+                ',' => {
+                    if in_value {
+                        labels.push((std::mem::take(&mut k), std::mem::take(&mut v)));
+                    } else {
+                        // Malformed pair without `=`: drop it, as the old
+                        // split-based parser did.
+                        k.clear();
+                    }
+                    in_value = false;
+                }
+                c => {
+                    if in_value {
+                        v.push(c)
+                    } else {
+                        k.push(c)
+                    }
+                }
             }
+        }
+        if in_value {
+            labels.push((k, v));
         }
     }
     (name, labels)
@@ -79,7 +108,7 @@ pub fn parse_key(key: &str) -> (&str, Vec<(&str, &str)>) {
 
 /// Render a label set (optionally with an extra `le` pair) as
 /// `{k="v",...}`; empty string when there are no labels.
-fn render_labels(labels: &[(&str, &str)], le: Option<&str>) -> String {
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
     if labels.is_empty() && le.is_none() {
         return String::new();
     }
@@ -109,14 +138,24 @@ fn write_header(out: &mut String, done: &mut BTreeMap<String, ()>, name: &str, k
     }
 }
 
-fn write_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], snap: &Snapshot) {
+fn write_histogram(out: &mut String, name: &str, labels: &[(String, String)], snap: &Snapshot) {
+    let exemplars = snap.exemplars();
     let mut cum = 0u64;
     for (bound_ns, cum_count) in snap.cumulative_buckets() {
         cum = cum_count;
         let le = format_seconds(bound_ns);
+        // OpenMetrics exemplar: the trace id of a recent observation that
+        // landed in this bucket, plus its value in seconds.
+        let exemplar = exemplars
+            .iter()
+            .find(|(bound, _, _)| *bound == bound_ns)
+            .map(|(_, trace, value)| {
+                format!(" # {{trace_id=\"{trace}\"}} {}", format_seconds(*value))
+            })
+            .unwrap_or_default();
         let _ = writeln!(
             out,
-            "{name}_bucket{} {cum_count}",
+            "{name}_bucket{} {cum_count}{exemplar}",
             render_labels(labels, Some(&le))
         );
     }
@@ -202,6 +241,9 @@ mod tests {
     /// Minimal exposition-format line parser used to round-trip-validate
     /// the renderer's output: returns (metric name, labels, value).
     fn parse_line(line: &str) -> (String, Vec<(String, String)>, f64) {
+        // Exemplars (` # {trace_id="..."} value`) ride after the sample
+        // value; strip them before parsing the series itself.
+        let line = line.split(" # ").next().unwrap();
         let (head, value) = line.rsplit_once(' ').expect("value separator");
         let value: f64 = value.parse().unwrap_or(f64::INFINITY);
         match head.split_once('{') {
@@ -236,7 +278,67 @@ mod tests {
         assert_eq!(parse_key("mq.lag"), ("mq.lag", vec![]));
         let (n, l) = parse_key("mq.lag{group=saw-0,topic=updates}");
         assert_eq!(n, "mq.lag");
-        assert_eq!(l, vec![("group", "saw-0"), ("topic", "updates")]);
+        assert_eq!(
+            l,
+            vec![
+                ("group".to_string(), "saw-0".to_string()),
+                ("topic".to_string(), "updates".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip() {
+        // A value exercising every escape class: backslash, the key
+        // syntax's own delimiters, a quote, a newline and a brace.
+        let hostile = "a\\b,c=d\"e\nf}";
+        let key = crate::registry::render_key("odd.metric", &[("q", hostile), ("plain", "ok")]);
+        let (name, labels) = parse_key(&key);
+        assert_eq!(name, "odd.metric");
+        assert_eq!(
+            labels,
+            vec![
+                ("plain".to_string(), "ok".to_string()),
+                ("q".to_string(), hostile.to_string())
+            ]
+        );
+        // Plain values stay byte-identical through render_key.
+        assert_eq!(
+            crate::registry::render_key("mq.lag", &[("group", "saw-0")]),
+            "mq.lag{group=saw-0}"
+        );
+        // The exposition output escapes backslash/quote/newline per
+        // OpenMetrics, with the registry-level escapes undone first.
+        let r = Registry::new();
+        r.counter("odd.metric", &[("q", hostile)]).incr();
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("q=\"a\\\\b,c=d\\\"e\\nf}\""), "got: {text}");
+    }
+
+    #[test]
+    fn histogram_buckets_carry_exemplars() {
+        let r = Registry::new();
+        let h = r.histogram("serving.latency", &[("worker", "0")]);
+        h.record_with_exemplar(1_000_000, 0xBEEF);
+        h.record(2_000_000_000);
+        let text = render_prometheus(&r.snapshot());
+        let trace = 0xBEEFu64;
+        let line = text
+            .lines()
+            .find(|l| l.contains("trace_id"))
+            .expect("an exemplar line");
+        assert!(
+            line.contains(&format!(" # {{trace_id=\"{trace}\"}} 0.001")),
+            "exemplar format: {line}"
+        );
+        assert!(
+            line.starts_with("serving_latency_bucket{"),
+            "exemplar rides a bucket line: {line}"
+        );
+        // The un-exemplared observation produces plain bucket lines.
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("serving_latency_bucket{") && !l.contains('#')));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! |-------------------|---------------------------------------------------------------|
 //! | `HELIOS_STATS`    | `1`/`true`/`yes`: print a stats snapshot on exit              |
 //! | `HELIOS_TRACE`    | `1`/`true`/`yes`: enable span tracing from startup            |
+//! | `HELIOS_TRACE_SAMPLE` | head-sampling rate in `[0, 1]` (e.g. `0.01` = 1% of requests traced); setting it also enables tracing from startup |
 //! | `HELIOS_OPS_ADDR` | bind address for the embedded ops HTTP server (e.g. `127.0.0.1:9100`; port `0` for ephemeral) |
 //! | `HELIOS_CACHE_DIR`| base directory for hybrid (memory + disk) serving caches; unset keeps caches purely in memory |
 
@@ -36,6 +37,7 @@ pub mod ops;
 pub mod recorder;
 pub mod registry;
 pub mod reporter;
+pub mod retention;
 pub mod slo;
 pub mod trace;
 
@@ -48,10 +50,12 @@ pub use ops::{DynRoutes, HealthReport, OpsServer, OpsState};
 pub use recorder::{EventKind, FlightEvent, FlightRecorder};
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
 pub use reporter::StatsReporter;
+pub use retention::{RetainedTraces, TraceSummary};
 pub use slo::{SloConfig, SloTracker};
 pub use trace::{
-    clear_spans, drain_spans, set_tracing, span, to_chrome_trace, to_jsonl, tracing_enabled,
-    SpanGuard, SpanRecord, TraceCtx,
+    clear_spans, current_span_cursor, drain_spans, read_spans_since, set_trace_sample_rate,
+    set_tracing, span, to_chrome_trace, to_jsonl, trace_sample_rate, tracing_enabled, SpanGuard,
+    SpanRecord, TraceCtx,
 };
 
 use std::sync::{Arc, OnceLock};
@@ -84,6 +88,17 @@ pub fn stats_env() -> bool {
 /// enabled from startup (`1`/`true`/`yes`, case-insensitive).
 pub fn trace_env() -> bool {
     env_flag("HELIOS_TRACE")
+}
+
+/// The `HELIOS_TRACE_SAMPLE` environment variable: head-sampling rate in
+/// `[0, 1]` (out-of-range values are clamped at use). `Some(rate)` also
+/// implies enabling tracing from startup — setting a sample rate without
+/// tracing would be meaningless. Unset, empty, or unparsable is `None`.
+pub fn trace_sample_env() -> Option<f64> {
+    match std::env::var("HELIOS_TRACE_SAMPLE") {
+        Ok(v) => v.trim().parse::<f64>().ok().filter(|r| r.is_finite()),
+        Err(_) => None,
+    }
 }
 
 /// The `HELIOS_OPS_ADDR` environment variable: bind address for the

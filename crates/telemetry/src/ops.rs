@@ -12,6 +12,9 @@
 //!   summaries (count, p50/p99/max in ms);
 //! * `GET|POST /trace/start`, `/trace/stop` — toggle span tracing at
 //!   runtime; `/trace/stop` returns the drained spans as JSONL;
+//! * `GET /traces` — summaries of tail-retained traces (slow, errored or
+//!   flagged requests); `?id=<trace>` fetches one trace's spans as JSONL,
+//!   `?id=<trace>&format=chrome` as chrome://tracing JSON;
 //! * `GET /recorder` — the flight recorder's ring as JSONL.
 //!
 //! The server exists for scrape-and-poke traffic (one Prometheus scraper,
@@ -21,6 +24,7 @@
 use crate::exposition::render_prometheus;
 use crate::recorder::FlightRecorder;
 use crate::registry::RegistrySnapshot;
+use crate::retention::RetainedTraces;
 use crate::trace;
 use parking_lot::RwLock;
 use std::fmt::Write as _;
@@ -119,6 +123,7 @@ pub struct OpsState {
     snapshot: Box<dyn Fn() -> RegistrySnapshot + Send + Sync>,
     probes: Vec<HealthProbe>,
     recorder: Option<Arc<FlightRecorder>>,
+    retained: Option<Arc<RetainedTraces>>,
     dyn_routes: Option<Arc<DynRoutes>>,
 }
 
@@ -130,6 +135,7 @@ impl OpsState {
             snapshot: Box::new(snapshot),
             probes: Vec::new(),
             recorder: None,
+            retained: None,
             dyn_routes: None,
         }
     }
@@ -143,6 +149,12 @@ impl OpsState {
     /// Attach a flight recorder for `/recorder`.
     pub fn recorder(mut self, recorder: Arc<FlightRecorder>) -> OpsState {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attach a retained-trace store for `/traces`.
+    pub fn retained_traces(mut self, retained: Arc<RetainedTraces>) -> OpsState {
+        self.retained = Some(retained);
         self
     }
 
@@ -342,7 +354,7 @@ fn status_line(code: u16) -> String {
 }
 
 fn route(method: &str, path: &str, query: &str, state: &OpsState) -> (String, String, String) {
-    let (status, content_type, body) = route_builtin(method, path, state);
+    let (status, content_type, body) = route_builtin(method, path, query, state);
     if status == "404 Not Found" {
         if let Some(routes) = &state.dyn_routes {
             if let Some((code, ct, body)) = routes.dispatch(path, method, query) {
@@ -356,6 +368,7 @@ fn route(method: &str, path: &str, query: &str, state: &OpsState) -> (String, St
 fn route_builtin(
     method: &str,
     path: &str,
+    query: &str,
     state: &OpsState,
 ) -> (&'static str, &'static str, String) {
     if method != "GET" && method != "POST" {
@@ -397,6 +410,46 @@ fn route_builtin(
             let spans = trace::drain_spans();
             ("200 OK", "application/x-ndjson", trace::to_jsonl(&spans))
         }
+        "/traces" => match &state.retained {
+            Some(retained) => {
+                // Fold in anything still sitting in the thread journals so
+                // the listing reflects the latest completed requests.
+                retained.sweep();
+                match query.split('&').find_map(|p| p.strip_prefix("id=")) {
+                    None => ("200 OK", "application/json", retained.list_json()),
+                    Some(raw) => match raw.parse::<u64>() {
+                        Err(_) => (
+                            "400 Bad Request",
+                            "text/plain; charset=utf-8",
+                            "id must be a decimal trace id\n".into(),
+                        ),
+                        Ok(id) => match retained.get(id) {
+                            None => (
+                                "404 Not Found",
+                                "text/plain; charset=utf-8",
+                                "no such retained trace\n".into(),
+                            ),
+                            Some(spans) => {
+                                if query.split('&').any(|p| p == "format=chrome") {
+                                    (
+                                        "200 OK",
+                                        "application/json",
+                                        trace::to_chrome_trace(&spans),
+                                    )
+                                } else {
+                                    ("200 OK", "application/x-ndjson", trace::to_jsonl(&spans))
+                                }
+                            }
+                        },
+                    },
+                }
+            }
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no retained trace store attached\n".into(),
+            ),
+        },
         "/recorder" => match &state.recorder {
             Some(r) => ("200 OK", "application/x-ndjson", r.to_jsonl()),
             None => (
@@ -408,7 +461,8 @@ fn route_builtin(
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "unknown path; try /metrics /healthz /vars /trace/start /trace/stop /recorder\n".into(),
+            "unknown path; try /metrics /healthz /vars /trace/start /trace/stop /traces /recorder\n"
+                .into(),
         ),
     }
 }
@@ -526,6 +580,53 @@ mod tests {
         let (_, body) = http_get(server.addr(), "/vars");
         assert!(body.contains("\"counters\""), "{body}");
         assert_eq!(routes.paths().len(), 2);
+    }
+
+    #[test]
+    fn traces_endpoint_lists_and_fetches_retained_traces() {
+        // Holds the trace gate: the endpoint sweeps the process-global
+        // span journals, which would race the trace module's own tests.
+        let _g = crate::trace::test_gate();
+        let (_registry, _healthy, state) = test_state();
+        let retained = Arc::new(RetainedTraces::new(8, 1_000_000));
+        retained.ingest(vec![
+            crate::SpanRecord {
+                trace: 42,
+                span: 420,
+                parent: 0,
+                name: "serve",
+                start_ns: 1_000,
+                end_ns: 3_001_000,
+                thread: "sew-0-r0".into(),
+            },
+            crate::SpanRecord {
+                trace: 42,
+                span: 421,
+                parent: 420,
+                name: "serve.hop_expand",
+                start_ns: 2_000,
+                end_ns: 900_000,
+                thread: "sew-0-r0".into(),
+            },
+        ]);
+        let server =
+            OpsServer::start("127.0.0.1:0", state.retained_traces(Arc::clone(&retained))).unwrap();
+        let (status, body) = http_get(server.addr(), "/traces");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"trace\":42"), "{body}");
+        assert!(body.contains("\"reasons\":[\"slow\"]"), "{body}");
+        let (status, body) = http_get(server.addr(), "/traces?id=42");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"name\":\"serve.hop_expand\""), "{body}");
+        assert_eq!(body.lines().count(), 2, "one JSONL line per span");
+        let (status, body) = http_get(server.addr(), "/traces?id=42&format=chrome");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.starts_with('[') && body.trim_end().ends_with(']'));
+        assert!(body.contains("\"ph\":\"X\""), "{body}");
+        let (status, _) = http_get(server.addr(), "/traces?id=999");
+        assert!(status.contains("404"), "{status}");
+        let (status, _) = http_get(server.addr(), "/traces?id=bogus");
+        assert!(status.contains("400"), "{status}");
     }
 
     #[test]

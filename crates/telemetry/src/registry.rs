@@ -83,7 +83,11 @@ impl Gauge {
 }
 
 /// Render `name` plus sorted labels into the registry key form
-/// `name{k=v,k2=v2}` (bare `name` when there are no labels).
+/// `name{k=v,k2=v2}` (bare `name` when there are no labels). Label
+/// values containing the key syntax's own delimiters (`,`, `=`) or a
+/// backslash are escaped with a backslash so
+/// [`crate::exposition::parse_key`] can recover the exact value; plain
+/// values render byte-identical to their input.
 pub fn render_key(name: &str, labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return name.to_string();
@@ -99,7 +103,14 @@ pub fn render_key(name: &str, labels: &[(&str, &str)]) -> String {
         }
         out.push_str(k);
         out.push('=');
-        out.push_str(v);
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                ',' => out.push_str("\\,"),
+                '=' => out.push_str("\\="),
+                c => out.push(c),
+            }
+        }
     }
     out.push('}');
     out
@@ -353,6 +364,19 @@ mod tests {
         assert_eq!(
             render_key("mq.lag", &[("topic", "updates"), ("group", "saw-0")]),
             "mq.lag{group=saw-0,topic=updates}"
+        );
+    }
+
+    #[test]
+    fn key_rendering_escapes_delimiters_in_values() {
+        assert_eq!(
+            render_key("x.y", &[("q", "a,b=c\\d")]),
+            "x.y{q=a\\,b\\=c\\\\d}"
+        );
+        // Values without delimiters stay byte-identical.
+        assert_eq!(
+            render_key("x.y", &[("q", "plain-value_9\"z\n")]),
+            "x.y{q=plain-value_9\"z\n}"
         );
     }
 

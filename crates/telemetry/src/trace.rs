@@ -31,6 +31,9 @@ const JOURNAL_CAP: usize = 16 * 1024;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+// Head-sampling rate as f64 bits; 1.0 keeps the pre-sampling behaviour
+// (every root is traced when tracing is enabled).
+static SAMPLE_BITS: AtomicU64 = AtomicU64::new(0x3FF0_0000_0000_0000); // 1.0f64
 
 /// Turn span recording on or off process-wide.
 pub fn set_tracing(on: bool) {
@@ -41,6 +44,59 @@ pub fn set_tracing(on: bool) {
 #[inline]
 pub fn tracing_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Set the probabilistic head-sampling rate: the fraction of new traces
+/// ([`TraceCtx::root`]) that are actually sampled when tracing is
+/// enabled. Clamped to `[0, 1]`; non-finite input falls back to `1.0`.
+/// The per-trace decision is made once at the root and carried in the
+/// [`TraceCtx`], so a trace is either recorded at every stage or at none.
+pub fn set_trace_sample_rate(rate: f64) {
+    let rate = if rate.is_finite() {
+        rate.clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    SAMPLE_BITS.store(rate.to_bits(), Ordering::Relaxed);
+}
+
+/// The current head-sampling rate (fraction of roots sampled).
+pub fn trace_sample_rate() -> f64 {
+    f64::from_bits(SAMPLE_BITS.load(Ordering::Relaxed))
+}
+
+thread_local! {
+    // Per-thread splitmix64 state for the sampling coin flip — no locks,
+    // no external RNG dependency on the serve hot path.
+    static SAMPLE_RNG: std::cell::Cell<u64> = std::cell::Cell::new({
+        // Seed from the global id counter plus the thread-local's address
+        // so threads start decorrelated.
+        let addr = &SAMPLE_RNG as *const _ as u64;
+        NEXT_ID.fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ addr
+    });
+}
+
+#[inline]
+fn sample_decision() -> bool {
+    let rate = trace_sample_rate();
+    if rate >= 1.0 {
+        return true;
+    }
+    if rate <= 0.0 {
+        return false;
+    }
+    let x = SAMPLE_RNG.with(|s| {
+        // splitmix64 step.
+        let mut z = s.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        s.set(z);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    });
+    // Top 53 bits → uniform in [0, 1).
+    ((x >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < rate
 }
 
 fn epoch() -> Instant {
@@ -81,11 +137,14 @@ impl TraceCtx {
     }
 
     /// Start a new trace — an active root context when tracing is
-    /// enabled, [`TraceCtx::NONE`] otherwise (so callers can stamp
-    /// unconditionally).
+    /// enabled *and* the head-sampling coin flip
+    /// ([`set_trace_sample_rate`]) selects this trace,
+    /// [`TraceCtx::NONE`] otherwise (so callers can stamp
+    /// unconditionally). The decision is made once here and then carried
+    /// in the context across every queue/thread boundary.
     #[inline]
     pub fn root() -> TraceCtx {
-        if tracing_enabled() {
+        if tracing_enabled() && sample_decision() {
             TraceCtx {
                 trace: next_id(),
                 parent: 0,
@@ -137,7 +196,12 @@ pub struct SpanRecord {
     pub thread: String,
 }
 
-type Journal = Arc<Mutex<VecDeque<SpanRecord>>>;
+// Journal entries carry a process-wide record sequence number so
+// non-destructive readers ([`read_spans_since`]) can window their reads
+// without clearing the ring under destructive ones ([`drain_spans`]).
+type Journal = Arc<Mutex<VecDeque<(u64, SpanRecord)>>>;
+
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
 
 fn journals() -> &'static Mutex<Vec<Journal>> {
     static JOURNALS: OnceLock<Mutex<Vec<Journal>>> = OnceLock::new();
@@ -153,12 +217,13 @@ thread_local! {
 }
 
 fn record(rec: SpanRecord) {
+    let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
     LOCAL_JOURNAL.with(|j| {
         let mut j = j.lock();
         if j.len() >= JOURNAL_CAP {
             j.pop_front();
         }
-        j.push_back(rec);
+        j.push_back((seq, rec));
     });
 }
 
@@ -233,10 +298,42 @@ impl Drop for SpanGuard {
 pub fn drain_spans() -> Vec<SpanRecord> {
     let mut out = Vec::new();
     for j in journals().lock().iter() {
-        out.extend(j.lock().drain(..));
+        out.extend(j.lock().drain(..).map(|(_, r)| r));
     }
     out.sort_by_key(|s| (s.trace, s.start_ns, s.span));
     out
+}
+
+/// Copy every span recorded at-or-after `cursor` (and still retained)
+/// out of the journals *without* clearing them, returning the spans plus
+/// the cursor for the next read. Each recorded span is returned at most
+/// once per cursor chain, so several independent consumers (e.g. one
+/// retained-trace store per deployment, plus tests draining) can read
+/// the same process-global journals without stealing from each other.
+/// Start from cursor `0` (or [`current_span_cursor`]) and feed the
+/// returned cursor back in.
+pub fn read_spans_since(cursor: u64) -> (Vec<SpanRecord>, u64) {
+    // Window `[cursor, next)`: spans whose sequence number lands at or
+    // past `next` while we scan are left for the next read, so a racing
+    // recorder produces no duplicates.
+    let next = NEXT_SEQ.load(Ordering::Relaxed);
+    let mut out = Vec::new();
+    for j in journals().lock().iter() {
+        out.extend(
+            j.lock()
+                .iter()
+                .filter(|(s, _)| *s >= cursor && *s < next)
+                .map(|(_, r)| r.clone()),
+        );
+    }
+    out.sort_by_key(|s| (s.trace, s.start_ns, s.span));
+    (out, next)
+}
+
+/// The sequence number the next recorded span will receive; a starting
+/// cursor for [`read_spans_since`] that skips everything already journaled.
+pub fn current_span_cursor() -> u64 {
+    NEXT_SEQ.load(Ordering::Relaxed)
 }
 
 /// Clear every thread journal without collecting.
@@ -246,7 +343,7 @@ pub fn clear_spans() {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -327,14 +424,20 @@ pub fn to_chrome_trace(spans: &[SpanRecord]) -> String {
     out
 }
 
+// Tracing state is process-global; tests that toggle it (here and in
+// sibling modules) serialise on this gate.
+#[cfg(test)]
+pub(crate) fn test_gate() -> parking_lot::MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(())).lock()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // Tracing state is process-global; serialise the tests that toggle it.
     fn lock() -> parking_lot::MutexGuard<'static, ()> {
-        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
-        GATE.get_or_init(|| Mutex::new(())).lock()
+        test_gate()
     }
 
     #[test]
@@ -414,6 +517,186 @@ mod tests {
         set_tracing(false);
         let spans = drain_spans();
         assert_eq!(spans.len(), JOURNAL_CAP);
+    }
+
+    #[test]
+    fn head_sampling_gates_roots() {
+        let _g = lock();
+        set_tracing(true);
+        clear_spans();
+        set_trace_sample_rate(0.0);
+        for _ in 0..100 {
+            assert!(!TraceCtx::root().is_active(), "rate 0 samples nothing");
+        }
+        set_trace_sample_rate(1.0);
+        assert!(TraceCtx::root().is_active(), "rate 1 samples everything");
+        // A fractional rate selects roughly that fraction of roots.
+        set_trace_sample_rate(0.25);
+        let n = 4000;
+        let sampled = (0..n).filter(|_| TraceCtx::root().is_active()).count();
+        assert!(
+            (n / 8..n / 2).contains(&sampled),
+            "0.25 sampling picked {sampled}/{n}"
+        );
+        set_trace_sample_rate(1.0);
+        set_tracing(false);
+        clear_spans();
+    }
+
+    #[test]
+    fn sample_rate_is_clamped() {
+        let _g = lock();
+        set_trace_sample_rate(7.5);
+        assert_eq!(trace_sample_rate(), 1.0);
+        set_trace_sample_rate(-3.0);
+        assert_eq!(trace_sample_rate(), 0.0);
+        set_trace_sample_rate(f64::NAN);
+        assert_eq!(trace_sample_rate(), 1.0);
+        set_trace_sample_rate(1.0);
+    }
+
+    #[test]
+    fn journal_wraparound_evicts_oldest_first() {
+        let _g = lock();
+        set_tracing(true);
+        clear_spans();
+        let ctx = TraceCtx::root();
+        let mut ids = Vec::with_capacity(JOURNAL_CAP + 256);
+        for _ in 0..(JOURNAL_CAP + 256) {
+            let s = span("tick", ctx);
+            ids.push(s.id());
+        }
+        set_tracing(false);
+        let spans = drain_spans();
+        // The survivors must be exactly the newest CAP records (ignore any
+        // spans other threads in this binary may have recorded meanwhile).
+        let drained: Vec<u64> = {
+            let mut v: Vec<u64> = spans
+                .iter()
+                .filter(|s| s.name == "tick")
+                .map(|s| s.span)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(drained.len(), JOURNAL_CAP, "ring keeps exactly CAP spans");
+        let expected: Vec<u64> = {
+            let mut v = ids[ids.len() - JOURNAL_CAP..].to_vec();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(drained, expected, "oldest spans are evicted first");
+    }
+
+    #[test]
+    fn drain_races_concurrent_recording_without_corruption() {
+        let _g = lock();
+        set_tracing(true);
+        set_trace_sample_rate(1.0);
+        clear_spans();
+        const WRITERS: usize = 4;
+        const PER_WRITER: usize = 1500;
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let collected = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let done = &done;
+                scope.spawn(move || {
+                    for _ in 0..PER_WRITER {
+                        let root = TraceCtx::root();
+                        let p = span("race.parent", root);
+                        let c = span("race.child", p.ctx());
+                        drop(c);
+                        drop(p);
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                    let _ = w;
+                });
+            }
+            // Drain concurrently while the writers hammer their journals.
+            while done.load(Ordering::Relaxed) < WRITERS {
+                collected.lock().extend(drain_spans());
+                std::thread::yield_now();
+            }
+        });
+        set_tracing(false);
+        let mut all = collected.into_inner();
+        all.extend(drain_spans());
+        // Other tests in this binary may record spans concurrently; judge
+        // only the spans this test emitted.
+        all.retain(|s| s.name.starts_with("race."));
+        // Every record must be internally consistent; ids must be unique.
+        let mut seen = std::collections::HashSet::new();
+        let mut parents = std::collections::HashMap::new();
+        for s in &all {
+            assert!(seen.insert(s.span), "duplicate span id {}", s.span);
+            assert_ne!(s.trace, 0, "recorded spans carry a trace id");
+            if s.name == "race.parent" {
+                parents.insert(s.span, s.trace);
+            }
+        }
+        let mut linked = 0usize;
+        for s in &all {
+            if s.name == "race.child" {
+                assert_ne!(s.parent, 0, "children never lose their parent link");
+                // A child's parent, whenever drained, is in the same trace:
+                // no cross-trace corruption from concurrent drains.
+                if let Some(&t) = parents.get(&s.parent) {
+                    assert_eq!(t, s.trace, "child trace matches its parent's");
+                    linked += 1;
+                }
+            }
+        }
+        assert_eq!(
+            all.len(),
+            WRITERS * PER_WRITER * 2,
+            "no spans lost while draining concurrently"
+        );
+        assert!(linked > 0, "at least some parent/child pairs observed");
+    }
+
+    #[test]
+    fn cursor_reads_are_non_destructive_and_windowed() {
+        let _g = lock();
+        set_tracing(true);
+        set_trace_sample_rate(1.0);
+        clear_spans();
+        let ctx = TraceCtx::root();
+        let before = current_span_cursor();
+        drop(span("cursor.a", ctx));
+        let (first, mid) = read_spans_since(before);
+        assert_eq!(
+            first.iter().filter(|s| s.name == "cursor.a").count(),
+            1,
+            "window covers the new span"
+        );
+        drop(span("cursor.b", ctx));
+        // Advancing from the returned cursor sees only what came after…
+        let (second, _) = read_spans_since(mid);
+        assert!(second.iter().any(|s| s.name == "cursor.b"));
+        assert!(
+            !second.iter().any(|s| s.name == "cursor.a"),
+            "consumed window is not re-read"
+        );
+        // …while an independent consumer reading from its own cursor still
+        // sees everything: nothing was stolen.
+        let (replay, _) = read_spans_since(before);
+        for name in ["cursor.a", "cursor.b"] {
+            assert!(
+                replay.iter().any(|s| s.name == name),
+                "{name} still journaled for other consumers"
+            );
+        }
+        // The destructive drain still works on top.
+        let drained = drain_spans();
+        assert!(drained.iter().any(|s| s.name == "cursor.a"));
+        let (after_drain, _) = read_spans_since(before);
+        assert!(
+            !after_drain.iter().any(|s| s.name.starts_with("cursor.")),
+            "drain clears the journals for cursor readers too"
+        );
+        set_tracing(false);
+        clear_spans();
     }
 
     #[test]

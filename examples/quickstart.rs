@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn main() {
     // Observability flags: HELIOS_STATS=1 prints a telemetry snapshot on
-    // exit; HELIOS_TRACE=1 records request/update spans from startup.
+    // exit; HELIOS_TRACE=1 records request/update spans from startup;
+    // HELIOS_TRACE_SAMPLE=0.01 (read at deployment start) head-samples 1%
+    // of requests and tail-retains the slow/errored ones behind /traces.
     let show_stats = helios::telemetry::stats_env();
     if helios::telemetry::trace_env() {
         helios::telemetry::set_tracing(true);
@@ -127,6 +129,26 @@ fn main() {
         print!("{}", helios.telemetry_snapshot().render());
     }
     if helios::telemetry::tracing_enabled() {
+        // Tail retention: anything slower than the configured threshold
+        // (or flagged errored/timed-out) stays inspectable — this is what
+        // GET /traces serves.
+        let retained = helios.retained_traces();
+        retained.sweep();
+        println!(
+            "\n--- retained traces ({} kept, {} interesting) ---",
+            retained.len(),
+            retained.interesting()
+        );
+        for t in retained.list().into_iter().take(5) {
+            println!(
+                "  trace {:#x}: {} ({} spans, {:.3} ms) {:?}",
+                t.trace,
+                t.root_name,
+                t.spans,
+                t.duration_ns as f64 / 1e6,
+                t.reasons
+            );
+        }
         println!("\n--- request/update spans (HELIOS_TRACE=1) ---");
         print!(
             "{}",
