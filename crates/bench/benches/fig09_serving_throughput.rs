@@ -2,24 +2,52 @@
 //! database baselines, TopK and Random queries, across request
 //! concurrency. Paper result: up to 184× (TopK) / 47× (Random) over the
 //! baselines, with Helios flat across strategies.
+//!
+//! The multicore extension re-runs Helios with clients and serve lanes
+//! pinned across a cores sweep (queued path, so the lane pool is what
+//! scales), reporting QPS per core count.
+//!
+//! `HELIOS_BENCH_QUICK=1` shrinks scales, windows, and the preset matrix
+//! to a CI smoke.
 
 use helios_bench::{
-    drive, percent_seeds, setup_baseline, setup_helios, tigergraph_like, BenchOutcome,
+    drive, drive_pinned, percent_seeds, setup_baseline, setup_helios, tigergraph_like,
+    BenchOutcome,
 };
 use helios_core::HeliosConfig;
 use helios_datagen::Preset;
 use helios_query::SamplingStrategy;
+use helios_types::affinity::available_cores;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
 
-const SCALE: f64 = 0.03;
-const WINDOW: Duration = Duration::from_secs(2);
-const CONCURRENCY: [usize; 2] = [8, 32];
+fn quick() -> bool {
+    helios_telemetry::env_flag("HELIOS_BENCH_QUICK")
+}
+
+fn scale() -> f64 {
+    if quick() {
+        0.015
+    } else {
+        0.03
+    }
+}
+
+fn window() -> Duration {
+    Duration::from_millis(if quick() { 300 } else { 2000 })
+}
 
 fn main() {
+    let scale = scale();
+    let concurrency: &[usize] = if quick() { &[8] } else { &[8, 32] };
+    let presets: &[Preset] = if quick() {
+        &[Preset::Inter]
+    } else {
+        &[Preset::Bi, Preset::Inter, Preset::Fin]
+    };
     let mut t = helios_metrics::Table::new(
-        format!("Fig. 9: serving throughput (QPS), scale {SCALE}"),
+        format!("Fig. 9: serving throughput (QPS), scale {scale}"),
         &[
             "Dataset",
             "Strategy",
@@ -29,20 +57,20 @@ fn main() {
             "speedup",
         ],
     );
-    for preset in [Preset::Bi, Preset::Inter, Preset::Fin] {
+    for &preset in presets {
         for strategy in [SamplingStrategy::TopK, SamplingStrategy::Random] {
             // Paired setups over identical event streams.
-            let baseline = setup_baseline(preset, SCALE, strategy, false, tigergraph_like(4), 512);
+            let baseline = setup_baseline(preset, scale, strategy, false, tigergraph_like(4), 512);
             let helios = setup_helios(
                 preset,
-                SCALE,
+                scale,
                 strategy,
                 false,
                 HeliosConfig::with_workers(2, 2),
             );
             let bseeds = percent_seeds(&baseline.dataset, 1.0);
-            for conc in CONCURRENCY {
-                let base: BenchOutcome = drive(conc, WINDOW, |c, seq| {
+            for &conc in concurrency {
+                let base: BenchOutcome = drive(conc, window(), |c, seq| {
                     let mut rng = StdRng::seed_from_u64(c as u64 * 1_000_000 + seq);
                     let seed = bseeds[(seq as usize * 31 + c * 7) % bseeds.len()];
                     let _ = baseline
@@ -50,7 +78,7 @@ fn main() {
                         .execute(seed, &baseline.query, &mut rng)
                         .unwrap();
                 });
-                let hel: BenchOutcome = drive(conc, WINDOW, |c, seq| {
+                let hel: BenchOutcome = drive(conc, window(), |c, seq| {
                     let seed = helios.seeds[(seq as usize * 31 + c * 7) % helios.seeds.len()];
                     let _ = helios.deployment.serve(seed).unwrap();
                 });
@@ -67,5 +95,42 @@ fn main() {
         }
     }
     t.print();
+
+    // Multicore extension: Helios-only cores sweep on the queued path,
+    // lanes and clients pinned, threads tracking cores.
+    let cores = available_cores();
+    let mut m = helios_metrics::Table::new(
+        format!(
+            "Fig. 9 (multicore): Helios queued serving vs cores (INTER Random, pinned, host has {cores} core(s))"
+        ),
+        &["cores", "threads", "Conc.", "Helios QPS", "P99 (ms)"],
+    );
+    let core_sweep: &[usize] = if quick() { &[1, 2] } else { &[1, 2, 4, 8] };
+    for &n in core_sweep {
+        let mut config = HeliosConfig::with_workers(2, 1);
+        config.serving_threads = n;
+        config.pin_serving_threads = true;
+        let helios = setup_helios(
+            Preset::Inter,
+            scale,
+            SamplingStrategy::Random,
+            false,
+            config,
+        );
+        let conc = if quick() { 8 } else { 32 };
+        let out = drive_pinned(conc, n.min(cores.max(1)), window(), |c, seq| {
+            let seed = helios.seeds[(seq as usize * 31 + c * 7) % helios.seeds.len()];
+            let _ = helios.deployment.serve_queued(seed).unwrap();
+        });
+        m.row(&[
+            n.min(cores.max(1)).to_string(),
+            n.to_string(),
+            conc.to_string(),
+            format!("{:.0}", out.qps),
+            format!("{:.3}", out.p99_ms),
+        ]);
+        helios.shutdown();
+    }
+    m.print();
     println!("paper: Helios up to 184x (TopK) and 47x (Random) higher QPS; Helios is strategy-insensitive");
 }

@@ -29,6 +29,31 @@ pub fn drive<F>(concurrency: usize, window: Duration, op: F) -> BenchOutcome
 where
     F: Fn(usize, u64) + Send + Sync,
 {
+    drive_inner(concurrency, None, window, op)
+}
+
+/// Like [`drive`], but pins client `c` to core `c % cores` before the
+/// measurement loop — the multicore serving sweeps use this so client
+/// threads (and, transitively, the lane threads they saturate) spread
+/// over a known core set instead of wherever the scheduler lands them.
+/// Pinning is best effort: on non-Linux hosts or restricted cpusets the
+/// clients just run unpinned.
+pub fn drive_pinned<F>(concurrency: usize, cores: usize, window: Duration, op: F) -> BenchOutcome
+where
+    F: Fn(usize, u64) + Send + Sync,
+{
+    drive_inner(concurrency, Some(cores), window, op)
+}
+
+fn drive_inner<F>(
+    concurrency: usize,
+    pin_cores: Option<usize>,
+    window: Duration,
+    op: F,
+) -> BenchOutcome
+where
+    F: Fn(usize, u64) + Send + Sync,
+{
     let op = &op;
     let hist = Histogram::new();
     let stop = AtomicBool::new(false);
@@ -39,6 +64,9 @@ where
             let hist = &hist;
             let stop = &stop;
             handles.push(scope.spawn(move || {
+                if let Some(cores) = pin_cores {
+                    let _ = helios_types::affinity::pin_to_core(c % cores.max(1));
+                }
                 let mut seq = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let t0 = Instant::now();
@@ -180,6 +208,16 @@ mod tests {
         assert!(out.qps > 10.0);
         assert!(out.avg_ms >= 1.0);
         assert!(out.p99_ms >= out.avg_ms * 0.5);
+    }
+
+    #[test]
+    fn drive_pinned_works_like_drive() {
+        // Pinning is best effort, so this must pass on any host.
+        let out = drive_pinned(2, helios_types::affinity::available_cores(), Duration::from_millis(50), |_c, _s| {
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        assert!(out.count > 5);
+        assert!(out.avg_ms >= 1.0);
     }
 
     #[test]

@@ -1011,6 +1011,22 @@ impl HeliosDeployment {
         result
     }
 
+    /// Serve a sampling query straight to canonical response bytes:
+    /// route to the owning worker and let it assemble and encode from its
+    /// reusable arena — the owned [`SampledSubgraph`] is never
+    /// materialized. `out` is cleared and reused, so a front-end thread
+    /// serving a stream of requests reaches a zero-allocation steady
+    /// state.
+    pub fn serve_encoded(&self, seed: VertexId, out: &mut Vec<u8>) -> Result<()> {
+        let router_span = span("router.serve", TraceCtx::root());
+        let worker = self.route_timed(seed, router_span.ctx());
+        let result = worker.serve_encoded_traced(seed, router_span.ctx(), out);
+        if result.is_err() {
+            self.retained.flag(router_span.ctx().trace, "error");
+        }
+        result
+    }
+
     /// Serve through the owning worker's bounded serving-thread pool
     /// (§4.3): queueing delay becomes visible under load, which is what
     /// the scalability experiments measure.

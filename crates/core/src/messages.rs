@@ -122,6 +122,26 @@ impl SampleEntryLite {
         }
         Ok(out)
     }
+
+    /// Non-allocating variant of [`SampleEntryLite::decode_neighbors`]:
+    /// validate the length header once, then yield neighbor ids straight
+    /// off the raw bytes. The zero-copy serve path streams these into its
+    /// response arena without ever building a `Vec<VertexId>` per parent.
+    pub fn neighbors_iter(raw: &[u8]) -> Result<impl Iterator<Item = VertexId> + '_> {
+        let mut buf = raw;
+        let n = u32::decode(&mut buf)? as usize;
+        if buf.remaining() < n * Self::WIRE_BYTES {
+            return Err(HeliosError::Codec(format!(
+                "sample list truncated: {n} entries, {} bytes left",
+                buf.remaining()
+            )));
+        }
+        let body = &raw[raw.len() - buf.remaining()..];
+        Ok(body
+            .chunks_exact(Self::WIRE_BYTES)
+            .take(n)
+            .map(|c| VertexId(u64::from_le_bytes(c[..8].try_into().unwrap()))))
+    }
 }
 
 /// Subscription-management messages between sampling workers (§5.3).
@@ -529,6 +549,11 @@ mod tests {
             .is_empty());
         // Truncated payload is rejected, not mis-read.
         assert!(SampleEntryLite::decode_neighbors(&raw[..raw.len() - 1]).is_err());
+        // The non-allocating iterator agrees with both.
+        let streamed: Vec<VertexId> = SampleEntryLite::neighbors_iter(&raw).unwrap().collect();
+        assert_eq!(streamed, full);
+        assert_eq!(SampleEntryLite::neighbors_iter(&empty).unwrap().count(), 0);
+        assert!(SampleEntryLite::neighbors_iter(&raw[..raw.len() - 1]).is_err());
     }
 
     #[test]

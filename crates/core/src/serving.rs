@@ -20,16 +20,17 @@
 use crate::config::HeliosConfig;
 use crate::messages::{now_nanos, SampleEntryLite, SampleMsg};
 use crate::sampler::topics;
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 use helios_kvstore::{KvConfig, KvEvent, KvStats, KvStore, WriteOp};
-use helios_metrics::Histogram;
+use helios_metrics::{Histogram, StripedHistogram};
 use helios_mq::Broker;
-use helios_query::{HopSamples, KHopQuery, SampledSubgraph};
+use helios_query::{KHopQuery, SampledSubgraph, SubgraphArena, SubgraphView};
 use helios_telemetry::{span, Counter, EventKind, FlightRecorder, Registry, TraceCtx};
 use helios_types::{
-    Decode, Encode, PartitionId, QueryHopId, Result, ServingWorkerId, Timestamp, VertexId,
+    Decode, Encode, FxHashSet, PartitionId, QueryHopId, Result, ServingWorkerId, Timestamp,
+    VertexId,
 };
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -42,6 +43,17 @@ fn sample_key(hop: QueryHopId, v: VertexId) -> [u8; 10] {
 
 fn feature_key(v: VertexId) -> [u8; 8] {
     v.raw().to_be_bytes()
+}
+
+/// Seed-affine lane choice (splitmix64 finalizer): spreads adjacent ids
+/// across lanes while keeping the mapping stable, so concurrent requests
+/// for one hot seed always land on the same lane — the single-flight
+/// coalescing table is lane-local and needs no cross-lane coordination.
+fn lane_for(seed: VertexId, lanes: usize) -> usize {
+    let mut x = seed.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((x ^ (x >> 31)) % lanes.max(1) as u64) as usize
 }
 
 /// A running serving worker. Its latency histograms and hit/served
@@ -57,11 +69,15 @@ pub struct ServingWorker {
     ingestion_latency: Arc<Histogram>,
     /// Per-stage serve-path attribution (`serving.stage_latency{stage=…}`):
     /// `cache_lookup + hop_expand + feature_gather + encode` covers the
-    /// whole of `serve_traced`, so these sum to `serving.latency`.
-    stage_cache_lookup: Arc<Histogram>,
-    stage_hop_expand: Arc<Histogram>,
-    stage_feature_gather: Arc<Histogram>,
-    stage_encode: Arc<Histogram>,
+    /// whole of `serve_traced`, so these sum to `serving.latency`. Striped
+    /// per serve lane (`lane=<i>` label; the last stripe belongs to direct
+    /// `serve` callers) so N lanes recording four stage observations per
+    /// request never contend on shared bucket counters; reads fold the
+    /// stripes back together.
+    stage_cache_lookup: StripedHistogram,
+    stage_hop_expand: StripedHistogram,
+    stage_feature_gather: StripedHistogram,
+    stage_encode: StripedHistogram,
     /// Queued-path extra: enqueue → pickup by a serving thread.
     queue_wait: Arc<Histogram>,
     /// Update-path attribution: sample-queue dwell (produce → consume
@@ -75,22 +91,55 @@ pub struct ServingWorker {
     sample_misses: Arc<Counter>,
     feature_hits: Arc<Counter>,
     feature_misses: Arc<Counter>,
+    /// Queued requests answered from another request's expansion
+    /// (single-flight coalescing), and requests that found a full waiter
+    /// list and degraded to independent serves.
+    coalesce_hits: Arc<Counter>,
+    coalesce_overflow: Arc<Counter>,
+    /// Bumped after every cache mutation batch (and TTL expiry). Requests
+    /// stamp the epoch at enqueue; only requests that observed the same
+    /// epoch may share one expansion, so coalescing never papers over a
+    /// cache update that landed between two enqueues.
+    apply_epoch: AtomicU64,
+    coalesce_max_waiters: usize,
     stop: Arc<AtomicBool>,
     updaters: parking_lot::Mutex<Vec<JoinHandle<()>>>,
-    /// Dropped (set to `None`) at shutdown so serving threads exit their
-    /// recv loops and the `Arc` cycle through them is broken.
-    serve_tx: parking_lot::RwLock<Option<crossbeam::channel::Sender<ServeRequest>>>,
+    /// One channel per serve lane; dropped (set to `None`) at shutdown so
+    /// lane threads exit their recv loops and the `Arc` cycle through
+    /// them is broken.
+    serve_lanes: parking_lot::RwLock<Option<Vec<crossbeam::channel::Sender<ServeRequest>>>>,
     serve_threads: parking_lot::Mutex<Vec<JoinHandle<()>>>,
 }
 
-type ServeRequest = (
-    VertexId,
-    TraceCtx,
-    // Enqueue instant: lets the picking serving thread attribute the
-    // queue wait (`serving.queue_wait`).
-    std::time::Instant,
-    crossbeam::channel::Sender<Result<SampledSubgraph>>,
-);
+/// One queued serve request, in flight from `serve_queued` to a lane.
+struct ServeRequest {
+    seed: VertexId,
+    trace: TraceCtx,
+    /// Enqueue instant: lets the picking lane attribute the queue wait
+    /// (`serving.queue_wait`).
+    enqueued: std::time::Instant,
+    /// Cache epoch observed at enqueue (coalescing eligibility).
+    epoch: u64,
+    /// Per-request reply channel. The caller holds only the receiver and
+    /// this is the only sender, so a lane that dies mid-request
+    /// disconnects the caller instead of wedging it.
+    reply: crossbeam::channel::Sender<Result<SampledSubgraph>>,
+}
+
+/// Per-lane (or per-caller-thread) reusable serve state: frontier double
+/// buffer, key/value batch buffers, the dedup set, and the response
+/// arena. At steady state a serve allocates nothing — every buffer is
+/// cleared, not dropped, between requests.
+#[derive(Default)]
+struct ServeScratch {
+    arena: SubgraphArena,
+    frontier: Vec<VertexId>,
+    keys10: Vec<[u8; 10]>,
+    keys8: Vec<[u8; 8]>,
+    values: Vec<Option<Bytes>>,
+    dedup: FxHashSet<VertexId>,
+    vertices: Vec<VertexId>,
+}
 
 impl ServingWorker {
     /// Start replica `replica` of serving worker `id`: opens its cache
@@ -140,7 +189,16 @@ impl ServingWorker {
                 ("stage", stage),
             ]
         };
-        let (serve_tx, serve_rx) = crossbeam::channel::unbounded::<ServeRequest>();
+        // One channel per serve lane (seed-affine dispatch); stripe count
+        // is lanes + 1 so direct `serve` callers get their own stripe.
+        let lanes = config.serving_threads;
+        let mut lane_txs = Vec::with_capacity(lanes);
+        let mut lane_rxs = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            let (tx, rx) = crossbeam::channel::unbounded::<ServeRequest>();
+            lane_txs.push(tx);
+            lane_rxs.push(rx);
+        }
         let worker = Arc::new(ServingWorker {
             id,
             replica,
@@ -149,13 +207,26 @@ impl ServingWorker {
             features: KvStore::open(kv_config("features"))?,
             serve_latency: registry.histogram("serving.latency", labels),
             ingestion_latency: registry.histogram("serving.ingestion_latency", labels),
-            stage_cache_lookup: registry
-                .histogram("serving.stage_latency", &stage_labels("cache_lookup")),
-            stage_hop_expand: registry
-                .histogram("serving.stage_latency", &stage_labels("hop_expand")),
-            stage_feature_gather: registry
-                .histogram("serving.stage_latency", &stage_labels("feature_gather")),
-            stage_encode: registry.histogram("serving.stage_latency", &stage_labels("encode")),
+            stage_cache_lookup: registry.histogram_striped(
+                "serving.stage_latency",
+                &stage_labels("cache_lookup"),
+                lanes + 1,
+            ),
+            stage_hop_expand: registry.histogram_striped(
+                "serving.stage_latency",
+                &stage_labels("hop_expand"),
+                lanes + 1,
+            ),
+            stage_feature_gather: registry.histogram_striped(
+                "serving.stage_latency",
+                &stage_labels("feature_gather"),
+                lanes + 1,
+            ),
+            stage_encode: registry.histogram_striped(
+                "serving.stage_latency",
+                &stage_labels("encode"),
+                lanes + 1,
+            ),
             queue_wait: registry.histogram("serving.queue_wait", labels),
             mq_dwell: registry.histogram(
                 "mq.dwell",
@@ -173,9 +244,13 @@ impl ServingWorker {
             sample_misses: registry.counter("serving.cache_miss", &hit_labels("samples")),
             feature_hits: registry.counter("serving.cache_hit", &hit_labels("features")),
             feature_misses: registry.counter("serving.cache_miss", &hit_labels("features")),
+            coalesce_hits: registry.counter("serving.coalesce_hits", labels),
+            coalesce_overflow: registry.counter("serving.coalesce_overflow", labels),
+            apply_epoch: AtomicU64::new(0),
+            coalesce_max_waiters: config.coalesce_max_waiters,
             stop: Arc::new(AtomicBool::new(false)),
             updaters: parking_lot::Mutex::new(Vec::new()),
-            serve_tx: parking_lot::RwLock::new(Some(serve_tx)),
+            serve_lanes: parking_lot::RwLock::new(Some(lane_txs)),
             serve_threads: parking_lot::Mutex::new(Vec::new()),
         });
 
@@ -214,26 +289,43 @@ impl ServingWorker {
             }));
         }
 
-        // Serving threads (§4.3): execute queued sampling queries. The
-        // pool size bounds per-worker serving parallelism, which is the
-        // knob the Fig. 14 scale-up experiment turns.
+        // Serve lanes (§4.3): one thread per lane, each fed by its own
+        // channel under seed-affine dispatch. The lane count bounds
+        // per-worker serving parallelism, which is the knob the Fig. 14
+        // scale-up experiment turns. A lane drains up to
+        // `serve_drain_batch` queued requests per round and coalesces
+        // duplicates for the same (seed, epoch) into one expansion.
         let mut serve_handles = Vec::new();
-        for t in 0..config.serving_threads {
+        for (t, rx) in lane_rxs.into_iter().enumerate() {
             let w = Arc::clone(&worker);
-            let rx = serve_rx.clone();
+            let pin = config.pin_serving_threads;
+            let drain = config.serve_drain_batch.max(1);
             serve_handles.push(
                 std::thread::Builder::new()
                     .name(format!("sew{}r{replica}-serve-{t}", id.0))
                     .spawn(move || {
-                        while let Ok((seed, trace, enqueued, reply)) = rx.recv() {
-                            w.queue_wait.record_duration(enqueued.elapsed());
-                            let _ = reply.send(w.serve_traced(seed, trace));
+                        if pin {
+                            // Best effort; lanes run unpinned on failure.
+                            let _ = helios_types::affinity::pin_to_core(t);
+                        }
+                        let mut scratch = ServeScratch::default();
+                        let mut batch: Vec<ServeRequest> = Vec::with_capacity(drain);
+                        let mut done: Vec<bool> = Vec::with_capacity(drain);
+                        while let Ok(first) = rx.recv() {
+                            batch.push(first);
+                            while batch.len() < drain {
+                                match rx.try_recv() {
+                                    Ok(r) => batch.push(r),
+                                    Err(_) => break,
+                                }
+                            }
+                            w.run_lane_batch(t, &mut batch, &mut done, &mut scratch);
+                            batch.clear();
                         }
                     })
                     .expect("spawn serving thread"),
             );
         }
-        drop(serve_rx);
         *worker.serve_threads.lock() = serve_handles;
         let mut handles = Vec::new();
 
@@ -375,11 +467,17 @@ impl ServingWorker {
                 }
             }
         }
+        let mutated = !sample_ops.is_empty() || !feature_ops.is_empty();
         if !sample_ops.is_empty() {
             let _ = self.samples.write_batch(sample_ops);
         }
         if !feature_ops.is_empty() {
             let _ = self.features.write_batch(feature_ops);
+        }
+        if mutated {
+            // New cache epoch: queued requests enqueued before this point
+            // may no longer coalesce with ones enqueued after it.
+            self.apply_epoch.fetch_add(1, Ordering::Release);
         }
         // Ingestion latency is "enqueue → visible in cache", so the stamps
         // are recorded only after the batch has landed.
@@ -409,6 +507,59 @@ impl ServingWorker {
     /// deployment router passes its span context here). With no active
     /// parent and tracing enabled, a fresh trace starts at this request.
     pub fn serve_traced(&self, seed: VertexId, parent: TraceCtx) -> Result<SampledSubgraph> {
+        self.with_direct_scratch(|lane, scratch| {
+            self.serve_core(seed, parent, lane, scratch, |view| view.to_subgraph())
+        })
+    }
+
+    /// Borrowed-path serve: assemble the result in the reusable arena and
+    /// write the canonical response bytes straight into `out` — the owned
+    /// [`SampledSubgraph`] (one allocation per group and per feature) is
+    /// never materialized. `out` is cleared first; its capacity is reused.
+    pub fn serve_encoded(&self, seed: VertexId, out: &mut Vec<u8>) -> Result<()> {
+        self.serve_encoded_traced(seed, TraceCtx::NONE, out)
+    }
+
+    /// Like [`ServingWorker::serve_encoded`], continuing the caller's
+    /// trace.
+    pub fn serve_encoded_traced(
+        &self,
+        seed: VertexId,
+        parent: TraceCtx,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        out.clear();
+        self.with_direct_scratch(|lane, scratch| {
+            self.serve_core(seed, parent, lane, scratch, |view| view.encode_into(out))
+        })
+    }
+
+    /// Run `f` with this thread's reusable scratch and the direct-caller
+    /// histogram stripe (the stripe after the last lane's). Direct `serve`
+    /// is `&self` from any number of front-end threads, so the scratch is
+    /// thread-local.
+    fn with_direct_scratch<R>(&self, f: impl FnOnce(usize, &mut ServeScratch) -> R) -> R {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<ServeScratch> =
+                std::cell::RefCell::new(ServeScratch::default());
+        }
+        let lane = self.stage_cache_lookup.lanes() - 1;
+        SCRATCH.with(|s| f(lane, &mut s.borrow_mut()))
+    }
+
+    /// The serve hot path. Assembles the K-hop result into
+    /// `scratch.arena` — flat buffers, no per-group/per-feature `Vec`s —
+    /// then hands the borrowed [`SubgraphView`] to `finish` (owned
+    /// conversion, wire encoding, …) inside the encode stage. Stage
+    /// latencies go to the `lane` stripe of the striped histograms.
+    fn serve_core<R>(
+        &self,
+        seed: VertexId,
+        parent: TraceCtx,
+        lane: usize,
+        scratch: &mut ServeScratch,
+        finish: impl FnOnce(SubgraphView<'_>) -> R,
+    ) -> Result<R> {
         let root = if parent.is_active() {
             parent
         } else {
@@ -417,86 +568,120 @@ impl ServingWorker {
         let serve_span = span("serving.serve", root);
         let ctx = serve_span.ctx();
         let start = std::time::Instant::now();
-        let mut result = SampledSubgraph::new(seed);
-        let mut frontier = vec![seed];
+        // Stage clocks are *contiguous*: each stage window runs from the
+        // previous stage's end mark, so the four windows tile the whole
+        // serve and `Σ stage_latency ≈ serving.latency` stays an identity
+        // even though the arena path shrank per-stage work to microseconds
+        // (with per-stage clocks, the fixed scaffolding between windows —
+        // frontier recycling, counter flushes — escaped attribution).
+        let mut mark = start;
+        let ServeScratch {
+            arena,
+            frontier,
+            keys10,
+            keys8,
+            values,
+            dedup,
+            vertices,
+        } = scratch;
+        arena.reset(seed);
+        frontier.clear();
+        frontier.push(seed);
         for hop_idx in 0..self.query.hops() {
             let hop = QueryHopId(hop_idx as u16);
             // Stage: cache lookup. One shard-grouped multi_get over the
             // whole frontier — the sample table's shard locks are taken
-            // once per hop, not once per vertex.
-            let lookup_start = std::time::Instant::now();
+            // once per hop, not once per vertex — into the reused value
+            // buffer. The values are borrowed granules: refcounted handles
+            // onto block-cache/memtable memory, not copies.
             let lookup_span = span("serving.cache_lookup", ctx);
-            let keys: Vec<[u8; 10]> = frontier.iter().map(|&v| sample_key(hop, v)).collect();
-            let values = self.samples.multi_get(&keys)?;
+            keys10.clear();
+            keys10.extend(frontier.iter().map(|&v| sample_key(hop, v)));
+            self.samples.multi_get_into(keys10, values)?;
             drop(lookup_span);
+            let now = std::time::Instant::now();
             self.stage_cache_lookup
-                .record_duration(lookup_start.elapsed());
-            // Stage: hop expand. Decode the sampled neighbor lists and
-            // build the next frontier.
-            let expand_start = std::time::Instant::now();
+                .stripe(lane)
+                .record_duration(now.duration_since(mark));
+            mark = now;
+            // Stage: hop expand. Stream the sampled neighbor ids straight
+            // off the raw bytes into the arena — no `Vec<VertexId>` per
+            // parent, no intermediate `Vec<SampleEntryLite>`.
             let expand_span = span("serving.hop_expand", ctx);
-            let mut hs = HopSamples::default();
-            hs.groups.reserve(frontier.len());
-            let mut next = Vec::new();
             let (mut hits, mut misses) = (0u64, 0u64);
-            for (&v, value) in frontier.iter().zip(values) {
-                let children: Vec<VertexId> = match value {
+            for (&v, value) in frontier.iter().zip(values.iter()) {
+                arena.begin_group(v);
+                match value {
                     Some(raw) => {
                         hits += 1;
-                        // Neighbors only — timestamps/weights are skipped
-                        // without materializing `Vec<SampleEntryLite>`.
-                        SampleEntryLite::decode_neighbors(&raw).unwrap_or_default()
+                        // Undecodable lists degrade to an empty group,
+                        // like the owned path always has.
+                        if let Ok(neighbors) = SampleEntryLite::neighbors_iter(raw) {
+                            for c in neighbors {
+                                arena.push_child(c);
+                            }
+                        }
                     }
-                    None => {
-                        misses += 1;
-                        Vec::new()
-                    }
-                };
-                next.extend(children.iter().copied());
-                hs.groups.push((v, children));
+                    None => misses += 1,
+                }
             }
+            arena.end_hop();
             self.sample_hits.add(hits);
             self.sample_misses.add(misses);
-            result.hops.push(hs);
-            frontier = next;
             drop(expand_span);
+            let now = std::time::Instant::now();
             self.stage_hop_expand
-                .record_duration(expand_start.elapsed());
-            if frontier.is_empty() {
+                .stripe(lane)
+                .record_duration(now.duration_since(mark));
+            mark = now;
+            if arena.last_hop_children().is_empty() {
                 break;
             }
+            frontier.clear();
+            frontier.extend_from_slice(arena.last_hop_children());
         }
-        // Stage: feature gather. `all_vertices` deduplicates, so a vertex
-        // sampled under many parents costs one feature lookup; the whole
-        // set is fetched with a single multi_get.
-        let gather_start = std::time::Instant::now();
+        // Stage: feature gather. Deduplicate, so a vertex sampled under
+        // many parents costs one feature lookup; the whole set is fetched
+        // with a single multi_get into the reused value buffer.
         let gather_span = span("serving.feature_gather", ctx);
-        let vertices: Vec<VertexId> = result.all_vertices().into_iter().collect();
-        let keys: Vec<[u8; 8]> = vertices.iter().map(|&v| feature_key(v)).collect();
-        let values = self.features.multi_get(&keys)?;
+        dedup.clear();
+        vertices.clear();
+        for v in std::iter::once(seed).chain(arena.sampled_vertices().iter().copied()) {
+            if dedup.insert(v) {
+                vertices.push(v);
+            }
+        }
+        keys8.clear();
+        keys8.extend(vertices.iter().map(|&v| feature_key(v)));
+        self.features.multi_get_into(keys8, values)?;
         drop(gather_span);
+        let now = std::time::Instant::now();
         self.stage_feature_gather
-            .record_duration(gather_start.elapsed());
-        // Stage: encode. Decode the fetched feature vectors into the
-        // result subgraph handed back to the model runner.
-        let encode_start = std::time::Instant::now();
+            .stripe(lane)
+            .record_duration(now.duration_since(mark));
+        mark = now;
+        // Stage: encode. Decode the fetched feature vectors straight into
+        // the arena's flat feature buffer, then finish (owned conversion
+        // or wire encoding) from the borrowed view.
         let encode_span = span("serving.encode", ctx);
         let (mut hits, mut misses) = (0u64, 0u64);
-        for (v, value) in vertices.into_iter().zip(values) {
+        for (&v, value) in vertices.iter().zip(values.iter()) {
             match value {
                 Some(raw) => {
                     hits += 1;
-                    if let Ok(f) = Vec::<f32>::decode_from_slice(&raw) {
-                        result.features.insert(v, f);
-                    }
+                    // Malformed features are skipped, like the owned path.
+                    arena.push_feature_raw(v, raw);
                 }
                 None => misses += 1,
             }
         }
         self.feature_hits.add(hits);
         self.feature_misses.add(misses);
+        let result = finish(arena.view());
         drop(encode_span);
-        self.stage_encode.record_duration(encode_start.elapsed());
+        self.stage_encode
+            .stripe(lane)
+            .record_duration(mark.elapsed());
         // The end-to-end observation carries the trace id as an exemplar
         // (0 — untraced — degrades to a plain record).
         self.serve_latency
@@ -516,40 +701,129 @@ impl ServingWorker {
     /// Like [`ServingWorker::serve_queued`], continuing the caller's
     /// trace; the queue wait shows up as the gap between this span's
     /// start and its `serving.serve` child.
+    ///
+    /// The reply channel is per-request and the lane holds its only
+    /// sender: a lane that panics or exits mid-request drops the sender
+    /// and the caller observes a disconnect instead of blocking forever.
+    /// (A thread-local reply channel — the previous design — left a
+    /// sender clone alive in the caller's TLS, so the disconnect never
+    /// fired and a panicked worker wedged the caller.)
     pub fn serve_queued_traced(&self, seed: VertexId, parent: TraceCtx) -> Result<SampledSubgraph> {
-        // Per-caller reply channel, reused across requests from the same
-        // front-end thread so the queued-serve path allocates nothing per
-        // request. Safe because (a) the serve queue is drained even after
-        // `serve_tx` is dropped at shutdown (buffered messages survive
-        // sender disconnect), so every successfully-enqueued request gets
-        // exactly one reply, and (b) we receive that reply before the
-        // channel can be reused, so it is empty between requests.
-        thread_local! {
-            #[allow(clippy::type_complexity)]
-            static REPLY: (
-                crossbeam::channel::Sender<Result<SampledSubgraph>>,
-                crossbeam::channel::Receiver<Result<SampledSubgraph>>,
-            ) = crossbeam::channel::bounded(1);
-        }
         let root = if parent.is_active() {
             parent
         } else {
             TraceCtx::root()
         };
         let queue_span = span("serving.queue", root);
-        REPLY.with(|(tx, rx)| {
-            {
-                let guard = self.serve_tx.read();
-                let sender = guard
-                    .as_ref()
-                    .ok_or(helios_types::HeliosError::ShuttingDown)?;
-                sender
-                    .send((seed, queue_span.ctx(), std::time::Instant::now(), tx.clone()))
-                    .map_err(|_| helios_types::HeliosError::ShuttingDown)?;
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        {
+            let guard = self.serve_lanes.read();
+            let lanes = guard
+                .as_ref()
+                .ok_or(helios_types::HeliosError::ShuttingDown)?;
+            let lane = lane_for(seed, lanes.len());
+            lanes[lane]
+                .send(ServeRequest {
+                    seed,
+                    trace: queue_span.ctx(),
+                    enqueued: std::time::Instant::now(),
+                    epoch: self.apply_epoch.load(Ordering::Acquire),
+                    reply: tx,
+                })
+                .map_err(|_| helios_types::HeliosError::ShuttingDown)?;
+        }
+        rx.recv()
+            .map_err(|_| helios_types::HeliosError::Disconnected("serving thread".into()))?
+    }
+
+    /// Serve one drained lane batch: single-flight the duplicates, serve
+    /// the rest in arrival order. Requests sharing `(seed, epoch)` with
+    /// an earlier request in the batch become *waiters* on that leader's
+    /// expansion and receive a clone of its result — at most
+    /// `coalesce_max_waiters` of them; the overflow (and every waiter of
+    /// a failed leader, since errors don't clone) degrades to an
+    /// independent serve. `done` is the reused seen-markers buffer.
+    fn run_lane_batch(
+        &self,
+        lane: usize,
+        batch: &mut Vec<ServeRequest>,
+        done: &mut Vec<bool>,
+        scratch: &mut ServeScratch,
+    ) {
+        if batch.len() == 1 || self.coalesce_max_waiters == 0 {
+            // Single request, or coalescing disabled: strict arrival
+            // order, one expansion each, no grouping scan (and no
+            // overflow accounting — nothing overflowed, the feature is
+            // off).
+            for req in batch.drain(..) {
+                self.queue_wait.record_duration(req.enqueued.elapsed());
+                let _ = req.reply.send(self.serve_request(lane, req.seed, req.trace, scratch));
             }
-            rx.recv()
-                .map_err(|_| helios_types::HeliosError::Disconnected("serving thread".into()))?
-        })
+            return;
+        }
+        let n = batch.len();
+        done.clear();
+        done.resize(n, false);
+        for i in 0..n {
+            if done[i] {
+                continue;
+            }
+            done[i] = true;
+            self.queue_wait.record_duration(batch[i].enqueued.elapsed());
+            let result = self.serve_request(lane, batch[i].seed, batch[i].trace, scratch);
+            let result = match result {
+                Ok(subgraph) => {
+                    let (seed, epoch) = (batch[i].seed, batch[i].epoch);
+                    let mut waiters = 0u64;
+                    for j in (i + 1)..n {
+                        if batch[j].seed != seed || batch[j].epoch != epoch {
+                            continue;
+                        }
+                        if waiters as usize >= self.coalesce_max_waiters {
+                            // Bounded waiter list is full: leave the rest
+                            // undone, they serve independently below.
+                            self.coalesce_overflow.incr();
+                            continue;
+                        }
+                        done[j] = true;
+                        waiters += 1;
+                        self.queue_wait.record_duration(batch[j].enqueued.elapsed());
+                        let _ = batch[j].reply.send(Ok(subgraph.clone()));
+                        // A coalesced request is a served request; it just
+                        // cost no expansion (and records no latency —
+                        // simulated-QPS math stays honest).
+                        self.served.incr();
+                    }
+                    if waiters > 0 {
+                        self.coalesce_hits.add(waiters);
+                    }
+                    Ok(subgraph)
+                }
+                err => err,
+            };
+            let _ = batch[i].reply.send(result);
+        }
+    }
+
+    /// One lane-side serve, isolated: a panicking expansion is caught and
+    /// answered as an error so the lane thread (and every other request
+    /// in its queue) survives.
+    fn serve_request(
+        &self,
+        lane: usize,
+        seed: VertexId,
+        trace: TraceCtx,
+        scratch: &mut ServeScratch,
+    ) -> Result<SampledSubgraph> {
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.serve_core(seed, trace, lane, scratch, |view| view.to_subgraph())
+        }));
+        match run {
+            Ok(result) => result,
+            Err(_) => Err(helios_types::HeliosError::Disconnected(
+                "serve panicked".into(),
+            )),
+        }
     }
 
     /// Number of requests served.
@@ -576,6 +850,18 @@ impl ServingWorker {
     /// Feature-table cache lookups: (hits, misses).
     pub fn feature_lookups(&self) -> (u64, u64) {
         (self.feature_hits.get(), self.feature_misses.get())
+    }
+
+    /// Queued requests answered from a coalesced expansion (single-flight
+    /// hits on a hot seed).
+    pub fn coalesce_hits(&self) -> u64 {
+        self.coalesce_hits.get()
+    }
+
+    /// Queued requests that found the bounded waiter list full and
+    /// degraded to independent serves.
+    pub fn coalesce_overflow(&self) -> u64 {
+        self.coalesce_overflow.get()
     }
 
     /// Serving latency histogram.
@@ -615,6 +901,8 @@ impl ServingWorker {
     pub fn expire_before(&self, horizon: Timestamp) -> Result<()> {
         self.samples.expire_before(horizon)?;
         self.features.expire_before(horizon)?;
+        // Expiry changes read visibility like a write batch does.
+        self.apply_epoch.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -633,9 +921,10 @@ impl ServingWorker {
         for h in self.updaters.lock().drain(..) {
             let _ = h.join();
         }
-        // Close the serve queue so serving threads exit and release their
-        // `Arc<ServingWorker>` handles.
-        self.serve_tx.write().take();
+        // Close the per-lane serve queues so lane threads exit and release
+        // their `Arc<ServingWorker>` handles. Buffered requests survive
+        // sender disconnect and are still drained before the lanes exit.
+        self.serve_lanes.write().take();
         for h in self.serve_threads.lock().drain(..) {
             let _ = h.join();
         }
@@ -662,6 +951,23 @@ mod tests {
         assert!(a < b);
         assert!(b < c, "hop is the major key");
         assert_ne!(feature_key(VertexId(1)), feature_key(VertexId(2)));
+    }
+
+    #[test]
+    fn lane_choice_is_stable_and_covers_all_lanes() {
+        // Affinity: the same seed always maps to the same lane.
+        for v in 0..64u64 {
+            assert_eq!(lane_for(VertexId(v), 4), lane_for(VertexId(v), 4));
+        }
+        // Spread: with enough seeds every lane gets traffic.
+        let mut hit = [false; 4];
+        for v in 0..64u64 {
+            hit[lane_for(VertexId(v), 4)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "all lanes reachable: {hit:?}");
+        // Degenerate lane counts never panic or go out of range.
+        assert_eq!(lane_for(VertexId(7), 1), 0);
+        assert_eq!(lane_for(VertexId(7), 0), 0);
     }
 
     #[test]

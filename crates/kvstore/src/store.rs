@@ -742,19 +742,36 @@ impl KvStore {
     /// cheaper than — `keys.map(|k| store.get(k))`; the equivalence is
     /// property-tested in `tests/model.rs`.
     pub fn multi_get<K: AsRef<[u8]>>(&self, keys: &[K]) -> Result<Vec<Option<Bytes>>> {
-        let mut out: Vec<Option<Bytes>> = vec![None; keys.len()];
+        let mut out = Vec::new();
+        self.multi_get_into(keys, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`KvStore::multi_get`] into a caller-owned output buffer: `out` is
+    /// cleared and refilled in input order, reusing its capacity, so a
+    /// steady-state reader (the serve loop) allocates no result vector
+    /// per batch. The returned values are *borrowed granules*: each
+    /// `Bytes` is a refcounted handle onto the shared allocation it was
+    /// resolved from — a decoded block-cache granule entry or a memtable
+    /// value — never a copy, so holding them pins those allocations until
+    /// dropped.
+    pub fn multi_get_into<K: AsRef<[u8]>>(
+        &self,
+        keys: &[K],
+        out: &mut Vec<Option<Bytes>>,
+    ) -> Result<()> {
+        out.clear();
+        out.resize(keys.len(), None);
         if keys.is_empty() {
-            return Ok(out);
+            return Ok(());
         }
         if self.inner.shards.len() == 1 {
             let positions: Vec<u32> = (0..keys.len() as u32).collect();
-            self.lookup_group(0, &positions, keys, &mut out)?;
-            return Ok(out);
+            return self.lookup_group(0, &positions, keys, out);
         }
         if keys.len() == 1 {
             let idx = self.inner.shard_index(keys[0].as_ref());
-            self.lookup_group(idx, &[0], keys, &mut out)?;
-            return Ok(out);
+            return self.lookup_group(idx, &[0], keys, out);
         }
         // (shard, input position), sorted so each shard forms one run.
         let mut order: Vec<(u32, u32)> = keys
@@ -773,10 +790,10 @@ impl KvStore {
             }
             positions.clear();
             positions.extend(order[start..end].iter().map(|&(_, pos)| pos));
-            self.lookup_group(shard_idx as usize, &positions, keys, &mut out)?;
+            self.lookup_group(shard_idx as usize, &positions, keys, out)?;
             start = end;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Does the key exist (live)?
@@ -1438,6 +1455,30 @@ mod tests {
         assert!(kv.multi_get::<Vec<u8>>(&[]).unwrap().is_empty());
         let got = kv.multi_get(&[key(1)]).unwrap();
         assert_eq!(got, vec![Some(Bytes::from_static(b"one"))]);
+    }
+
+    #[test]
+    fn multi_get_into_reuses_the_output_buffer() {
+        let kv = KvStore::open(KvConfig::in_memory(4)).unwrap();
+        for i in 0..16u64 {
+            kv.put(&key(i), Bytes::from(format!("v{i}")), Timestamp(i))
+                .unwrap();
+        }
+        let mut out: Vec<Option<Bytes>> = Vec::new();
+        kv.multi_get_into(&[key(3), key(99), key(7)], &mut out)
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![Some(Bytes::from("v3")), None, Some(Bytes::from("v7"))]
+        );
+        let cap = out.capacity();
+        // A second, smaller batch reuses the buffer: stale results are
+        // cleared, capacity is kept.
+        kv.multi_get_into(&[key(1)], &mut out).unwrap();
+        assert_eq!(out, vec![Some(Bytes::from("v1"))]);
+        assert_eq!(out.capacity(), cap);
+        kv.multi_get_into::<Vec<u8>>(&[], &mut out).unwrap();
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Lane-striped histograms for multicore hot paths.
+//!
+//! A single [`Histogram`] is wait-free, but its bucket counters are plain
+//! shared atomics: N serve lanes recording four stage observations per
+//! request all bounce the same cache lines. A [`StripedHistogram`] gives
+//! every lane its own [`Histogram`] stripe — recording touches only
+//! lane-local lines — and folds the stripes back together at read time
+//! with [`Snapshot::merge`], which is the slow path.
+
+use crate::histogram::{Histogram, Snapshot};
+use std::sync::Arc;
+
+/// A set of per-lane [`Histogram`] stripes behind one logical instrument.
+#[derive(Debug, Clone)]
+pub struct StripedHistogram {
+    stripes: Arc<[Arc<Histogram>]>,
+}
+
+impl StripedHistogram {
+    /// A striped histogram with `lanes` independent stripes (at least 1).
+    pub fn new(lanes: usize) -> Self {
+        StripedHistogram {
+            stripes: (0..lanes.max(1))
+                .map(|_| Arc::new(Histogram::new()))
+                .collect(),
+        }
+    }
+
+    /// Wrap externally created stripes (e.g. registry-registered ones, so
+    /// each stripe stays individually visible in exposition).
+    pub fn from_stripes(stripes: Vec<Arc<Histogram>>) -> Self {
+        assert!(!stripes.is_empty(), "striped histogram needs >= 1 stripe");
+        StripedHistogram {
+            stripes: stripes.into(),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn lanes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stripe for `lane` (wraps, so any lane index is valid).
+    #[inline]
+    pub fn stripe(&self, lane: usize) -> &Arc<Histogram> {
+        &self.stripes[lane % self.stripes.len()]
+    }
+
+    /// Merged point-in-time view across all stripes.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = self.stripes[0].snapshot();
+        for s in &self.stripes[1..] {
+            snap.merge(&s.snapshot());
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripes_record_independently_and_fold() {
+        let h = StripedHistogram::new(4);
+        assert_eq!(h.lanes(), 4);
+        h.stripe(0).record(1_000);
+        h.stripe(1).record(2_000);
+        h.stripe(5).record(3_000); // wraps to stripe 1
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.min, 1_000);
+        assert_eq!(snap.max, 3_000);
+        // Stripe 1 saw two records, stripe 2 none.
+        assert_eq!(h.stripe(1).snapshot().count, 2);
+        assert_eq!(h.stripe(2).snapshot().count, 0);
+    }
+
+    #[test]
+    fn zero_lanes_clamps_to_one() {
+        let h = StripedHistogram::new(0);
+        assert_eq!(h.lanes(), 1);
+        h.stripe(7).record(10);
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn from_stripes_shares_the_given_histograms() {
+        let a = Arc::new(Histogram::new());
+        let b = Arc::new(Histogram::new());
+        let h = StripedHistogram::from_stripes(vec![Arc::clone(&a), Arc::clone(&b)]);
+        h.stripe(1).record(500);
+        assert_eq!(b.snapshot().count, 1, "stripe 1 is the second histogram");
+        assert_eq!(a.snapshot().count, 0);
+    }
+}

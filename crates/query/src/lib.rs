@@ -33,7 +33,7 @@ pub mod schema;
 pub mod spec;
 
 pub use parser::parse_query;
-pub use result::{HopSamples, SampledSubgraph};
+pub use result::{HopSamples, SampledSubgraph, SubgraphArena, SubgraphView};
 pub use schema::Schema;
 pub use spec::{KHopQuery, KHopQueryBuilder, OneHopQuery, QueryDag};
 

@@ -12,6 +12,7 @@
 //! pre-sampling, subscription propagation, the query-aware sample cache —
 //! consumes these events.
 
+pub mod affinity;
 pub mod encode;
 pub mod error;
 pub mod event;
