@@ -32,6 +32,10 @@ pub trait Actor: Send + 'static {
     /// Handle one message.
     fn handle(&mut self, msg: Self::Msg);
 
+    /// Called once on the actor's own thread before the first message
+    /// (e.g. to register with a thread-local profiler registry).
+    fn on_start(&mut self) {}
+
     /// Called once after the mailbox closes, before the thread exits.
     fn on_stop(&mut self) {}
 }
@@ -80,6 +84,7 @@ pub fn spawn<A: Actor>(name: &str, mut actor: A) -> ActorHandle<A::Msg> {
     let join = std::thread::Builder::new()
         .name(thread_name.clone())
         .spawn(move || {
+            actor.on_start();
             while let Ok(env) = rx.recv() {
                 match env {
                     Envelope::Msg(m) => actor.handle(m),

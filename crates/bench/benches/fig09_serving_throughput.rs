@@ -12,7 +12,7 @@
 
 use helios_bench::{
     drive, drive_pinned, percent_seeds, setup_baseline, setup_helios, tigergraph_like,
-    BenchOutcome,
+    write_bench_json, BenchOutcome, BenchRecord,
 };
 use helios_core::HeliosConfig;
 use helios_datagen::Preset;
@@ -57,6 +57,7 @@ fn main() {
             "speedup",
         ],
     );
+    let mut records: Vec<BenchRecord> = Vec::new();
     for &preset in presets {
         for strategy in [SamplingStrategy::TopK, SamplingStrategy::Random] {
             // Paired setups over identical event streams.
@@ -90,6 +91,11 @@ fn main() {
                     format!("{:.0}", hel.qps),
                     format!("{:.1}x", hel.qps / base.qps.max(1.0)),
                 ]);
+                records.push(BenchRecord::capture(
+                    format!("{}/{}/conc{conc}", preset.name(), strategy.name()),
+                    &hel,
+                    &helios,
+                ));
             }
             helios.shutdown();
         }
@@ -129,8 +135,14 @@ fn main() {
             format!("{:.0}", out.qps),
             format!("{:.3}", out.p99_ms),
         ]);
+        records.push(BenchRecord::capture(
+            format!("multicore/threads{n}/conc{conc}"),
+            &out,
+            &helios,
+        ));
         helios.shutdown();
     }
     m.print();
+    write_bench_json("fig09_serving_throughput", &records);
     println!("paper: Helios up to 184x (TopK) and 47x (Random) higher QPS; Helios is strategy-insensitive");
 }

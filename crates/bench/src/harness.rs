@@ -19,6 +19,8 @@ pub struct BenchOutcome {
     pub qps: f64,
     /// Mean per-operation latency, milliseconds.
     pub avg_ms: f64,
+    /// Median per-operation latency, milliseconds.
+    pub p50_ms: f64,
     /// P99 per-operation latency, milliseconds.
     pub p99_ms: f64,
 }
@@ -87,8 +89,84 @@ where
         count: total,
         qps: total as f64 / elapsed,
         avg_ms: snap.mean_ms(),
+        p50_ms: snap.percentile_ms(50.0),
         p99_ms: snap.percentile_ms(99.0),
     }
+}
+
+/// One labeled measurement destined for a `BENCH_<experiment>.json`
+/// machine-readable snapshot (QPS, p50/p99, memory high-water).
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// What was measured, e.g. `"INTER/Random/conc8"`.
+    pub label: String,
+    /// Operations per second.
+    pub qps: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// P99 latency, milliseconds.
+    pub p99_ms: f64,
+    /// Accountant high-water mark at capture, bytes (0 when the
+    /// measurement had no deployment attached).
+    pub mem_high_water_bytes: i64,
+}
+
+impl BenchRecord {
+    /// Capture `out` under `label`, folding the deployment's current
+    /// footprint into its memory high-water mark first so the recorded
+    /// peak covers at least the end of the measurement window.
+    pub fn capture(label: impl Into<String>, out: &BenchOutcome, helios: &HeliosBench) -> Self {
+        let acct = helios.deployment.mem_accountant();
+        acct.export();
+        BenchRecord {
+            label: label.into(),
+            qps: out.qps,
+            p50_ms: out.p50_ms,
+            p99_ms: out.p99_ms,
+            mem_high_water_bytes: acct.high_water_bytes(),
+        }
+    }
+
+    /// A record with no deployment (baseline measurements).
+    pub fn bare(label: impl Into<String>, out: &BenchOutcome) -> Self {
+        BenchRecord {
+            label: label.into(),
+            qps: out.qps,
+            p50_ms: out.p50_ms,
+            p99_ms: out.p99_ms,
+            mem_high_water_bytes: 0,
+        }
+    }
+}
+
+/// Write `BENCH_<experiment>.json` (into `HELIOS_BENCH_JSON_DIR`, or the
+/// working directory when unset) and return its path. Dependency-free
+/// JSON: flat records with numeric fields and escaped string labels.
+pub fn write_bench_json(experiment: &str, records: &[BenchRecord]) -> std::path::PathBuf {
+    let dir = std::env::var_os("HELIOS_BENCH_JSON_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = dir.join(format!("BENCH_{experiment}.json"));
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let label = r.label.replace('\\', "\\\\").replace('"', "\\\"");
+            format!(
+                "    {{\"label\":\"{label}\",\"qps\":{:.1},\"p50_ms\":{:.4},\"p99_ms\":{:.4},\"mem_high_water_bytes\":{}}}",
+                r.qps, r.p50_ms, r.p99_ms, r.mem_high_water_bytes
+            )
+        })
+        .collect();
+    let body = format!(
+        "{{\n  \"experiment\": \"{experiment}\",\n  \"records\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("BENCH json write failed for {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+    path
 }
 
 /// A deployed Helios instance pre-loaded with a dataset.
@@ -218,6 +296,34 @@ mod tests {
         });
         assert!(out.count > 5);
         assert!(out.avg_ms >= 1.0);
+    }
+
+    #[test]
+    fn bench_json_is_written_and_well_formed() {
+        let dir = std::env::temp_dir().join(format!("helios-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("HELIOS_BENCH_JSON_DIR", &dir);
+        let out = BenchOutcome {
+            count: 10,
+            qps: 1234.5,
+            avg_ms: 0.5,
+            p50_ms: 0.4,
+            p99_ms: 2.25,
+        };
+        let path = write_bench_json(
+            "unit_test",
+            &[BenchRecord::bare("quote\"label", &out)],
+        );
+        std::env::remove_var("HELIOS_BENCH_JSON_DIR");
+        assert_eq!(path.file_name().unwrap(), "BENCH_unit_test.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"experiment\": \"unit_test\""));
+        assert!(body.contains("\"qps\":1234.5"));
+        assert!(body.contains("\"p50_ms\":0.4000"));
+        assert!(body.contains("\"p99_ms\":2.2500"));
+        assert!(body.contains("\"mem_high_water_bytes\":0"));
+        assert!(body.contains("quote\\\"label"), "labels are escaped");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -22,4 +22,7 @@ pub mod baseline;
 pub mod harness;
 
 pub use baseline::{nebulagraph_like, setup_baseline, tigergraph_like, BaselineBench};
-pub use harness::{drive, drive_pinned, percent_seeds, setup_helios, BenchOutcome, HeliosBench};
+pub use harness::{
+    drive, drive_pinned, percent_seeds, setup_helios, write_bench_json, BenchOutcome, BenchRecord,
+    HeliosBench,
+};

@@ -149,6 +149,14 @@ pub struct HeliosConfig {
     /// Capacity of the retained-trace store backing `/traces`. Boring
     /// traces are evicted first once full.
     pub retained_traces: usize,
+    /// Soft memory budget for everything the deployment's byte accountant
+    /// tracks (memtables, block caches, SST indexes, serve scratch, mq
+    /// logs, retained traces). `None` disables budget pressure: the
+    /// `mem.bytes` gauges still export but `mem.budget_fraction_permille`
+    /// stays 0 and `/healthz` never degrades on memory. Seeded from the
+    /// `HELIOS_MEM_BUDGET` environment variable (`64m`, `2g`, plain
+    /// bytes) by `Default::default()`.
+    pub memory_budget_bytes: Option<u64>,
 }
 
 impl Default for HeliosConfig {
@@ -188,6 +196,7 @@ impl Default for HeliosConfig {
             trace_sample: 1.0,
             trace_slow_threshold: Duration::from_millis(10),
             retained_traces: 256,
+            memory_budget_bytes: helios_telemetry::mem_budget_env(),
         }
     }
 }
@@ -294,6 +303,11 @@ impl HeliosConfig {
                 "retained-trace store needs a positive capacity".into(),
             ));
         }
+        if self.memory_budget_bytes == Some(0) {
+            return Err(InvalidConfig(
+                "memory budget must be positive (or None to disable)".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -355,6 +369,7 @@ mod tests {
             |c: &mut HeliosConfig| c.trace_sample = f64::NAN,
             |c: &mut HeliosConfig| c.trace_slow_threshold = Duration::ZERO,
             |c: &mut HeliosConfig| c.retained_traces = 0,
+            |c: &mut HeliosConfig| c.memory_budget_bytes = Some(0),
         ] {
             let mut c = HeliosConfig::default();
             f(&mut c);

@@ -12,12 +12,12 @@ use helios_mq::{Broker, TopicConfig};
 use helios_query::{KHopQuery, SampledSubgraph};
 use helios_metrics::Histogram;
 use helios_telemetry::{
-    span, DynRoutes, EventKind, FlightRecorder, HealthReport, OpsServer, OpsState, Registry,
-    RegistrySnapshot, RetainedTraces, SloTracker, StatsReporter, TraceCtx,
+    span, DynRoutes, EventKind, FlightRecorder, HealthReport, MemAccountant, OpsServer, OpsState,
+    Profiler, Registry, RegistrySnapshot, RetainedTraces, SloTracker, StatsReporter, TraceCtx,
 };
 use helios_types::{
-    hash::route, Decode, Encode, GraphUpdate, HeliosError, PartitionId, Result, SamplingWorkerId,
-    ServingWorkerId, Timestamp, VertexId, VertexUpdate,
+    hash::route, Decode, Encode, GraphUpdate, HeliosError, MemGauge, PartitionId, Result,
+    SamplingWorkerId, ServingWorkerId, Timestamp, VertexId, VertexUpdate,
 };
 use parking_lot::RwLock;
 use std::path::Path;
@@ -168,6 +168,29 @@ pub struct HeliosDeployment {
     prober: Option<FreshnessProber>,
     /// Embedded ops HTTP server; `None` unless `config.ops_addr` is set.
     ops: Option<OpsServer>,
+    /// Deployment-wide memory ledger: every component's byte gauge,
+    /// exported as `mem.bytes{component,…}` each stats tick and judged
+    /// against `config.memory_budget_bytes`.
+    pub(crate) accountant: Arc<MemAccountant>,
+    /// Shared gauge for all topics' retained log bytes; rescale-created
+    /// sample topics charge into the same cell.
+    pub(crate) mq_log_gauge: MemGauge,
+}
+
+/// Register one serving worker's memory gauges with the accountant. The
+/// per-replica block-cache/SST-index cells are shared between the
+/// worker's two kvstores; `adopt` dedups by cell so calling this once per
+/// worker is exact. Used at startup and by the rescale scale-out path.
+pub(crate) fn adopt_serving_mem(accountant: &MemAccountant, w: &ServingWorker) {
+    let sw = w.id().0.to_string();
+    let r = w.replica().to_string();
+    let labels: &[(&str, &str)] = &[("worker", &sw), ("replica", &r)];
+    let g = w.mem_gauges();
+    accountant.adopt("sample_table", labels, g.sample_table.clone());
+    accountant.adopt("feature_table", labels, g.feature_table.clone());
+    accountant.adopt("block_cache", labels, g.block_cache.clone());
+    accountant.adopt("sst_index", labels, g.sst_index.clone());
+    accountant.adopt("serve_scratch", labels, g.serve_scratch.clone());
 }
 
 impl HeliosDeployment {
@@ -198,14 +221,19 @@ impl HeliosDeployment {
         let m = config.sampling_workers as u32;
         let n = config.serving_workers as u32;
 
-        let updates_topic = broker.create_topic(topics::UPDATES, TopicConfig::in_memory(m))?;
-        broker.create_topic(topics::CONTROL, TopicConfig::in_memory(m))?;
-        broker.create_topic(topics::MEMBERSHIP, TopicConfig::in_memory(m))?;
+        // All topics charge their retained log bytes into one shared
+        // gauge, adopted by the accountant as `mem.bytes{component=mq_log}`.
+        let mq_log_gauge = MemGauge::new();
+        let mq_topic = |partitions: u32| TopicConfig {
+            partitions,
+            mem: mq_log_gauge.clone(),
+            ..Default::default()
+        };
+        let updates_topic = broker.create_topic(topics::UPDATES, mq_topic(m))?;
+        broker.create_topic(topics::CONTROL, mq_topic(m))?;
+        broker.create_topic(topics::MEMBERSHIP, mq_topic(m))?;
         for s in 0..n {
-            broker.create_topic(
-                &topics::samples(s),
-                TopicConfig::in_memory(config.sample_queue_partitions),
-            )?;
+            broker.create_topic(&topics::samples(s), mq_topic(config.sample_queue_partitions))?;
         }
 
         // Epoch-0 routing table: deterministic, so the front-end and every
@@ -217,6 +245,14 @@ impl HeliosDeployment {
 
         // Serving workers first so sample topics have consumers early.
         let telemetry = Arc::new(Registry::new());
+
+        // Memory ledger: adopt every component gauge as it is created, so
+        // one `export` tick publishes the whole deployment's footprint.
+        let accountant = Arc::new(MemAccountant::new(
+            Arc::clone(&telemetry),
+            config.memory_budget_bytes,
+        ));
+        accountant.adopt("mq_log", &[], mq_log_gauge.clone());
 
         // Tracing control. The HELIOS_TRACE_SAMPLE env override wins over
         // the config rate *and* force-enables tracing, so a deployed
@@ -236,6 +272,7 @@ impl HeliosDeployment {
                 .as_nanos()
                 .min(u128::from(u64::MAX)) as u64,
         ));
+        accountant.adopt("trace_retention", &[], retained.mem_gauge());
         let route_latency = telemetry.histogram("router.route_latency", &[]);
 
         let recorder = FlightRecorder::new(config.flight_recorder_capacity);
@@ -252,7 +289,7 @@ impl HeliosDeployment {
         for s in 0..n {
             for r in 0..replicas {
                 let beacon = coordinator.register_worker(&format!("sew{s}-r{r}"));
-                workers.push(ServingWorker::start(
+                let worker = ServingWorker::start(
                     ServingWorkerId(s),
                     r,
                     &config,
@@ -261,7 +298,9 @@ impl HeliosDeployment {
                     beacon,
                     &telemetry,
                     &recorder,
-                )?);
+                )?;
+                adopt_serving_mem(&accountant, &worker);
+                workers.push(worker);
             }
         }
         let serving: SharedServing = Arc::new(RwLock::new(Arc::new(ServingSet {
@@ -337,6 +376,7 @@ impl HeliosDeployment {
                 &recorder,
                 &slo,
                 &retained,
+                &accountant,
             )
         });
 
@@ -371,6 +411,7 @@ impl HeliosDeployment {
                     &recorder,
                     &dyn_routes,
                     &retained,
+                    &accountant,
                 )
                 .map_err(HeliosError::Io)?,
             ),
@@ -397,6 +438,8 @@ impl HeliosDeployment {
             dyn_routes,
             prober,
             ops,
+            accountant,
+            mq_log_gauge,
         })
     }
 
@@ -567,12 +610,35 @@ impl HeliosDeployment {
         recorder: &Arc<FlightRecorder>,
         dyn_routes: &Arc<DynRoutes>,
         retained: &Arc<RetainedTraces>,
+        accountant: &Arc<MemAccountant>,
     ) -> std::io::Result<OpsServer> {
         let registry = Arc::clone(telemetry);
         let mut state = OpsState::new(move || registry.snapshot())
             .recorder(Arc::clone(recorder))
             .retained_traces(Arc::clone(retained))
-            .routes(Arc::clone(dyn_routes));
+            .routes(Arc::clone(dyn_routes))
+            .profiler(Arc::new(Profiler::new(telemetry)));
+
+        // Memory-pressure probe: `/healthz` flips 503 only after two
+        // consecutive over-budget export ticks ("sustained"), so one
+        // transient spike between stats ticks doesn't flap the endpoint.
+        // With no budget configured the probe reports bytes but never
+        // degrades.
+        let mem_acct = Arc::clone(accountant);
+        state = state.probe(move || {
+            let total = mem_acct.total_bytes().max(0);
+            match mem_acct.budget_bytes() {
+                Some(budget) if mem_acct.sustained_over_budget(2) => HealthReport::new(
+                    "memory",
+                    false,
+                    format!("{total} bytes over budget {budget} (sustained)"),
+                ),
+                Some(budget) => {
+                    HealthReport::new("memory", true, format!("{total} bytes (budget {budget})"))
+                }
+                None => HealthReport::new("memory", true, format!("{total} bytes (no budget)")),
+            }
+        });
 
         // Membership probe: a registered worker that stopped heartbeating
         // is dead capacity — degrade /healthz so the operator (or an
@@ -698,10 +764,12 @@ impl HeliosDeployment {
         recorder: &Arc<FlightRecorder>,
         slo: &Arc<SloTracker>,
         retained: &Arc<RetainedTraces>,
+        accountant: &Arc<MemAccountant>,
     ) -> StatsReporter {
         let registry = Arc::clone(telemetry);
         let broker = Arc::clone(broker);
         let retained = Arc::clone(retained);
+        let accountant = Arc::clone(accountant);
         let probes: Vec<(String, Box<dyn Fn() -> usize + Send + Sync>)> = sampling
             .iter()
             .map(|w| (w.id().0.to_string(), Box::new(w.backlog_probe()) as _))
@@ -838,6 +906,18 @@ impl HeliosDeployment {
                 );
             }
             burning = short > 1.0;
+            // Publish `mem.bytes{component,…}` and judge the budget; the
+            // under→over crossing is the rising edge that dumps the ring.
+            let tick = accountant.export();
+            if tick.crossed_over {
+                recorder.anomaly(
+                    EventKind::MemPressure,
+                    u32::MAX,
+                    tick.total_bytes.max(0) as u64,
+                    accountant.budget_bytes().unwrap_or(0),
+                    tick.budget_fraction.map_or(0, |f| (f * 1000.0) as u64),
+                );
+            }
         })
     }
 
@@ -870,6 +950,14 @@ impl HeliosDeployment {
     /// The deployment's flight recorder (always on).
     pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
         &self.recorder
+    }
+
+    /// The deployment's memory ledger: per-component byte gauges, summed
+    /// totals and budget pressure. Exported into the registry every stats
+    /// tick; tests may call [`MemAccountant::export`] directly for a
+    /// deterministic tick.
+    pub fn mem_accountant(&self) -> &Arc<MemAccountant> {
+        &self.accountant
     }
 
     /// The tail-sampled trace store behind `/traces`: slow, errored and

@@ -58,7 +58,7 @@ pub use messages::{ControlMsg, SampleEntryLite, SampleMsg, UpdateEnvelope};
 pub use report::{DeploymentReport, SamplingReport, ServingReport};
 pub use rescale::AutoscalerGuard;
 pub use sampler::SamplingWorker;
-pub use serving::ServingWorker;
+pub use serving::{ServingMemGauges, ServingWorker};
 
 // Membership/rescale vocabulary, re-exported so deployments can configure
 // the autoscaler without depending on helios-membership directly.

@@ -28,6 +28,16 @@ pub struct ServingReport {
     pub mq_dwell_p99_ms: f64,
     /// Cache footprint in bytes (memory + disk).
     pub cache_bytes: u64,
+    /// Queued requests answered from a coalesced hot-seed expansion.
+    pub coalesce_hits: u64,
+    /// Coalescable requests expanded separately because the single-flight
+    /// waiter cap was reached — a sustained rate means the cap is too low
+    /// for the skew.
+    pub coalesce_overflow: u64,
+    /// Byte-accurate accounted footprint of this replica (sample/feature
+    /// memtables + block cache + SST indexes + serve scratch), from the
+    /// worker's [`crate::ServingMemGauges`].
+    pub accounted_bytes: i64,
 }
 
 /// Snapshot of one sampling worker's counters.
@@ -57,6 +67,13 @@ pub struct DeploymentReport {
     pub serving: Vec<ServingReport>,
     /// Workers that missed their heartbeat window.
     pub dead_workers: Vec<String>,
+    /// Accounted bytes per memory component (`mem.bytes` ledger), sorted
+    /// by component name.
+    pub mem_components: Vec<(String, i64)>,
+    /// Sum of all accounted component bytes.
+    pub mem_total_bytes: i64,
+    /// Configured memory budget, when one is set.
+    pub mem_budget_bytes: Option<u64>,
 }
 
 impl DeploymentReport {
@@ -89,6 +106,25 @@ impl DeploymentReport {
                 ingestion_p99_ms: w.ingestion_latency().percentile_ms(99.0),
                 mq_dwell_p99_ms: w.mq_dwell().percentile_ms(99.0),
                 cache_bytes: w.cache_bytes(),
+                coalesce_hits: w.coalesce_hits(),
+                coalesce_overflow: w.coalesce_overflow(),
+                accounted_bytes: {
+                    let g = w.mem_gauges();
+                    g.sample_table.get()
+                        + g.feature_table.get()
+                        + g.block_cache.get()
+                        + g.sst_index.get()
+                        + g.serve_scratch.get()
+                },
+            })
+            .collect();
+        let accountant = deployment.mem_accountant();
+        let mem_components = accountant
+            .components()
+            .into_iter()
+            .map(|c| {
+                let bytes = accountant.component_bytes(&c);
+                (c, bytes)
             })
             .collect();
         DeploymentReport {
@@ -97,6 +133,9 @@ impl DeploymentReport {
             dead_workers: deployment
                 .coordinator()
                 .dead_workers(std::time::Duration::from_secs(5)),
+            mem_components,
+            mem_total_bytes: accountant.total_bytes(),
+            mem_budget_bytes: accountant.budget_bytes(),
         }
     }
 
@@ -129,7 +168,7 @@ impl fmt::Display for DeploymentReport {
         for s in &self.serving {
             writeln!(
                 f,
-                "  SEW{}r{}: {} served (avg {:.3} ms / p99 {:.3} ms), {} applied (dwell p99 {:.3} ms), {} decode errors, cache {} KB",
+                "  SEW{}r{}: {} served (avg {:.3} ms / p99 {:.3} ms), {} applied (dwell p99 {:.3} ms), {} decode errors, cache {} KB, coalesce {}/{} hit/overflow, accounted {} KB",
                 s.sew,
                 s.replica,
                 s.served,
@@ -138,8 +177,29 @@ impl fmt::Display for DeploymentReport {
                 s.applied,
                 s.mq_dwell_p99_ms,
                 s.decode_errors,
-                s.cache_bytes / 1024
+                s.cache_bytes / 1024,
+                s.coalesce_hits,
+                s.coalesce_overflow,
+                s.accounted_bytes.max(0) / 1024
             )?;
+        }
+        let components = self
+            .mem_components
+            .iter()
+            .map(|(c, b)| format!("{c} {b}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        match self.mem_budget_bytes {
+            Some(budget) => writeln!(
+                f,
+                "  MEM: {} bytes of {budget} budget ({})",
+                self.mem_total_bytes, components
+            )?,
+            None => writeln!(
+                f,
+                "  MEM: {} bytes, no budget ({})",
+                self.mem_total_bytes, components
+            )?,
         }
         if !self.dead_workers.is_empty() {
             writeln!(f, "  DEAD: {:?}", self.dead_workers)?;
@@ -170,6 +230,13 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("SAW0"));
         assert!(text.contains("SEW1r0"));
+        assert!(text.contains("MEM:"), "report shows the memory ledger");
+        for component in ["mq_log", "sample_table", "feature_table", "trace_retention"] {
+            assert!(
+                report.mem_components.iter().any(|(c, _)| c == component),
+                "ledger tracks {component}"
+            );
+        }
         assert!(
             report.dead_workers.is_empty(),
             "freshly started workers are alive"

@@ -127,13 +127,20 @@ impl HeliosDeployment {
             let replicas = self.config.serving_replicas as u32;
             let mut joined: Vec<Arc<ServingWorker>> = Vec::new();
             for s in have as u32..target as u32 {
+                // New sample queues charge the shared mq_log gauge, and
+                // joining workers' caches join the memory ledger — the
+                // accountant follows the fleet through rescales.
                 self.broker.create_topic(
                     &topics::samples(s),
-                    TopicConfig::in_memory(self.config.sample_queue_partitions),
+                    TopicConfig {
+                        partitions: self.config.sample_queue_partitions,
+                        mem: self.mq_log_gauge.clone(),
+                        ..Default::default()
+                    },
                 )?;
                 for r in 0..replicas {
                     let beacon = self.coordinator.register_worker(&format!("sew{s}-r{r}"));
-                    joined.push(ServingWorker::start(
+                    let worker = ServingWorker::start(
                         ServingWorkerId(s),
                         r,
                         &self.config,
@@ -142,7 +149,9 @@ impl HeliosDeployment {
                         beacon,
                         &self.telemetry,
                         &self.recorder,
-                    )?);
+                    )?;
+                    crate::deployment::adopt_serving_mem(&self.accountant, &worker);
+                    joined.push(worker);
                 }
             }
             let mut guard = self.serving.write();

@@ -306,6 +306,9 @@ struct SamplerShard {
     /// Nanoseconds the current update spent fanning out to subscribers
     /// (reset per update; see `apply_latency`/`propagate_latency`).
     propagate_ns: u64,
+    /// Profiler registration, held for the shard thread's lifetime
+    /// (populated by `on_start` on the actor's own thread).
+    profile_token: Option<helios_types::profile::ThreadToken>,
 }
 
 impl SamplerShard {
@@ -328,6 +331,7 @@ impl SamplerShard {
             seeds: FxHashMap::default(),
             rng: StdRng::seed_from_u64(seed ^ 0x4845_4C49_4F53_u64),
             propagate_ns: 0,
+            profile_token: None,
         }
     }
 
@@ -894,13 +898,24 @@ impl SamplerShard {
     }
 }
 
+static SHARD_UPDATE: helios_types::profile::FrameLabel =
+    helios_types::profile::FrameLabel::new("shard_update");
+
 impl helios_actor::Actor for SamplerShard {
     type Msg = ShardMsg;
+
+    fn on_start(&mut self) {
+        self.profile_token = Some(helios_types::profile::register_thread(format!(
+            "saw{}-sampler-{}",
+            self.ctx.worker.0, self.shard_idx
+        )));
+    }
 
     fn handle(&mut self, msg: ShardMsg) {
         let busy_start = std::time::Instant::now();
         match msg {
             ShardMsg::Update(env) => {
+                let _frame = helios_types::profile::push_frame(&SHARD_UPDATE);
                 let shard_span = span("sampler.shard", env.trace);
                 let trace = shard_span.ctx();
                 self.propagate_ns = 0;
@@ -1017,6 +1032,10 @@ impl SamplingWorker {
                 std::thread::Builder::new()
                     .name(format!("saw{}-poll-updates", id.0))
                     .spawn(move || {
+                        let _token = helios_types::profile::register_thread(format!(
+                            "saw{}-poll-updates",
+                            id.0
+                        ));
                         while !stop.load(Ordering::Relaxed) {
                             beacon2.beat();
                             let recs = consumer.poll(poll_batch, poll_timeout);
@@ -1072,6 +1091,10 @@ impl SamplingWorker {
                 std::thread::Builder::new()
                     .name(format!("saw{}-poll-control", id.0))
                     .spawn(move || {
+                        let _token = helios_types::profile::register_thread(format!(
+                            "saw{}-poll-control",
+                            id.0
+                        ));
                         while !stop.load(Ordering::Relaxed) {
                             beacon.beat();
                             let recs = consumer.poll(poll_batch, poll_timeout);
@@ -1118,6 +1141,10 @@ impl SamplingWorker {
                 std::thread::Builder::new()
                     .name(format!("saw{}-poll-membership", id.0))
                     .spawn(move || {
+                        let _token = helios_types::profile::register_thread(format!(
+                            "saw{}-poll-membership",
+                            id.0
+                        ));
                         while !stop.load(Ordering::Relaxed) {
                             for rec in consumer.poll(64, poll_timeout) {
                                 let msg = match MembershipMsg::decode_from_slice(&rec.payload) {

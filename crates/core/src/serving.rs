@@ -21,18 +21,28 @@ use crate::config::HeliosConfig;
 use crate::messages::{now_nanos, SampleEntryLite, SampleMsg};
 use crate::sampler::topics;
 use bytes::{Bytes, BytesMut};
-use helios_kvstore::{KvConfig, KvEvent, KvStats, KvStore, WriteOp};
+use helios_kvstore::{KvConfig, KvEvent, KvMemGauges, KvStats, KvStore, WriteOp};
 use helios_metrics::{Histogram, StripedHistogram};
 use helios_mq::Broker;
 use helios_query::{KHopQuery, SampledSubgraph, SubgraphArena, SubgraphView};
 use helios_telemetry::{span, Counter, EventKind, FlightRecorder, Registry, TraceCtx};
+use helios_types::profile::{push_frame, register_thread, FrameLabel};
 use helios_types::{
-    Decode, Encode, FxHashSet, PartitionId, QueryHopId, Result, ServingWorkerId, Timestamp,
-    VertexId,
+    Decode, Encode, FxHashSet, MemGauge, PartitionId, QueryHopId, Result, ServingWorkerId,
+    Timestamp, VertexId,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+// Logical profiler frames for the worker's registered threads (serve
+// lanes and updaters); see `helios_types::profile`.
+static SERVE: FrameLabel = FrameLabel::new("serve");
+static CACHE_LOOKUP: FrameLabel = FrameLabel::new("cache_lookup");
+static HOP_EXPAND: FrameLabel = FrameLabel::new("hop_expand");
+static FEATURE_GATHER: FrameLabel = FrameLabel::new("feature_gather");
+static ENCODE: FrameLabel = FrameLabel::new("encode");
+static CACHE_APPLY: FrameLabel = FrameLabel::new("cache_apply");
 
 fn sample_key(hop: QueryHopId, v: VertexId) -> [u8; 10] {
     let mut k = [0u8; 10];
@@ -54,6 +64,25 @@ fn lane_for(seed: VertexId, lanes: usize) -> usize {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     ((x ^ (x >> 31)) % lanes.max(1) as u64) as usize
+}
+
+/// Byte gauges of one serving replica's cache resources, registered with
+/// the deployment's memory accountant as `mem.bytes{component=…}`. The
+/// two kvstores split their memtable bytes by table but share the block
+/// cache and SST-index cells (they are one resource pool per replica).
+#[derive(Debug, Clone, Default)]
+pub struct ServingMemGauges {
+    /// Sample-table memtable bytes (active + immutable).
+    pub sample_table: MemGauge,
+    /// Feature-table memtable bytes (active + immutable).
+    pub feature_table: MemGauge,
+    /// Decoded SST granules resident in the shared block caches.
+    pub block_cache: MemGauge,
+    /// Decoded SST bloom + sparse-index metadata.
+    pub sst_index: MemGauge,
+    /// Sum of the serve lanes' current scratch footprints (arena +
+    /// reusable buffers); each lane re-charges its delta per batch.
+    pub serve_scratch: MemGauge,
 }
 
 /// A running serving worker. Its latency histograms and hit/served
@@ -109,6 +138,7 @@ pub struct ServingWorker {
     /// them is broken.
     serve_lanes: parking_lot::RwLock<Option<Vec<crossbeam::channel::Sender<ServeRequest>>>>,
     serve_threads: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+    mem: ServingMemGauges,
 }
 
 /// One queued serve request, in flight from `serve_queued` to a lane.
@@ -141,6 +171,20 @@ struct ServeScratch {
     vertices: Vec<VertexId>,
 }
 
+impl ServeScratch {
+    /// Steady-state bytes this scratch pins across requests (buffer
+    /// capacities, not lengths — cleared buffers keep their allocation).
+    fn footprint(&self) -> usize {
+        self.arena.capacity_bytes()
+            + self.frontier.capacity() * std::mem::size_of::<VertexId>()
+            + self.keys10.capacity() * 10
+            + self.keys8.capacity() * 8
+            + self.values.capacity() * std::mem::size_of::<Option<Bytes>>()
+            + self.dedup.capacity() * std::mem::size_of::<VertexId>()
+            + self.vertices.capacity() * std::mem::size_of::<VertexId>()
+    }
+}
+
 impl ServingWorker {
     /// Start replica `replica` of serving worker `id`: opens its cache
     /// stores and spawns data-updating threads over the partitions of
@@ -158,19 +202,29 @@ impl ServingWorker {
         registry: &Registry,
         recorder: &Arc<FlightRecorder>,
     ) -> Result<Arc<ServingWorker>> {
-        let kv_config = |suffix: &str| match &config.cache_dir {
-            Some(dir) => {
-                let mut c = KvConfig::hybrid(
-                    config.cache_shards,
-                    config.cache_memtable_budget,
-                    dir.join(format!("sew{}-r{replica}-{suffix}", id.0)),
-                );
-                c.l0_compact_trigger = config.cache_l0_compact_trigger;
-                c.max_immutable_memtables = config.cache_max_immutables;
-                c.block_cache_bytes = config.cache_block_cache_bytes;
-                c
-            }
-            None => KvConfig::in_memory(config.cache_shards),
+        let mem = ServingMemGauges::default();
+        let kv_config = |suffix: &str, table: MemGauge| {
+            let gauges = KvMemGauges {
+                memtable: table,
+                block_cache: mem.block_cache.clone(),
+                sst_index: mem.sst_index.clone(),
+            };
+            let mut c = match &config.cache_dir {
+                Some(dir) => {
+                    let mut c = KvConfig::hybrid(
+                        config.cache_shards,
+                        config.cache_memtable_budget,
+                        dir.join(format!("sew{}-r{replica}-{suffix}", id.0)),
+                    );
+                    c.l0_compact_trigger = config.cache_l0_compact_trigger;
+                    c.max_immutable_memtables = config.cache_max_immutables;
+                    c.block_cache_bytes = config.cache_block_cache_bytes;
+                    c
+                }
+                None => KvConfig::in_memory(config.cache_shards),
+            };
+            c.mem = gauges;
+            c
         };
         let w = id.0.to_string();
         let r = replica.to_string();
@@ -203,8 +257,8 @@ impl ServingWorker {
             id,
             replica,
             query: query.clone(),
-            samples: KvStore::open(kv_config("samples"))?,
-            features: KvStore::open(kv_config("features"))?,
+            samples: KvStore::open(kv_config("samples", mem.sample_table.clone()))?,
+            features: KvStore::open(kv_config("features", mem.feature_table.clone()))?,
             serve_latency: registry.histogram("serving.latency", labels),
             ingestion_latency: registry.histogram("serving.ingestion_latency", labels),
             stage_cache_lookup: registry.histogram_striped(
@@ -252,6 +306,7 @@ impl ServingWorker {
             updaters: parking_lot::Mutex::new(Vec::new()),
             serve_lanes: parking_lot::RwLock::new(Some(lane_txs)),
             serve_threads: parking_lot::Mutex::new(Vec::new()),
+            mem: mem.clone(),
         });
 
         // Background flush/compaction events from both cache stores feed
@@ -300,10 +355,12 @@ impl ServingWorker {
             let w = Arc::clone(&worker);
             let pin = config.pin_serving_threads;
             let drain = config.serve_drain_batch.max(1);
+            let thread_name = format!("sew{}r{replica}-serve-{t}", id.0);
             serve_handles.push(
                 std::thread::Builder::new()
-                    .name(format!("sew{}r{replica}-serve-{t}", id.0))
+                    .name(thread_name.clone())
                     .spawn(move || {
+                        let _token = register_thread(thread_name);
                         if pin {
                             // Best effort; lanes run unpinned on failure.
                             let _ = helios_types::affinity::pin_to_core(t);
@@ -311,6 +368,9 @@ impl ServingWorker {
                         let mut scratch = ServeScratch::default();
                         let mut batch: Vec<ServeRequest> = Vec::with_capacity(drain);
                         let mut done: Vec<bool> = Vec::with_capacity(drain);
+                        // Bytes of scratch currently charged to the
+                        // worker's serve_scratch gauge by this lane.
+                        let mut charged = 0usize;
                         while let Ok(first) = rx.recv() {
                             batch.push(first);
                             while batch.len() < drain {
@@ -321,7 +381,13 @@ impl ServingWorker {
                             }
                             w.run_lane_batch(t, &mut batch, &mut done, &mut scratch);
                             batch.clear();
+                            let fp = scratch.footprint();
+                            w.mem
+                                .serve_scratch
+                                .add_signed(fp as i64 - charged as i64);
+                            charged = fp;
                         }
+                        w.mem.serve_scratch.sub(charged);
                     })
                     .expect("spawn serving thread"),
             );
@@ -347,10 +413,12 @@ impl ServingWorker {
             let poll_timeout = config.poll_timeout;
             let beacon = beacon.clone();
             let recorder = Arc::clone(recorder);
+            let updater_name = format!("sew{}r{replica}-updater-{t}", id.0);
             handles.push(
                 std::thread::Builder::new()
-                    .name(format!("sew{}r{replica}-updater-{t}", id.0))
+                    .name(updater_name.clone())
                     .spawn(move || {
+                        let _token = register_thread(updater_name);
                         let mut batch: Vec<SampleMsg> = Vec::with_capacity(poll_batch);
                         while !stop.load(Ordering::Relaxed) {
                             beacon.beat();
@@ -374,7 +442,9 @@ impl ServingWorker {
                             // The whole poll batch lands in the cache with
                             // one write-lock acquisition per kvstore shard.
                             let apply_start = std::time::Instant::now();
+                            let apply_frame = push_frame(&CACHE_APPLY);
                             w.apply_batch(&batch);
+                            drop(apply_frame);
                             w.cache_apply_latency.record_duration(apply_start.elapsed());
                             w.applied.add(batch.len() as u64);
                             if errors > 0 {
@@ -566,6 +636,7 @@ impl ServingWorker {
             TraceCtx::root()
         };
         let serve_span = span("serving.serve", root);
+        let _serve_frame = push_frame(&SERVE);
         let ctx = serve_span.ctx();
         let start = std::time::Instant::now();
         // Stage clocks are *contiguous*: each stage window runs from the
@@ -595,9 +666,11 @@ impl ServingWorker {
             // buffer. The values are borrowed granules: refcounted handles
             // onto block-cache/memtable memory, not copies.
             let lookup_span = span("serving.cache_lookup", ctx);
+            let lookup_frame = push_frame(&CACHE_LOOKUP);
             keys10.clear();
             keys10.extend(frontier.iter().map(|&v| sample_key(hop, v)));
             self.samples.multi_get_into(keys10, values)?;
+            drop(lookup_frame);
             drop(lookup_span);
             let now = std::time::Instant::now();
             self.stage_cache_lookup
@@ -608,6 +681,7 @@ impl ServingWorker {
             // off the raw bytes into the arena — no `Vec<VertexId>` per
             // parent, no intermediate `Vec<SampleEntryLite>`.
             let expand_span = span("serving.hop_expand", ctx);
+            let expand_frame = push_frame(&HOP_EXPAND);
             let (mut hits, mut misses) = (0u64, 0u64);
             for (&v, value) in frontier.iter().zip(values.iter()) {
                 arena.begin_group(v);
@@ -628,6 +702,7 @@ impl ServingWorker {
             arena.end_hop();
             self.sample_hits.add(hits);
             self.sample_misses.add(misses);
+            drop(expand_frame);
             drop(expand_span);
             let now = std::time::Instant::now();
             self.stage_hop_expand
@@ -644,6 +719,7 @@ impl ServingWorker {
         // many parents costs one feature lookup; the whole set is fetched
         // with a single multi_get into the reused value buffer.
         let gather_span = span("serving.feature_gather", ctx);
+        let gather_frame = push_frame(&FEATURE_GATHER);
         dedup.clear();
         vertices.clear();
         for v in std::iter::once(seed).chain(arena.sampled_vertices().iter().copied()) {
@@ -654,6 +730,7 @@ impl ServingWorker {
         keys8.clear();
         keys8.extend(vertices.iter().map(|&v| feature_key(v)));
         self.features.multi_get_into(keys8, values)?;
+        drop(gather_frame);
         drop(gather_span);
         let now = std::time::Instant::now();
         self.stage_feature_gather
@@ -664,6 +741,7 @@ impl ServingWorker {
         // the arena's flat feature buffer, then finish (owned conversion
         // or wire encoding) from the borrowed view.
         let encode_span = span("serving.encode", ctx);
+        let encode_frame = push_frame(&ENCODE);
         let (mut hits, mut misses) = (0u64, 0u64);
         for (&v, value) in vertices.iter().zip(values.iter()) {
             match value {
@@ -678,6 +756,7 @@ impl ServingWorker {
         self.feature_hits.add(hits);
         self.feature_misses.add(misses);
         let result = finish(arena.view());
+        drop(encode_frame);
         drop(encode_span);
         self.stage_encode
             .stripe(lane)
@@ -880,6 +959,12 @@ impl ServingWorker {
     /// ingestion latency.
     pub fn mq_dwell(&self) -> &Histogram {
         &self.mq_dwell
+    }
+
+    /// Byte gauges of this replica's cache resources, for registration
+    /// with the deployment's memory accountant.
+    pub fn mem_gauges(&self) -> &ServingMemGauges {
+        &self.mem
     }
 
     /// Cache size statistics: (sample table, feature table) — Fig. 16.

@@ -23,7 +23,7 @@
 //! that age out under the hand.
 
 use crate::sst::StoredValue;
-use helios_types::{fx_hash_u64, FxHashMap};
+use helios_types::{fx_hash_u64, FxHashMap, MemGauge};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -61,10 +61,13 @@ impl CacheShard {
         Some(Arc::clone(&slot.block))
     }
 
-    fn insert(&mut self, key: BlockKey, block: Arc<Block>, bytes: usize, capacity: usize) {
+    /// Returns the net byte delta (inserted bytes minus evicted bytes)
+    /// so the caller can mirror it into the store's memory gauge.
+    fn insert(&mut self, key: BlockKey, block: Arc<Block>, bytes: usize, capacity: usize) -> i64 {
         if self.map.contains_key(&key) {
-            return; // racing readers decoded the same granule; keep the first
+            return 0; // racing readers decoded the same granule; keep the first
         }
+        let before = self.bytes;
         // Evict until the new block fits (CLOCK sweep: referenced slots get
         // a second chance, unreferenced ones go).
         let mut sweeps = 0usize;
@@ -103,18 +106,23 @@ impl CacheShard {
             self.map.insert(key, self.slots.len());
             self.slots.push(Some(slot));
         }
+        self.bytes as i64 - before as i64
     }
 
-    fn purge_sst(&mut self, sst_id: u64) {
+    /// Returns the bytes freed, for the caller's gauge mirror.
+    fn purge_sst(&mut self, sst_id: u64) -> usize {
+        let mut freed = 0usize;
         for idx in 0..self.slots.len() {
             if let Some(slot) = &self.slots[idx] {
                 if slot.key.0 == sst_id {
                     self.bytes -= slot.bytes;
+                    freed += slot.bytes;
                     self.map.remove(&slot.key);
                     self.slots[idx] = None;
                 }
             }
         }
+        freed
     }
 }
 
@@ -127,17 +135,26 @@ pub struct BlockCache {
     capacity_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Mirror of resident data bytes for the memory accountant; adjusted
+    /// on every insert/evict/purge, zeroed on drop.
+    mem: MemGauge,
 }
 
 impl BlockCache {
     /// A cache bounded by `capacity_bytes` (data bytes, excluding map
     /// overhead), split across [`CACHE_SHARDS`] lock domains.
     pub fn new(capacity_bytes: usize) -> Arc<BlockCache> {
+        Self::new_accounted(capacity_bytes, MemGauge::new())
+    }
+
+    /// Like [`BlockCache::new`], mirroring resident bytes into `mem`.
+    pub fn new_accounted(capacity_bytes: usize, mem: MemGauge) -> Arc<BlockCache> {
         Arc::new(BlockCache {
             shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
             capacity_per_shard: capacity_bytes / CACHE_SHARDS,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            mem,
         })
     }
 
@@ -173,9 +190,11 @@ impl BlockCache {
         if !self.enabled() || bytes > self.capacity_per_shard / 8 + 1 {
             return;
         }
-        self.shard_of(&key)
+        let delta = self
+            .shard_of(&key)
             .lock()
             .insert(key, block, bytes, self.capacity_per_shard);
+        self.mem.add_signed(delta);
     }
 
     /// Drop every cached granule of one SST (called after compaction
@@ -184,9 +203,11 @@ impl BlockCache {
         if !self.enabled() {
             return;
         }
+        let mut freed = 0usize;
         for shard in &self.shards {
-            shard.lock().purge_sst(sst_id);
+            freed += shard.lock().purge_sst(sst_id);
         }
+        self.mem.sub(freed);
     }
 
     /// (hits, misses) since creation.
@@ -200,6 +221,12 @@ impl BlockCache {
     /// Resident data bytes across all shards.
     pub fn bytes(&self) -> usize {
         self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+}
+
+impl Drop for BlockCache {
+    fn drop(&mut self) {
+        self.mem.sub(self.bytes());
     }
 }
 

@@ -21,6 +21,7 @@
 use crate::sst::{SstCursor, SstWriter, StoredValue};
 use crate::store::{KvEvent, Run, StoreInner};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
+use helios_types::profile::{push_frame, register_thread, FrameLabel};
 use helios_types::{Result, Timestamp};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -31,7 +32,10 @@ use std::time::Duration;
 /// stop-the-world-sized sweep.
 pub(crate) const MAX_FANIN: usize = 8;
 
+static COMPACT_MERGE: FrameLabel = FrameLabel::new("compact_merge");
+
 pub(crate) fn run(inner: Arc<StoreInner>, rx: Receiver<()>) {
+    let _token = register_thread("helios-kv-compact");
     loop {
         match rx.recv_timeout(Duration::from_millis(100)) {
             Ok(()) | Err(RecvTimeoutError::Timeout) => {}
@@ -62,6 +66,7 @@ pub(crate) fn run(inner: Arc<StoreInner>, rx: Receiver<()>) {
                     continue;
                 }
                 let fanin = if ttl_sweep { usize::MAX } else { MAX_FANIN };
+                let _f = push_frame(&COMPACT_MERGE);
                 match merge_shard(&inner, idx, fanin, None) {
                     Ok(did) => merged_any |= did,
                     Err(e) => {

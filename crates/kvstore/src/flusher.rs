@@ -15,16 +15,23 @@
 use crate::sst::SstWriter;
 use crate::store::{KvEvent, Run, StoreInner, FLUSH_WAKE};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
+use helios_types::profile::{push_frame, register_thread, FrameLabel};
 use helios_types::Result;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
+static FLUSH_SST: FrameLabel = FrameLabel::new("flush_sst");
+
 pub(crate) fn run(inner: Arc<StoreInner>, rx: Receiver<usize>) {
+    let _token = register_thread("helios-kv-flush");
     loop {
         match rx.recv_timeout(Duration::from_millis(100)) {
             Ok(FLUSH_WAKE) => {}
-            Ok(idx) => flush_oldest(&inner, idx),
+            Ok(idx) => {
+                let _f = push_frame(&FLUSH_SST);
+                flush_oldest(&inner, idx)
+            }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -83,6 +90,9 @@ fn try_flush_oldest(inner: &StoreInner, idx: usize) -> Result<()> {
         runs.extend(shard.runs.iter().cloned());
         shard.runs = Arc::new(runs);
         shard.immutables.retain(|m| m.seq != imm.seq);
+        // The flushed table's bytes now live on disk (and in SST
+        // metadata, charged by open_sst): release the memtable gauge.
+        shard.mem.sub(imm.bytes);
     }
     let pending = inner
         .imm_count

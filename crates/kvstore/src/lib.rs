@@ -42,4 +42,4 @@ pub mod store;
 
 pub use bloom::BloomFilter;
 pub use cache::BlockCache;
-pub use store::{EventHook, KvConfig, KvEvent, KvStats, KvStore, WriteOp};
+pub use store::{EventHook, KvConfig, KvEvent, KvMemGauges, KvStats, KvStore, WriteOp};

@@ -19,7 +19,7 @@
 use crate::bloom::BloomFilter;
 use crate::cache::{Block, BlockCache};
 use bytes::Bytes;
-use helios_types::{HeliosError, Result, Timestamp};
+use helios_types::{HeliosError, MemGauge, Result, Timestamp};
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
 use std::os::unix::fs::FileExt;
@@ -172,6 +172,9 @@ pub struct Sst {
     file_bytes: u64,
     cache: Option<Arc<BlockCache>>,
     cache_id: u64,
+    /// Gauge charged with [`Sst::meta_bytes`] at open and released on
+    /// drop, so the accountant sees decoded index + bloom memory.
+    mem: Option<MemGauge>,
 }
 
 impl Sst {
@@ -183,6 +186,17 @@ impl Sst {
     /// Open an SST, scanning it once to build the filter and index.
     /// Subsequent granule reads go through `cache` when one is given.
     pub fn open_with_cache(path: &Path, cache: Option<Arc<BlockCache>>) -> Result<Self> {
+        Self::open_accounted(path, cache, None)
+    }
+
+    /// Like [`Sst::open_with_cache`], additionally charging the decoded
+    /// metadata footprint ([`Sst::meta_bytes`]) to `mem` for the
+    /// instance's lifetime.
+    pub fn open_accounted(
+        path: &Path,
+        cache: Option<Arc<BlockCache>>,
+        mem: Option<MemGauge>,
+    ) -> Result<Self> {
         let mut file = File::open(path)?;
         let mut magic = [0u8; 5];
         file.read_exact(&mut magic)?;
@@ -229,7 +243,7 @@ impl Sst {
         let bloom = BloomFilter::build(keys.iter().map(|k| k.as_slice()));
         let file_bytes = offset;
         let file = File::open(path)?;
-        Ok(Sst {
+        let sst = Sst {
             path: path.to_path_buf(),
             file,
             bloom,
@@ -239,7 +253,12 @@ impl Sst {
             file_bytes,
             cache,
             cache_id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
-        })
+            mem,
+        };
+        if let Some(m) = &sst.mem {
+            m.add(sst.meta_bytes());
+        }
+        Ok(sst)
     }
 
     /// Number of entries.
@@ -285,6 +304,14 @@ impl Sst {
     /// file name).
     pub fn cache_id(&self) -> u64 {
         self.cache_id
+    }
+
+    /// Release the accounted metadata bytes when the instance goes away
+    /// (flush install failure, compaction input deletion, store drop).
+    fn release_mem(&self) {
+        if let Some(m) = &self.mem {
+            m.sub(self.meta_bytes());
+        }
     }
 
     /// Byte range `[start, end)` of granule `idx`.
@@ -407,6 +434,12 @@ impl Sst {
             out.append(&mut self.read_granule(idx)?);
         }
         Ok(out)
+    }
+}
+
+impl Drop for Sst {
+    fn drop(&mut self) {
+        self.release_mem();
     }
 }
 

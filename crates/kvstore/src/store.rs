@@ -39,7 +39,7 @@ use crate::cache::BlockCache;
 use crate::sst::{Sst, StoredValue};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
-use helios_types::{fx_hash_u64, Result, Timestamp};
+use helios_types::{fx_hash_u64, MemGauge, Result, Timestamp};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -49,6 +49,24 @@ use std::time::{Duration, Instant};
 
 /// Flusher-channel sentinel: wake without a shard to flush (shutdown).
 pub(crate) const FLUSH_WAKE: usize = usize::MAX;
+
+/// Byte gauges the store mirrors its exact internal accounting into, so
+/// a deployment's memory accountant can export
+/// `mem.bytes{component=...}` without polling. Every adjustment happens
+/// on an alloc/free site the store already tracks (`Shard::mem_bytes`,
+/// `CacheShard::bytes`, `Sst::meta_bytes`); the mirror is one relaxed
+/// atomic per site. The defaults are fresh unobserved cells — an
+/// unwired store accounts into the void at negligible cost.
+#[derive(Debug, Clone, Default)]
+pub struct KvMemGauges {
+    /// Active + immutable memtable bytes (falls on flush/expiry/drop).
+    pub memtable: MemGauge,
+    /// Block-cache resident data bytes (falls on eviction/purge/drop).
+    pub block_cache: MemGauge,
+    /// Decoded SST metadata — bloom filters + sparse indexes — charged
+    /// at open, released when the `Sst` instance drops.
+    pub sst_index: MemGauge,
+}
 
 /// Store configuration.
 #[derive(Debug, Clone)]
@@ -70,6 +88,9 @@ pub struct KvConfig {
     /// Block-cache capacity in bytes, shared across all shards of the
     /// store. `0` disables the cache.
     pub block_cache_bytes: usize,
+    /// Gauges the store mirrors its byte accounting into (memtables,
+    /// block cache, SST metadata). Default: fresh unobserved cells.
+    pub mem: KvMemGauges,
 }
 
 impl Default for KvConfig {
@@ -81,6 +102,7 @@ impl Default for KvConfig {
             l0_compact_trigger: 4,
             max_immutable_memtables: 4,
             block_cache_bytes: 32 << 20,
+            mem: KvMemGauges::default(),
         }
     }
 }
@@ -208,15 +230,19 @@ pub(crate) struct Shard {
     /// SST runs, newest first. Copy-on-write: readers clone the `Arc`
     /// under the read lock and probe the files lock-free.
     pub(crate) runs: Arc<Vec<Run>>,
+    /// Store-wide memtable byte gauge (every shard shares one cell);
+    /// mirrors active + immutable bytes for the memory accountant.
+    pub(crate) mem: MemGauge,
 }
 
 impl Shard {
-    fn new(runs: Vec<Run>) -> Self {
+    fn new(runs: Vec<Run>, mem: MemGauge) -> Self {
         Shard {
             active: BTreeMap::new(),
             mem_bytes: 0,
             immutables: Vec::new(),
             runs: Arc::new(runs),
+            mem,
         }
     }
 
@@ -243,8 +269,10 @@ impl Shard {
         if let Some(old) = self.active.insert(key, sv) {
             self.mem_bytes = self.mem_bytes.saturating_sub(old.footprint());
             self.mem_bytes += add - klen;
+            self.mem.add_signed((add - klen) as i64 - old.footprint() as i64);
         } else {
             self.mem_bytes += add;
+            self.mem.add(add);
         }
     }
 }
@@ -372,7 +400,11 @@ impl StoreInner {
     }
 
     pub(crate) fn open_sst(&self, path: &Path) -> Result<Sst> {
-        Sst::open_with_cache(path, self.cache.clone())
+        Sst::open_accounted(
+            path,
+            self.cache.clone(),
+            Some(self.config.mem.sst_index.clone()),
+        )
     }
 
     pub(crate) fn fire(&self, ev: &KvEvent) {
@@ -465,6 +497,22 @@ impl StoreInner {
                 keep
             });
             shard.mem_bytes = shard.mem_bytes.saturating_sub(freed);
+            shard.mem.sub(freed);
+        }
+    }
+}
+
+impl Drop for StoreInner {
+    fn drop(&mut self) {
+        // Release whatever the memtables still hold (flushed immutables
+        // were already released by the flusher; in pure-memory mode
+        // everything is still here). The cache and SSTs release their
+        // own gauges on their drops.
+        for lock in &self.shards {
+            let shard = lock.read();
+            let left: usize =
+                shard.mem_bytes + shard.immutables.iter().map(|m| m.bytes).sum::<usize>();
+            shard.mem.sub(left);
         }
     }
 }
@@ -487,7 +535,10 @@ impl KvStore {
     pub fn open(config: KvConfig) -> Result<Self> {
         assert!(config.shards > 0, "need at least one shard");
         let cache = match (&config.dir, config.block_cache_bytes) {
-            (Some(_), bytes) if bytes > 0 => Some(BlockCache::new(bytes)),
+            (Some(_), bytes) if bytes > 0 => Some(BlockCache::new_accounted(
+                bytes,
+                config.mem.block_cache.clone(),
+            )),
             _ => None,
         };
         let mut per_shard: Vec<Vec<Run>> = (0..config.shards).map(|_| Vec::new()).collect();
@@ -509,7 +560,11 @@ impl KvStore {
                     continue;
                 };
                 let path = entry.path();
-                let sst = match Sst::open_with_cache(&path, cache.clone()) {
+                let sst = match Sst::open_accounted(
+                    &path,
+                    cache.clone(),
+                    Some(config.mem.sst_index.clone()),
+                ) {
                     Ok(s) => s,
                     // Unreadable leftover (crash mid-header): never data,
                     // skip it but still reserve its ids.
@@ -553,11 +608,12 @@ impl KvStore {
         } else {
             (None, None)
         };
+        let mem_gauge = config.mem.memtable.clone();
         let inner = Arc::new(StoreInner {
             config,
             shards: per_shard
                 .into_iter()
-                .map(|r| RwLock::new(Shard::new(r)))
+                .map(|r| RwLock::new(Shard::new(r, mem_gauge.clone())))
                 .collect(),
             cache,
             next_sst_id: AtomicU64::new(next_id),
@@ -1562,5 +1618,108 @@ mod tests {
         assert_eq!(parse_sst_name("g0000000002-0000000007"), Some((2, 7)));
         assert_eq!(parse_sst_name("garbage"), None);
         assert_eq!(parse_sst_name("g12"), None);
+    }
+
+    #[test]
+    fn mem_gauges_track_insert_flush_and_drop() {
+        let dir = tmpdir("memgauge");
+        let gauges = KvMemGauges::default();
+        let mut config = KvConfig::hybrid(2, 1 << 30, dir.clone());
+        config.mem = gauges.clone();
+        let kv = KvStore::open(config).unwrap();
+        assert_eq!(gauges.memtable.get(), 0);
+        for i in 0..300u64 {
+            kv.put(&key(i), Bytes::from(format!("v{i}")), Timestamp(i))
+                .unwrap();
+        }
+        let st = kv.stats();
+        assert!(st.mem_bytes > 0);
+        assert_eq!(
+            gauges.memtable.get(),
+            st.mem_bytes as i64,
+            "gauge mirrors the store's own memtable byte count"
+        );
+        assert_eq!(gauges.sst_index.get(), 0);
+        kv.flush().unwrap();
+        assert_eq!(
+            gauges.memtable.get(),
+            0,
+            "flushed bytes leave the memtable gauge"
+        );
+        assert!(
+            gauges.sst_index.get() > 0,
+            "SST metadata is charged after flush"
+        );
+        // Read back through the cache so granule bytes are charged, then
+        // compare the gauge against the cache's own resident count.
+        for i in (0..300).step_by(7) {
+            assert!(kv.get(&key(i)).unwrap().is_some());
+        }
+        let cache = kv.inner.cache.as_ref().unwrap();
+        assert!(cache.bytes() > 0, "reads populate the block cache");
+        assert_eq!(gauges.block_cache.get(), cache.bytes() as i64);
+        drop(kv);
+        assert_eq!(gauges.memtable.get(), 0);
+        assert_eq!(gauges.block_cache.get(), 0, "cache drop releases its gauge");
+        assert_eq!(gauges.sst_index.get(), 0, "SST drops release their gauge");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_gauge_falls_to_zero_after_ttl_expiry() {
+        let gauges = KvMemGauges::default();
+        let mut config = KvConfig::in_memory(2);
+        config.mem = gauges.clone();
+        let kv = KvStore::open(config).unwrap();
+        for i in 0..50u64 {
+            kv.put(&key(i), Bytes::from(vec![0u8; 64]), Timestamp(i))
+                .unwrap();
+        }
+        assert!(gauges.memtable.get() > 0);
+        kv.expire_before(Timestamp(1_000)).unwrap();
+        assert_eq!(
+            gauges.memtable.get(),
+            0,
+            "expired entries release their bytes"
+        );
+        drop(kv);
+        assert_eq!(gauges.memtable.get(), 0, "drop after expiry double-frees nothing");
+    }
+
+    #[test]
+    fn mem_gauge_overwrite_tracks_footprint_delta() {
+        let gauges = KvMemGauges::default();
+        let mut config = KvConfig::in_memory(1);
+        config.mem = gauges.clone();
+        let kv = KvStore::open(config).unwrap();
+        kv.put(b"k", Bytes::from_static(b"small"), Timestamp(1))
+            .unwrap();
+        let first = gauges.memtable.get();
+        assert!(first > 0);
+        kv.put(b"k", Bytes::from(vec![0u8; 256]), Timestamp(2))
+            .unwrap();
+        let second = gauges.memtable.get();
+        assert_eq!(second, kv.stats().mem_bytes as i64);
+        assert!(second > first, "bigger value grows the gauge");
+        kv.delete(b"k", Timestamp(3)).unwrap();
+        assert_eq!(
+            gauges.memtable.get(),
+            kv.stats().mem_bytes as i64,
+            "tombstone overwrite stays in sync with the store's count"
+        );
+        drop(kv);
+        assert_eq!(gauges.memtable.get(), 0);
+    }
+
+    #[test]
+    fn unwired_store_defaults_account_into_fresh_gauges() {
+        // A store opened without explicit gauges must not panic or leak
+        // into anyone else's accounting: the default gauges are private
+        // cells nobody observes.
+        let kv = KvStore::open(KvConfig::in_memory(1)).unwrap();
+        kv.put(b"a", Bytes::from_static(b"1"), Timestamp(0)).unwrap();
+        drop(kv);
+        let g = KvMemGauges::default();
+        assert_eq!(g.memtable.get(), 0);
     }
 }

@@ -320,6 +320,7 @@ mod tests {
             partitions: 2,
             retention_records: 0,
             segment_dir: Some(dir.clone()),
+            ..Default::default()
         };
         {
             let b = Broker::new();

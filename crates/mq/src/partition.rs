@@ -4,7 +4,7 @@
 use crate::record::Record;
 use crate::segment::SegmentWriter;
 use bytes::Bytes;
-use helios_types::{PartitionId, Result};
+use helios_types::{MemGauge, PartitionId, Result};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::path::Path;
@@ -30,10 +30,13 @@ pub struct Partition {
     inner: Mutex<Inner>,
     /// Soft cap on retained records (0 = unbounded).
     retention_records: usize,
+    /// Mirror of retained bytes for the memory accountant; every
+    /// append/restore/truncation adjusts it, drop releases the rest.
+    mem: MemGauge,
 }
 
 impl Partition {
-    pub(crate) fn new(id: PartitionId, retention_records: usize) -> Self {
+    pub(crate) fn new(id: PartitionId, retention_records: usize, mem: MemGauge) -> Self {
         Partition {
             id,
             inner: Mutex::new(Inner {
@@ -44,6 +47,7 @@ impl Partition {
                 segment: None,
             }),
             retention_records,
+            mem,
         }
     }
 
@@ -73,12 +77,14 @@ impl Partition {
             payload,
             produced_at: crate::record::now_nanos(),
         };
+        self.mem.add(rec.footprint());
         inner.bytes += rec.footprint();
         inner.log.push_back(rec);
         if self.retention_records > 0 {
             while inner.log.len() > self.retention_records {
                 if let Some(old) = inner.log.pop_front() {
                     inner.bytes -= old.footprint();
+                    self.mem.sub(old.footprint());
                     inner.base_offset = old.offset + 1;
                 }
             }
@@ -100,6 +106,7 @@ impl Partition {
             payload,
             produced_at: 0,
         };
+        self.mem.add(rec.footprint());
         inner.bytes += rec.footprint();
         inner.log.push_back(rec);
     }
@@ -154,6 +161,13 @@ impl Partition {
     }
 }
 
+impl Drop for Partition {
+    fn drop(&mut self) {
+        // Topic deletion must return the retained bytes to the accountant.
+        self.mem.sub(self.inner.get_mut().bytes);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,9 +176,15 @@ mod tests {
         Bytes::copy_from_slice(s.as_bytes())
     }
 
+    impl Partition {
+        fn new_test(id: PartitionId, retention_records: usize) -> Self {
+            Partition::new(id, retention_records, MemGauge::new())
+        }
+    }
+
     #[test]
     fn offsets_are_dense_and_monotonic() {
-        let p = Partition::new(PartitionId(0), 0);
+        let p = Partition::new_test(PartitionId(0), 0);
         for i in 0..10u64 {
             assert_eq!(p.append(i, bytes("x")).unwrap(), i);
         }
@@ -174,7 +194,7 @@ mod tests {
 
     #[test]
     fn fetch_respects_offset_and_max() {
-        let p = Partition::new(PartitionId(0), 0);
+        let p = Partition::new_test(PartitionId(0), 0);
         for i in 0..10u64 {
             p.append(i, bytes(&format!("m{i}"))).unwrap();
         }
@@ -192,7 +212,7 @@ mod tests {
 
     #[test]
     fn retention_truncates_front_and_resets_readers() {
-        let p = Partition::new(PartitionId(0), 5);
+        let p = Partition::new_test(PartitionId(0), 5);
         for i in 0..20u64 {
             p.append(i, bytes("y")).unwrap();
         }
@@ -207,7 +227,7 @@ mod tests {
 
     #[test]
     fn append_stamps_produce_time_but_restore_does_not() {
-        let p = Partition::new(PartitionId(0), 0);
+        let p = Partition::new_test(PartitionId(0), 0);
         p.append(0, bytes("fresh")).unwrap();
         p.restore(1, bytes("recovered"));
         let (recs, _) = p.fetch(0, 10);
@@ -216,8 +236,22 @@ mod tests {
     }
 
     #[test]
+    fn mem_gauge_mirrors_retained_bytes_and_drop_releases() {
+        let g = MemGauge::new();
+        let p = Partition::new(PartitionId(0), 2, g.clone());
+        p.append(0, Bytes::from(vec![0u8; 100])).unwrap();
+        p.restore(1, Bytes::from(vec![0u8; 100]));
+        assert_eq!(g.get(), p.bytes() as i64, "gauge mirrors retained bytes");
+        let two = g.get();
+        p.append(2, Bytes::from(vec![0u8; 100])).unwrap();
+        assert_eq!(g.get(), two, "retention pop releases the truncated record");
+        drop(p);
+        assert_eq!(g.get(), 0, "drop returns everything to the accountant");
+    }
+
+    #[test]
     fn byte_accounting_tracks_retention() {
-        let p = Partition::new(PartitionId(0), 2);
+        let p = Partition::new_test(PartitionId(0), 2);
         p.append(0, Bytes::from(vec![0u8; 1000])).unwrap();
         p.append(1, Bytes::from(vec![0u8; 1000])).unwrap();
         let two = p.bytes();

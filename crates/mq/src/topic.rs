@@ -3,7 +3,7 @@
 
 use crate::partition::Partition;
 use bytes::Bytes;
-use helios_types::{fx_hash_u64, HeliosError, PartitionId, Result};
+use helios_types::{fx_hash_u64, HeliosError, MemGauge, PartitionId, Result};
 use parking_lot::{Condvar, Mutex};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -18,6 +18,10 @@ pub struct TopicConfig {
     /// If set, partitions are backed by segment files under this directory
     /// and can be recovered after restart.
     pub segment_dir: Option<PathBuf>,
+    /// Gauge mirroring the topic's retained log bytes (all partitions).
+    /// Defaults to a fresh unobserved cell; wire the accountant's gauge
+    /// in to include this topic in `mem.bytes{component="mq_log"}`.
+    pub mem: MemGauge,
 }
 
 impl Default for TopicConfig {
@@ -26,6 +30,7 @@ impl Default for TopicConfig {
             partitions: 1,
             retention_records: 0,
             segment_dir: None,
+            mem: MemGauge::new(),
         }
     }
 }
@@ -57,7 +62,7 @@ impl Topic {
             )));
         }
         let partitions: Vec<Partition> = (0..config.partitions)
-            .map(|i| Partition::new(PartitionId(i), config.retention_records))
+            .map(|i| Partition::new(PartitionId(i), config.retention_records, config.mem.clone()))
             .collect();
         if let Some(dir) = &config.segment_dir {
             for p in &partitions {
@@ -293,6 +298,27 @@ mod tests {
         // Empty batch: no sequence bump.
         assert_eq!(t.produce_many(Vec::new()).unwrap(), 0);
         assert_eq!(t.produce_seq(), seq0 + 60);
+    }
+
+    #[test]
+    fn topic_deletion_releases_mem_gauge() {
+        let g = MemGauge::new();
+        let cfg = TopicConfig {
+            partitions: 3,
+            mem: g.clone(),
+            ..Default::default()
+        };
+        let t = Topic::new("t", &cfg).unwrap();
+        for i in 0..50u64 {
+            t.produce(i, payload(i)).unwrap();
+        }
+        let retained: usize = (0..3)
+            .map(|i| t.partition(PartitionId(i)).unwrap().bytes())
+            .sum();
+        assert!(retained > 0);
+        assert_eq!(g.get(), retained as i64);
+        drop(t);
+        assert_eq!(g.get(), 0, "deleting the topic frees its log bytes");
     }
 
     #[test]

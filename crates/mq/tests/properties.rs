@@ -98,7 +98,7 @@ proptest! {
     fn retention_keeps_newest(n in 1usize..200, cap in 1usize..50) {
         let broker = Broker::new();
         let topic = broker
-            .create_topic("t", TopicConfig { partitions: 1, retention_records: cap, segment_dir: None })
+            .create_topic("t", TopicConfig { partitions: 1, retention_records: cap, segment_dir: None, ..Default::default() })
             .unwrap();
         for i in 0..n {
             topic.produce(0, Bytes::from(vec![i as u8])).unwrap();
@@ -125,7 +125,7 @@ proptest! {
             payloads.len() * 1000 + payloads.first().map_or(0, |p| p.len())
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let cfg = TopicConfig { partitions: 2, retention_records: 0, segment_dir: Some(dir.clone()) };
+        let cfg = TopicConfig { partitions: 2, retention_records: 0, segment_dir: Some(dir.clone()), ..Default::default() };
         let before: Vec<Vec<u8>>;
         {
             let broker = Broker::new();

@@ -197,6 +197,17 @@ impl SubgraphArena {
         self.seed
     }
 
+    /// Bytes of buffer capacity this arena holds onto across resets —
+    /// the steady-state footprint a serve lane pays for its reuse. Used
+    /// by the serving worker's scratch accounting.
+    pub fn capacity_bytes(&self) -> usize {
+        self.verts.capacity() * std::mem::size_of::<VertexId>()
+            + self.groups.capacity() * std::mem::size_of::<GroupRef>()
+            + self.hop_ends.capacity() * std::mem::size_of::<u32>()
+            + self.feat_data.capacity() * std::mem::size_of::<f32>()
+            + self.feats.capacity() * std::mem::size_of::<FeatRef>()
+    }
+
     /// Open a new `(parent, children)` group in the current hop.
     pub fn begin_group(&mut self, parent: VertexId) {
         self.groups.push(GroupRef {

@@ -31,9 +31,12 @@
 //! | `HELIOS_TRACE_SAMPLE` | head-sampling rate in `[0, 1]` (e.g. `0.01` = 1% of requests traced); setting it also enables tracing from startup |
 //! | `HELIOS_OPS_ADDR` | bind address for the embedded ops HTTP server (e.g. `127.0.0.1:9100`; port `0` for ephemeral) |
 //! | `HELIOS_CACHE_DIR`| base directory for hybrid (memory + disk) serving caches; unset keeps caches purely in memory |
+//! | `HELIOS_MEM_BUDGET` | per-deployment memory budget in bytes (suffixes `k`/`m`/`g` accepted, e.g. `512m`); drives `mem.budget_fraction_permille` and the `/healthz` memory-pressure probe |
 
 pub mod exposition;
+pub mod mem;
 pub mod ops;
+pub mod profiler;
 pub mod recorder;
 pub mod registry;
 pub mod reporter;
@@ -46,7 +49,9 @@ pub use helios_metrics as metrics;
 
 pub use exposition::render_prometheus;
 pub use helios_metrics::{Histogram, Snapshot, StopwatchGuard, Table, ThroughputMeter};
+pub use mem::{MemAccountant, MemTick, MEM_BUDGET_FRACTION, MEM_BYTES};
 pub use ops::{DynRoutes, HealthReport, OpsServer, OpsState};
+pub use profiler::Profiler;
 pub use recorder::{EventKind, FlightEvent, FlightRecorder};
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
 pub use reporter::StatsReporter;
@@ -132,9 +137,50 @@ pub fn cache_dir_env() -> Option<std::path::PathBuf> {
     }
 }
 
+/// The `HELIOS_MEM_BUDGET` environment variable: per-deployment memory
+/// budget in bytes. Accepts a plain integer or a `k`/`m`/`g` suffix
+/// (powers of 1024, case-insensitive): `536870912`, `512m`, `1g`.
+/// Unset, empty, zero, or unparsable is `None` (no budget).
+pub fn mem_budget_env() -> Option<u64> {
+    match std::env::var("HELIOS_MEM_BUDGET") {
+        Ok(v) => parse_bytes(&v),
+        Err(_) => None,
+    }
+}
+
+/// Parse a byte count with an optional `k`/`m`/`g` suffix (×1024 each,
+/// case-insensitive). `None` for empty, zero, or unparsable input.
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim().to_ascii_lowercase();
+    if s.is_empty() {
+        return None;
+    }
+    let (num, shift) = match s.strip_suffix(['k', 'm', 'g']) {
+        Some(num) => match s.as_bytes()[s.len() - 1] {
+            b'k' => (num, 10),
+            b'm' => (num, 20),
+            _ => (num, 30),
+        },
+        None => (s.as_str(), 0),
+    };
+    let n: u64 = num.trim().parse().ok()?;
+    n.checked_shl(shift).filter(|&b| b > 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_bytes_suffixes() {
+        assert_eq!(parse_bytes("1024"), Some(1024));
+        assert_eq!(parse_bytes("64k"), Some(64 << 10));
+        assert_eq!(parse_bytes("512M"), Some(512 << 20));
+        assert_eq!(parse_bytes(" 2g "), Some(2 << 30));
+        assert_eq!(parse_bytes("0"), None);
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("nope"), None);
+    }
 
     #[test]
     fn global_registry_is_shared() {

@@ -1,0 +1,256 @@
+//! Deployment-wide byte-accurate memory accounting.
+//!
+//! Components account their bytes on exact alloc/free sites through
+//! [`MemGauge`] handles (defined in `helios-types` so leaf crates need
+//! no telemetry dependency). The [`MemAccountant`] is the deployment's
+//! ledger: each gauge is registered under a component name (plus
+//! arbitrary labels), and a periodic [`MemAccountant::export`] — driven
+//! by the stats reporter — copies every gauge into the registry as
+//! `mem.bytes{component,…}`, derives `mem.budget_fraction_permille`
+//! against the configured budget, and maintains the over-budget streak
+//! the `/healthz` memory probe and the `MemPressure` flight event key
+//! off.
+//!
+//! The hot path never touches the accountant: accounting is one relaxed
+//! atomic on the component's own gauge; aggregation cost is paid only
+//! at export time (O(components), a few dozen entries).
+
+use crate::registry::{Gauge, Registry};
+use helios_types::MemGauge;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Exported gauge name for per-component resident bytes.
+pub const MEM_BYTES: &str = "mem.bytes";
+/// Exported gauge name for the budget fraction, in permille (1000 =
+/// exactly at `memory_budget_bytes`), matching the ×1000 convention of
+/// the SLO burn gauges. Absent (never exported) when no budget is set.
+pub const MEM_BUDGET_FRACTION: &str = "mem.budget_fraction_permille";
+
+struct Entry {
+    gauge: MemGauge,
+    component: String,
+    exported: Arc<Gauge>,
+}
+
+/// Outcome of one [`MemAccountant::export`] tick, consumed by the stats
+/// reporter to fire pressure events on rising edges.
+#[derive(Debug, Clone, Copy)]
+pub struct MemTick {
+    /// Sum of all registered component gauges, bytes.
+    pub total_bytes: i64,
+    /// `total / budget`, when a budget is configured.
+    pub budget_fraction: Option<f64>,
+    /// True when this tick is over budget.
+    pub over_budget: bool,
+    /// True when this tick crossed from under to over budget — the
+    /// rising edge that records a `MemPressure` anomaly.
+    pub crossed_over: bool,
+}
+
+/// The deployment's memory ledger. See module docs.
+pub struct MemAccountant {
+    registry: Arc<Registry>,
+    budget_bytes: Option<u64>,
+    entries: Mutex<Vec<Entry>>,
+    fraction_gauge: Arc<Gauge>,
+    /// Consecutive export ticks over budget (0 while under).
+    over_streak: AtomicU64,
+    /// Largest total ever observed by an export tick, bytes. Tick-sampled
+    /// (stats-reporter cadence), so a sub-tick spike can be missed — the
+    /// bench snapshot reports it as "memory high-water" with that caveat.
+    high_water: AtomicI64,
+}
+
+impl MemAccountant {
+    /// New accountant exporting into `registry`, judged against
+    /// `budget_bytes` (`None` = unlimited: `mem.bytes` still exports,
+    /// the fraction and the pressure probe stay inert).
+    pub fn new(registry: Arc<Registry>, budget_bytes: Option<u64>) -> Self {
+        let fraction_gauge = registry.gauge(MEM_BUDGET_FRACTION, &[]);
+        MemAccountant {
+            registry,
+            budget_bytes,
+            entries: Mutex::new(Vec::new()),
+            fraction_gauge,
+            over_streak: AtomicU64::new(0),
+            high_water: AtomicI64::new(0),
+        }
+    }
+
+    /// Create and register a fresh gauge for `component` with extra
+    /// labels (e.g. `worker`, `table`, `topic`).
+    pub fn register(&self, component: &str, labels: &[(&str, &str)]) -> MemGauge {
+        let gauge = MemGauge::new();
+        self.adopt(component, labels, gauge.clone());
+        gauge
+    }
+
+    /// Register an existing gauge (components that create their gauges
+    /// before the accountant sees them, e.g. serving workers). Adopting
+    /// the same cell twice is a caller bug and would double-count; a
+    /// duplicate is ignored.
+    pub fn adopt(&self, component: &str, labels: &[(&str, &str)], gauge: MemGauge) {
+        let mut all: Vec<(&str, &str)> = labels.to_vec();
+        all.push(("component", component));
+        let exported = self.registry.gauge(MEM_BYTES, &all);
+        let mut entries = self.entries.lock();
+        if entries.iter().any(|e| e.gauge.same_cell(&gauge)) {
+            return;
+        }
+        entries.push(Entry {
+            gauge,
+            component: component.to_string(),
+            exported,
+        });
+    }
+
+    /// The configured budget.
+    pub fn budget_bytes(&self) -> Option<u64> {
+        self.budget_bytes
+    }
+
+    /// Current total across all components, bytes.
+    pub fn total_bytes(&self) -> i64 {
+        self.entries.lock().iter().map(|e| e.gauge.get()).sum()
+    }
+
+    /// Current bytes of one component (summed over labels).
+    pub fn component_bytes(&self, component: &str) -> i64 {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|e| e.component == component)
+            .map(|e| e.gauge.get())
+            .sum()
+    }
+
+    /// Registered component names, sorted and deduplicated.
+    pub fn components(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .entries
+            .lock()
+            .iter()
+            .map(|e| e.component.clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Copy every gauge into the registry, refresh the budget fraction,
+    /// and advance the over-budget streak. Called from the stats
+    /// reporter tick (and directly by tests).
+    pub fn export(&self) -> MemTick {
+        let mut total = 0i64;
+        for e in self.entries.lock().iter() {
+            let v = e.gauge.get();
+            e.exported.set(v);
+            total += v;
+        }
+        self.high_water.fetch_max(total, Ordering::Relaxed);
+        let budget_fraction = self
+            .budget_bytes
+            .map(|b| total.max(0) as f64 / (b.max(1)) as f64);
+        if let Some(f) = budget_fraction {
+            self.fraction_gauge.set((f * 1000.0) as i64);
+        }
+        let over_budget = budget_fraction.is_some_and(|f| f > 1.0);
+        let crossed_over = if over_budget {
+            self.over_streak.fetch_add(1, Ordering::Relaxed) == 0
+        } else {
+            self.over_streak.store(0, Ordering::Relaxed);
+            false
+        };
+        MemTick {
+            total_bytes: total,
+            budget_fraction,
+            over_budget,
+            crossed_over,
+        }
+    }
+
+    /// Largest total an export tick has ever observed, bytes. See the
+    /// field docs for the tick-sampling caveat.
+    pub fn high_water_bytes(&self) -> i64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// True when at least `min_ticks` consecutive export ticks were
+    /// over budget — the "sustained" gate of the `/healthz` memory
+    /// probe, so one transient spike between two ticks doesn't flap the
+    /// endpoint.
+    pub fn sustained_over_budget(&self, min_ticks: u64) -> bool {
+        self.over_streak.load(Ordering::Relaxed) >= min_ticks.max(1)
+    }
+}
+
+impl std::fmt::Debug for MemAccountant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemAccountant")
+            .field("budget_bytes", &self.budget_bytes)
+            .field("components", &self.components())
+            .field("total_bytes", &self.total_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_publishes_component_gauges() {
+        let registry = Arc::new(Registry::new());
+        let acct = MemAccountant::new(Arc::clone(&registry), None);
+        let a = acct.register("memtable", &[("worker", "0")]);
+        let b = acct.register("block_cache", &[("worker", "0")]);
+        a.add(1000);
+        b.add(24);
+        let tick = acct.export();
+        assert_eq!(tick.total_bytes, 1024);
+        assert!(tick.budget_fraction.is_none());
+        assert!(!tick.over_budget);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("mem.bytes{component=memtable,worker=0}"), 1000);
+        assert_eq!(snap.gauge("mem.bytes{component=block_cache,worker=0}"), 24);
+        assert_eq!(acct.component_bytes("memtable"), 1000);
+    }
+
+    #[test]
+    fn budget_fraction_and_streak() {
+        let registry = Arc::new(Registry::new());
+        let acct = MemAccountant::new(Arc::clone(&registry), Some(1000));
+        let g = acct.register("memtable", &[]);
+        g.add(500);
+        let t = acct.export();
+        assert_eq!(t.budget_fraction, Some(0.5));
+        assert!(!t.over_budget && !t.crossed_over);
+        assert!(!acct.sustained_over_budget(2));
+        g.add(1000); // 1500/1000
+        let t = acct.export();
+        assert!(t.over_budget && t.crossed_over, "rising edge");
+        let t = acct.export();
+        assert!(t.over_budget && !t.crossed_over, "still over, no new edge");
+        assert!(acct.sustained_over_budget(2));
+        assert_eq!(registry.snapshot().gauge(MEM_BUDGET_FRACTION), 1500);
+        g.sub(1200);
+        let t = acct.export();
+        assert!(!t.over_budget);
+        assert!(!acct.sustained_over_budget(1), "streak resets on drain");
+        // The next crossing is a fresh edge.
+        g.add(2000);
+        assert!(acct.export().crossed_over);
+    }
+
+    #[test]
+    fn adopting_the_same_cell_twice_is_ignored() {
+        let registry = Arc::new(Registry::new());
+        let acct = MemAccountant::new(Arc::clone(&registry), None);
+        let g = acct.register("mq_log", &[("topic", "updates")]);
+        acct.adopt("mq_log", &[("topic", "updates")], g.clone());
+        g.add(100);
+        assert_eq!(acct.total_bytes(), 100, "no double counting");
+    }
+}

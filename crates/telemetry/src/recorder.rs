@@ -78,6 +78,11 @@ pub enum EventKind {
     /// workers, `b` = configured logical serving workers, `c` =
     /// checkpointed sampling workers.
     TopologyMismatch,
+    /// The deployment's accounted memory crossed over
+    /// `memory_budget_bytes` (rising edge, one event per crossing).
+    /// `a` = total accounted bytes, `b` = budget bytes, `c` = budget
+    /// fraction in permille.
+    MemPressure,
 }
 
 impl EventKind {
@@ -98,6 +103,7 @@ impl EventKind {
             EventKind::HandoffCompleted => "handoff_completed",
             EventKind::HandoffAborted => "handoff_aborted",
             EventKind::TopologyMismatch => "topology_mismatch",
+            EventKind::MemPressure => "mem_pressure",
         }
     }
 }
@@ -278,8 +284,11 @@ mod tests {
             }
         });
         let events = r.events();
-        assert_eq!(events.len() as u64 + r.dropped().min(64), 64);
-        assert!(!events.is_empty());
+        // Wait-free contract: each of the 4000 attempts either landed in
+        // a slot or was counted dropped. Contention may drop a few, but
+        // with ~62 attempts per slot the ring still ends full.
+        assert_eq!(events.len(), 64);
+        assert!(r.dropped() < 4000, "at least one record must land");
     }
 
     #[test]

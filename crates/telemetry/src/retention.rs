@@ -14,9 +14,15 @@
 
 use crate::trace::{json_escape, read_spans_since, SpanRecord};
 use parking_lot::Mutex;
-use helios_types::FxHashMap;
+use helios_types::{FxHashMap, MemGauge};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Accounted footprint of one retained span: the record itself plus its
+/// owned thread-name string.
+fn span_footprint(s: &SpanRecord) -> usize {
+    std::mem::size_of::<SpanRecord>() + s.thread.len()
+}
 
 /// A one-line summary of a retained trace, as shown by `GET /traces`.
 #[derive(Clone, Debug)]
@@ -44,6 +50,8 @@ struct Entry {
     root_start_ns: u64,
     root_dur_ns: u64,
     seq: u64,
+    /// Accounted bytes of `spans`, released on eviction.
+    bytes: usize,
 }
 
 impl Entry {
@@ -71,6 +79,10 @@ pub struct RetainedTraces {
     // process without stealing each other's spans.
     cursor: AtomicU64,
     inner: Mutex<Inner>,
+    /// Bytes of retained spans, exported as
+    /// `mem.bytes{component=trace_retention}` once adopted by the
+    /// deployment's accountant.
+    mem: MemGauge,
 }
 
 impl RetainedTraces {
@@ -86,7 +98,18 @@ impl RetainedTraces {
                 pending_flags: FxHashMap::default(),
                 seq: 0,
             }),
+            mem: MemGauge::new(),
         }
+    }
+
+    /// The store's byte gauge, for adoption into a [`crate::MemAccountant`].
+    pub fn mem_gauge(&self) -> MemGauge {
+        self.mem.clone()
+    }
+
+    /// Current accounted bytes of retained spans.
+    pub fn retained_bytes(&self) -> i64 {
+        self.mem.get()
     }
 
     /// The configured slow threshold, nanoseconds.
@@ -161,6 +184,7 @@ impl RetainedTraces {
                 root_start_ns: 0,
                 root_dur_ns: 0,
                 seq,
+                bytes: 0,
             });
             if let Some(flags) = pending {
                 for r in flags {
@@ -177,6 +201,9 @@ impl RetainedTraces {
                     e.reasons.push("slow");
                 }
             }
+            let fp = span_footprint(&s);
+            e.bytes += fp;
+            self.mem.add(fp);
             e.spans.push(s);
         }
         // Evict down to capacity: boring traces first, oldest first.
@@ -188,7 +215,9 @@ impl RetainedTraces {
                 .map(|(t, _)| *t);
             match victim {
                 Some(t) => {
-                    inner.traces.remove(&t);
+                    if let Some(e) = inner.traces.remove(&t) {
+                        self.mem.sub(e.bytes);
+                    }
                 }
                 None => break,
             }
@@ -374,6 +403,23 @@ mod tests {
         assert!(json.contains("\"trace\":3"));
         assert!(json.contains("\"root\":\"root\""));
         assert!(json.contains("\"spans\":2"));
+    }
+
+    #[test]
+    fn retained_bytes_rise_on_ingest_and_fall_on_eviction() {
+        let store = RetainedTraces::new(2, 1_000_000);
+        assert_eq!(store.retained_bytes(), 0);
+        store.ingest(vec![rec(1, 10, 0, "serve", 100)]);
+        let one = store.retained_bytes();
+        assert_eq!(one as usize, std::mem::size_of::<SpanRecord>() + 1);
+        store.ingest(vec![rec(2, 20, 0, "serve", 100)]);
+        assert_eq!(store.retained_bytes(), 2 * one);
+        // Third boring trace evicts the oldest: bytes stay at 2 traces.
+        store.ingest(vec![rec(3, 30, 0, "serve", 100)]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.retained_bytes(), 2 * one);
+        // The gauge handle observes the same cell.
+        assert_eq!(store.mem_gauge().get(), 2 * one);
     }
 
     #[test]

@@ -18,9 +18,12 @@ pub mod error;
 pub mod event;
 pub mod hash;
 pub mod ids;
+pub mod mem;
+pub mod profile;
 pub mod time;
 
 pub use encode::{Decode, Encode};
+pub use mem::MemGauge;
 pub use error::{HeliosError, Result};
 pub use event::{EdgeUpdate, GraphUpdate, VertexUpdate};
 pub use hash::{fx_hash_u64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
