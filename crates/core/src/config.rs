@@ -48,11 +48,15 @@ pub struct HeliosConfig {
     /// queries; the paper's "serving threads", §4.3). Direct `serve`
     /// calls bypass the queue; `serve_queued` uses it.
     pub serving_threads: usize,
-    /// Hot-seed request coalescing: how many concurrent queued requests
-    /// for the same `(seed, epoch)` may share one expansion as waiters on
-    /// a single leader serve. Requests beyond the bound degrade to
+    /// Hot-seed request coalescing: the floor (and starting value) of
+    /// each lane's **adaptive** waiter cap — how many concurrent queued
+    /// requests for the same `(seed, epoch)` may share one expansion as
+    /// waiters on a single leader serve. A lane that overflows the cap
+    /// doubles it (up to 1024, current value on the
+    /// `serving.coalesce_cap` gauge); sustained calm decays it back to
+    /// this floor. Requests beyond the in-force cap degrade to
     /// independent serves (counted by `serving.coalesce_overflow`); `0`
-    /// disables coalescing entirely.
+    /// disables coalescing entirely and pins the cap.
     pub coalesce_max_waiters: usize,
     /// How many queued requests a serve lane drains from its channel per
     /// scheduling round. Larger batches expose more coalescing

@@ -130,6 +130,8 @@ pub struct ServingWorker {
     /// epoch may share one expansion, so coalescing never papers over a
     /// cache update that landed between two enqueues.
     apply_epoch: AtomicU64,
+    /// Floor (and initial value) of each lane's adaptive coalesce cap;
+    /// `0` disables coalescing entirely.
     coalesce_max_waiters: usize,
     stop: Arc<AtomicBool>,
     updaters: parking_lot::Mutex<Vec<JoinHandle<()>>>,
@@ -139,6 +141,65 @@ pub struct ServingWorker {
     serve_lanes: parking_lot::RwLock<Option<Vec<crossbeam::channel::Sender<ServeRequest>>>>,
     serve_threads: parking_lot::Mutex<Vec<JoinHandle<()>>>,
     mem: ServingMemGauges,
+}
+
+/// Adaptive bound on coalesced waiters per leader. The original static
+/// cap of 16 overflowed ~15k times per run under 75%-skewed load: hot
+/// seeds arrive in bursts far deeper than any fixed cap, while a cap
+/// sized for the burst wastes clone work on uniform traffic. So each
+/// lane doubles its cap on any batch that overflowed and halves it back
+/// toward the configured floor after [`AdaptiveCap::SHRINK_AFTER`]
+/// consecutive calm batches. A floor of `0` keeps the off switch:
+/// coalescing stays disabled and the cap never moves.
+pub(crate) struct AdaptiveCap {
+    floor: usize,
+    cap: usize,
+    calm: u32,
+}
+
+impl AdaptiveCap {
+    /// Hard ceiling: one leader cloning for 1024 waiters is already far
+    /// past the depth any drain batch can queue.
+    const MAX: usize = 1024;
+    /// Calm batches before one halving step back toward the floor.
+    const SHRINK_AFTER: u32 = 64;
+
+    pub(crate) fn new(floor: usize) -> AdaptiveCap {
+        AdaptiveCap {
+            floor,
+            cap: floor,
+            calm: 0,
+        }
+    }
+
+    /// The cap to apply to the next batch.
+    pub(crate) fn current(&self) -> usize {
+        self.cap
+    }
+
+    /// Feed one batch's outcome; returns `true` when the cap moved.
+    pub(crate) fn observe(&mut self, overflowed: bool) -> bool {
+        if self.floor == 0 {
+            return false;
+        }
+        if overflowed {
+            self.calm = 0;
+            if self.cap < Self::MAX {
+                self.cap = (self.cap * 2).min(Self::MAX);
+                return true;
+            }
+            return false;
+        }
+        if self.cap > self.floor {
+            self.calm += 1;
+            if self.calm >= Self::SHRINK_AFTER {
+                self.calm = 0;
+                self.cap = (self.cap / 2).max(self.floor);
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// One queued serve request, in flight from `serve_queued` to a lane.
@@ -352,6 +413,11 @@ impl ServingWorker {
         // duplicates for the same (seed, epoch) into one expansion.
         let mut serve_handles = Vec::new();
         for (t, rx) in lane_rxs.into_iter().enumerate() {
+            let lane_label = t.to_string();
+            let cap_gauge = registry.gauge(
+                "serving.coalesce_cap",
+                &[("worker", &w), ("replica", &r), ("lane", &lane_label)],
+            );
             let w = Arc::clone(&worker);
             let pin = config.pin_serving_threads;
             let drain = config.serve_drain_batch.max(1);
@@ -368,6 +434,11 @@ impl ServingWorker {
                         let mut scratch = ServeScratch::default();
                         let mut batch: Vec<ServeRequest> = Vec::with_capacity(drain);
                         let mut done: Vec<bool> = Vec::with_capacity(drain);
+                        // Each lane owns its adaptive coalesce cap: no
+                        // cross-lane sharing, so a skewed lane widens
+                        // without a uniform lane paying for it.
+                        let mut cap = AdaptiveCap::new(w.coalesce_max_waiters);
+                        cap_gauge.set(cap.current() as i64);
                         // Bytes of scratch currently charged to the
                         // worker's serve_scratch gauge by this lane.
                         let mut charged = 0usize;
@@ -379,12 +450,19 @@ impl ServingWorker {
                                     Err(_) => break,
                                 }
                             }
-                            w.run_lane_batch(t, &mut batch, &mut done, &mut scratch);
+                            let overflowed = w.run_lane_batch(
+                                t,
+                                &mut batch,
+                                &mut done,
+                                &mut scratch,
+                                cap.current(),
+                            );
                             batch.clear();
+                            if cap.observe(overflowed) {
+                                cap_gauge.set(cap.current() as i64);
+                            }
                             let fp = scratch.footprint();
-                            w.mem
-                                .serve_scratch
-                                .add_signed(fp as i64 - charged as i64);
+                            w.mem.serve_scratch.add_signed(fp as i64 - charged as i64);
                             charged = fp;
                         }
                         w.mem.serve_scratch.sub(charged);
@@ -819,27 +897,33 @@ impl ServingWorker {
     /// the rest in arrival order. Requests sharing `(seed, epoch)` with
     /// an earlier request in the batch become *waiters* on that leader's
     /// expansion and receive a clone of its result — at most
-    /// `coalesce_max_waiters` of them; the overflow (and every waiter of
-    /// a failed leader, since errors don't clone) degrades to an
-    /// independent serve. `done` is the reused seen-markers buffer.
+    /// `max_waiters` of them (the lane's current [`AdaptiveCap`] value);
+    /// the overflow (and every waiter of a failed leader, since errors
+    /// don't clone) degrades to an independent serve. `done` is the
+    /// reused seen-markers buffer. Returns whether any waiter list
+    /// overflowed, which is the adaptive cap's growth signal.
     fn run_lane_batch(
         &self,
         lane: usize,
         batch: &mut Vec<ServeRequest>,
         done: &mut Vec<bool>,
         scratch: &mut ServeScratch,
-    ) {
-        if batch.len() == 1 || self.coalesce_max_waiters == 0 {
+        max_waiters: usize,
+    ) -> bool {
+        if batch.len() == 1 || max_waiters == 0 {
             // Single request, or coalescing disabled: strict arrival
             // order, one expansion each, no grouping scan (and no
             // overflow accounting — nothing overflowed, the feature is
             // off).
             for req in batch.drain(..) {
                 self.queue_wait.record_duration(req.enqueued.elapsed());
-                let _ = req.reply.send(self.serve_request(lane, req.seed, req.trace, scratch));
+                let _ = req
+                    .reply
+                    .send(self.serve_request(lane, req.seed, req.trace, scratch));
             }
-            return;
+            return false;
         }
+        let mut overflowed = false;
         let n = batch.len();
         done.clear();
         done.resize(n, false);
@@ -858,10 +942,11 @@ impl ServingWorker {
                         if batch[j].seed != seed || batch[j].epoch != epoch {
                             continue;
                         }
-                        if waiters as usize >= self.coalesce_max_waiters {
+                        if waiters as usize >= max_waiters {
                             // Bounded waiter list is full: leave the rest
                             // undone, they serve independently below.
                             self.coalesce_overflow.incr();
+                            overflowed = true;
                             continue;
                         }
                         done[j] = true;
@@ -882,6 +967,7 @@ impl ServingWorker {
             };
             let _ = batch[i].reply.send(result);
         }
+        overflowed
     }
 
     /// One lane-side serve, isolated: a panicking expansion is caught and
@@ -1053,6 +1139,54 @@ mod tests {
         // Degenerate lane counts never panic or go out of range.
         assert_eq!(lane_for(VertexId(7), 1), 0);
         assert_eq!(lane_for(VertexId(7), 0), 0);
+    }
+
+    #[test]
+    fn adaptive_cap_grows_on_overflow_and_decays_to_floor() {
+        let mut cap = AdaptiveCap::new(16);
+        assert_eq!(cap.current(), 16);
+        // Overflow doubles, repeatedly, up to the ceiling.
+        assert!(cap.observe(true));
+        assert_eq!(cap.current(), 32);
+        for _ in 0..20 {
+            cap.observe(true);
+        }
+        assert_eq!(cap.current(), AdaptiveCap::MAX);
+        assert!(!cap.observe(true), "at the ceiling the cap stays put");
+        // Calm batches decay one halving per SHRINK_AFTER, never below
+        // the floor.
+        let mut changes = 0;
+        for _ in 0..(AdaptiveCap::SHRINK_AFTER * 100) {
+            if cap.observe(false) {
+                changes += 1;
+            }
+        }
+        assert_eq!(cap.current(), 16);
+        assert_eq!(changes, 6, "1024 → 16 is six halvings");
+        // An overflow mid-decay resets the calm streak: after growing to
+        // 32 and SHRINK_AFTER-1 calm batches, one overflow means the next
+        // SHRINK_AFTER-1 calm batches still shrink nothing.
+        cap.observe(true);
+        assert_eq!(cap.current(), 32);
+        for _ in 0..(AdaptiveCap::SHRINK_AFTER - 1) {
+            assert!(!cap.observe(false));
+        }
+        assert!(cap.observe(true), "overflow grows and resets calm");
+        assert_eq!(cap.current(), 64);
+        for _ in 0..(AdaptiveCap::SHRINK_AFTER - 1) {
+            assert!(!cap.observe(false), "calm streak restarted");
+        }
+        assert!(cap.observe(false));
+        assert_eq!(cap.current(), 32);
+    }
+
+    #[test]
+    fn adaptive_cap_zero_floor_is_the_off_switch() {
+        let mut cap = AdaptiveCap::new(0);
+        assert_eq!(cap.current(), 0);
+        assert!(!cap.observe(true));
+        assert!(!cap.observe(false));
+        assert_eq!(cap.current(), 0, "disabled cap never moves");
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! The client SDK: a thin, typed veneer over a [`TcpTransport`].
+//!
+//! A [`Client`] owns a pooled, pipelined transport to one endpoint
+//! (usually the gateway). The blocking helpers (`serve`, `ingest`,
+//! `health`, `stats`) cover the simple cases; `begin_serve` exposes the
+//! pipelined path — issue many requests, then harvest completions — with
+//! the transport's bounded in-flight budget as built-in backpressure, so
+//! a client that outruns the server blocks instead of ballooning memory.
+
+pub use crate::transport::Completion;
+use bytes::Bytes;
+
+use helios_types::{GraphUpdate, HeliosError, Result, VertexId};
+
+use crate::transport::{TcpOptions, TcpTransport, Transport};
+use crate::wire::Payload;
+
+/// A pending serve reply from [`Client::begin_serve`].
+pub struct ServeCompletion {
+    inner: Completion,
+}
+
+impl ServeCompletion {
+    /// Block for the encoded subgraph bytes.
+    pub fn wait(self) -> Result<Bytes> {
+        match self.inner.wait()? {
+            Payload::ServeOk { bytes } => Ok(bytes),
+            other => Err(unexpected("serve_ok", &other)),
+        }
+    }
+}
+
+/// A connection-pooled, pipelining client for one Helios endpoint.
+pub struct Client {
+    transport: TcpTransport,
+}
+
+impl Client {
+    /// Connect to `addr` with default pool and in-flight budget.
+    pub fn connect(addr: &str) -> Client {
+        Client {
+            transport: TcpTransport::connect(addr),
+        }
+    }
+
+    /// Connect with explicit [`TcpOptions`].
+    pub fn with_options(addr: &str, options: TcpOptions) -> Client {
+        Client {
+            transport: TcpTransport::with_options(addr, options),
+        }
+    }
+
+    /// The remote address this client talks to.
+    pub fn peer(&self) -> String {
+        self.transport.peer()
+    }
+
+    /// Serve one seed and block for the encoded subgraph.
+    pub fn serve(&self, seed: VertexId) -> Result<Bytes> {
+        self.begin_serve(seed)?.wait()
+    }
+
+    /// Issue a serve without waiting. Blocks only when the in-flight
+    /// budget is full — harvest outstanding completions to make room.
+    pub fn begin_serve(&self, seed: VertexId) -> Result<ServeCompletion> {
+        Ok(ServeCompletion {
+            inner: self.transport.begin(Payload::Serve { seed })?,
+        })
+    }
+
+    /// Ship a batch of graph updates; returns the acknowledged count.
+    pub fn ingest(&self, updates: Vec<GraphUpdate>) -> Result<u64> {
+        match self.transport.call(Payload::Updates { updates })? {
+            Payload::Ack { count } => Ok(count),
+            other => Err(unexpected("ack", &other)),
+        }
+    }
+
+    /// Probe the endpoint's health.
+    pub fn health(&self) -> Result<(bool, String)> {
+        match self.transport.call(Payload::HealthReq)? {
+            Payload::HealthOk { healthy, detail } => Ok((healthy, detail)),
+            other => Err(unexpected("health_ok", &other)),
+        }
+    }
+
+    /// Fetch the endpoint's flat stats snapshot.
+    pub fn stats(&self) -> Result<Vec<(String, u64)>> {
+        match self.transport.call(Payload::StatsReq)? {
+            Payload::StatsOk { entries } => Ok(entries),
+            other => Err(unexpected("stats_ok", &other)),
+        }
+    }
+
+    /// Escape hatch: send any payload through the pipelined transport.
+    pub fn begin(&self, payload: Payload) -> Result<Completion> {
+        self.transport.begin(payload)
+    }
+}
+
+fn unexpected(wanted: &str, got: &Payload) -> HeliosError {
+    HeliosError::Codec(format!("expected {wanted} reply, got {}", got.kind_name()))
+}

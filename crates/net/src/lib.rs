@@ -1,0 +1,33 @@
+//! # helios-net — the network plane
+//!
+//! Everything the rest of the workspace simulates in-process, this crate
+//! makes real: a compact binary [`wire`] protocol, a [`transport::Transport`]
+//! abstraction with in-process and TCP backends, a frame [`server`], a
+//! pipelined [`client`] SDK, a front-end [`gateway`] with admission
+//! control, and [`proc`] — the per-process hosts that a multi-process
+//! deployment is assembled from.
+//!
+//! Design rules inherited from the rest of the workspace:
+//!
+//! - **No new dependencies.** TCP is hand-rolled on `std::net`, in the
+//!   same style as `helios-telemetry`'s ops server.
+//! - **The in-process transport is the default.** Every existing test
+//!   and bench runs unchanged through [`transport::InProcTransport`];
+//!   TCP is opt-in via the `helios` launcher binary.
+//! - **Decode failures are data, not crashes.** Malformed frames count
+//!   into the `serving.decode_errors` pipeline and close only the one
+//!   offending connection.
+
+pub mod client;
+pub mod gateway;
+pub mod proc;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::{Client, Completion};
+pub use gateway::{Gateway, GatewayConfig};
+pub use proc::{SamplingHost, SamplingHostConfig, ServeHost, ServeHostConfig};
+pub use server::{NetServer, NetService};
+pub use transport::{InProcTransport, NetMetrics, TcpOptions, TcpTransport, Transport};
+pub use wire::{ErrCode, Frame, Payload, RelayRecord};

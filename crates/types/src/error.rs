@@ -22,6 +22,9 @@ pub enum HeliosError {
     ShuttingDown,
     /// A blocking operation timed out.
     Timeout(String),
+    /// Admission control rejected the request: the component's bounded
+    /// in-flight budget is full and it sheds rather than queues.
+    Overloaded(String),
     /// Underlying I/O failure (kvstore spill, mq segment, checkpoint).
     Io(std::io::Error),
 }
@@ -36,6 +39,7 @@ impl fmt::Display for HeliosError {
             HeliosError::Disconnected(s) => write!(f, "disconnected: {s}"),
             HeliosError::ShuttingDown => write!(f, "component is shutting down"),
             HeliosError::Timeout(s) => write!(f, "timed out: {s}"),
+            HeliosError::Overloaded(s) => write!(f, "overloaded: {s}"),
             HeliosError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -73,6 +77,10 @@ mod tests {
         assert_eq!(
             HeliosError::ShuttingDown.to_string(),
             "component is shutting down"
+        );
+        assert_eq!(
+            HeliosError::Overloaded("budget 64 full".into()).to_string(),
+            "overloaded: budget 64 full"
         );
     }
 
